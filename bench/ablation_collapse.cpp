@@ -1,0 +1,61 @@
+// Ablation D: structural fault collapsing.  Simulating one representative
+// per equivalence class and expanding the verdict must reproduce the full
+// run's detections while shrinking the simulated universe by ~30-40%.
+#include <cstdio>
+
+#include "common.h"
+#include "core/concurrent_sim.h"
+#include "faults/fault.h"
+#include "faults/sampling.h"
+#include "gen/iscas_profiles.h"
+#include "harness/table.h"
+#include "patterns/pattern.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace cfs;
+  std::printf("Ablation D: equivalence collapsing\n\n");
+  Table t({"ckt", "faults", "classes", "full cpu", "collapsed cpu",
+           "det match"});
+  for (const std::string& name : bench::suite()) {
+    const Circuit c = make_benchmark(name);
+    const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+    const TestSuite p = bench::deterministic_tests(c, u, 512, 1000);
+    const auto rep = collapse_equivalent(c, u);
+    const SubUniverse reps = representative_universe(u, rep);
+
+    ConcurrentSim full(c, u);
+    Stopwatch sw_full;
+    for (const PatternSet& seq : p.sequences()) {
+      full.reset(bench::kFfInit);
+      for (std::size_t i = 0; i < seq.size(); ++i) full.apply_vector(seq[i]);
+    }
+    const double t_full = sw_full.seconds();
+
+    ConcurrentSim collapsed(c, reps.universe);
+    Stopwatch sw_col;
+    for (const PatternSet& seq : p.sequences()) {
+      collapsed.reset(bench::kFfInit);
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        collapsed.apply_vector(seq[i]);
+      }
+    }
+    const double t_col = sw_col.seconds();
+
+    const auto expanded = expand_to_classes(collapsed.status(), reps, rep);
+    bool match = true;
+    for (std::size_t i = 0; i < u.size(); ++i) {
+      match &= (expanded[i] == Detect::Hard) ==
+               (full.status()[i] == Detect::Hard);
+    }
+    t.row({name, fmt_count(u.size()), fmt_count(reps.universe.size()),
+           fmt_fixed(t_full, 3), fmt_fixed(t_col, 3),
+           match ? "yes" : "NO"});
+    if (!match) {
+      std::printf("!! expansion mismatch on %s\n", name.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Ablation C: event-driven fault dropping.  With dropping disabled,
+// detected faults keep diverging elements and consuming evaluation work;
+// the paper: "dropped fault effects should be eliminated as soon as
+// possible for efficient fault simulation."
+#include <cstdio>
+
+#include "common.h"
+#include "core/concurrent_sim.h"
+#include "faults/fault.h"
+#include "gen/iscas_profiles.h"
+#include "harness/table.h"
+#include "patterns/pattern.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace cfs;
+  std::printf("Ablation C: event-driven fault dropping\n\n");
+  Table t({"ckt", "drop cpu", "keep cpu", "drop elems", "keep elems"});
+  for (const std::string& name : bench::suite()) {
+    const Circuit c = make_benchmark(name);
+    const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+    const TestSuite p = bench::deterministic_tests(c, u, 1024, 1000);
+
+    double cpu[2];
+    std::size_t elems[2];
+    int i = 0;
+    for (bool drop : {true, false}) {
+      ConcurrentSim sim(c, u, CsimOptions{.split_lists = true,
+                                          .drop_detected = drop});
+      Stopwatch sw;
+      for (const PatternSet& seq : p.sequences()) {
+        sim.reset(bench::kFfInit);
+        for (std::size_t k = 0; k < seq.size(); ++k) sim.apply_vector(seq[k]);
+      }
+      cpu[i] = sw.seconds();
+      elems[i] = sim.peak_elements();
+      ++i;
+    }
+    t.row({name, fmt_fixed(cpu[0], 3), fmt_fixed(cpu[1], 3),
+           fmt_count(elems[0]), fmt_count(elems[1])});
+  }
+  std::printf("%s\n", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Ablation B: visible/invisible fault-list splitting (the paper's "V").
+// Compares the combined-list and split-list engines on time and on the
+// number of fault elements examined during merges.
+#include <cstdio>
+
+#include "common.h"
+#include "faults/fault.h"
+#include "gen/iscas_profiles.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace cfs;
+  std::printf("Ablation B: visible/invisible list splitting\n\n");
+  Table t({"ckt", "combined cpu", "split cpu", "speedup", "comb evals",
+           "split evals"});
+  for (const std::string& name : bench::suite()) {
+    const Circuit c = make_benchmark(name);
+    const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+    const TestSuite p = bench::deterministic_tests(c, u, 1024, 1000);
+    const RunResult combined = run_csim(c, u, p, CsimVariant::Plain, bench::kFfInit);
+    const RunResult split = run_csim(c, u, p, CsimVariant::V, bench::kFfInit);
+    t.row({name, fmt_fixed(combined.cpu_s, 3), fmt_fixed(split.cpu_s, 3),
+           fmt_fixed(combined.cpu_s / (split.cpu_s > 0 ? split.cpu_s : 1e-9),
+                     2),
+           fmt_count(combined.activity), fmt_count(split.activity)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  return 0;
+}

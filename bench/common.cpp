@@ -1,0 +1,55 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "patterns/tgen.h"
+
+namespace cfs::bench {
+
+namespace {
+
+std::string scale() {
+  const char* s = std::getenv("CFS_BENCH_SCALE");
+  return s ? s : "small";
+}
+
+}  // namespace
+
+std::vector<std::string> suite() {
+  const std::string sc = scale();
+  std::vector<std::string> names = {"s298", "s344", "s349", "s382",
+                                    "s386", "s400", "s444", "s510",
+                                    "s526"};
+  if (sc == "tiny") return names;
+  for (const char* n : {"s641", "s713", "s820", "s832", "s1196", "s1238",
+                        "s1488", "s1494", "s5378"}) {
+    names.push_back(n);
+  }
+  if (sc == "full") names.push_back("s35932");
+  return names;
+}
+
+std::string largest() {
+  return scale() == "full" ? "s35932" : "s5378";
+}
+
+TestSuite deterministic_tests(const Circuit& c, const FaultUniverse& u,
+                              std::size_t max_vectors, std::uint64_t seed) {
+  TgenOptions opt;
+  opt.seed = seed;
+  opt.max_vectors = max_vectors;
+  opt.stale_limit = 25;
+  opt.segment_len = 32;
+  opt.ff_init = kFfInit;
+  return generate_tests(c, u, opt).suite;
+}
+
+std::string fmt_meg(std::size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f",
+                static_cast<double>(bytes) / (1024.0 * 1024.0));
+  return buf;
+}
+
+}  // namespace cfs::bench

@@ -1,0 +1,44 @@
+// Shared support for the table benches: benchmark suite selection and
+// deterministic test-set construction.
+//
+// Scale control: set CFS_BENCH_SCALE=tiny|small|full (default "small").
+//   tiny  -- s27..s526: seconds, for smoke runs
+//   small -- everything except s35932
+//   full  -- the whole paper suite including the s35932 profile
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/fault.h"
+#include "gen/iscas_profiles.h"
+#include "netlist/circuit.h"
+#include "patterns/pattern.h"
+#include "util/logic.h"
+
+namespace cfs::bench {
+
+/// All table experiments assume a hardware reset to 0.  The paper's engines
+/// run 3-valued from the all-X state; our profile-matched synthetic
+/// circuits are not reliably synchronizable from X (most real ISCAS-89
+/// designs are), so every engine gets the same reset assumption -- the
+/// relative comparisons the tables make are unaffected, and the all-X
+/// machinery is exercised exhaustively by the test suite instead (see
+/// tests/test_concurrent_property.cpp).
+inline constexpr Val kFfInit = Val::Zero;
+
+/// Benchmark names for the active scale.
+std::vector<std::string> suite();
+
+/// The largest circuit of the active scale (for Table 5).
+std::string largest();
+
+/// Deterministic test suite for a circuit (sequences separated by resets):
+/// tgen with a per-circuit budget, reproducible from the seed.
+TestSuite deterministic_tests(const Circuit& c, const FaultUniverse& u,
+                              std::size_t max_vectors, std::uint64_t seed);
+
+/// Human-readable MiB with two decimals (the paper reports "meg").
+std::string fmt_meg(std::size_t bytes);
+
+}  // namespace cfs::bench

@@ -1,0 +1,37 @@
+// Table 2 of the paper: benchmark circuit statistics and the deterministic
+// test sets applied to them.
+#include <cstdio>
+
+#include "common.h"
+#include "faults/fault.h"
+#include "gen/iscas_profiles.h"
+#include "harness/table.h"
+#include "patterns/tgen.h"
+
+int main() {
+  using namespace cfs;
+  std::printf("Table 2: circuit and test statistics\n");
+  std::printf("(synthetic profile-matched circuits; see DESIGN.md)\n\n");
+
+  Table t({"ckt", "#PI", "#PO", "#FF", "#gates", "levels", "#faults",
+           "#ptns", "#seqs", "tgen cvg%"});
+  for (const std::string& name : bench::suite()) {
+    const Circuit c = make_benchmark(name);
+    const auto st = c.stats();
+    const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+    TgenOptions opt;
+    opt.seed = 1000;
+    opt.max_vectors = 1024;
+    opt.stale_limit = 10;
+    opt.ff_init = bench::kFfInit;
+    const TgenResult r = generate_tests(c, u, opt);
+    t.row({name, fmt_count(st.num_pis), fmt_count(st.num_pos),
+           fmt_count(st.num_dffs), fmt_count(st.num_comb_gates),
+           fmt_count(st.num_levels), fmt_count(u.size()),
+           fmt_count(r.suite.total_vectors()),
+           fmt_count(r.suite.num_sequences()),
+           fmt_fixed(r.coverage.pct(), 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table 6 of the paper: transition-fault simulation of the ISCAS-89
+// circuits using stuck-at test sets.  Expected shape: coverages generally
+// well below 50% -- stuck-at tests are not good transition tests.
+#include <cstdio>
+
+#include "common.h"
+#include "faults/fault.h"
+#include "gen/iscas_profiles.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace cfs;
+  std::printf("Table 6: transition fault simulation (stuck-at test sets)\n\n");
+  Table t({"ckt", "#flts", "#ptns", "CPU", "MEM", "flt cvg%", "sa cvg%"});
+  for (const std::string& name : bench::suite()) {
+    const Circuit c = make_benchmark(name);
+    const FaultUniverse stuck = FaultUniverse::all_stuck_at(c);
+    const TestSuite p = bench::deterministic_tests(c, stuck, 1024, 1000);
+
+    // Stuck-at coverage of the same tests for reference.
+    const RunResult sa = run_csim(c, stuck, p, CsimVariant::V, bench::kFfInit);
+
+    const FaultUniverse trans = FaultUniverse::all_transition(c);
+    const RunResult tr = run_csim_transition(c, trans, p, bench::kFfInit);
+
+    t.row({name, fmt_count(trans.size()), fmt_count(p.total_vectors()),
+           fmt_fixed(tr.cpu_s, 3), bench::fmt_meg(tr.mem_bytes),
+           fmt_fixed(tr.cov.pct(), 2), fmt_fixed(sa.cov.pct(), 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/bin/bash
+# CI-style gate: configure, build, run the full test suite, and smoke the
+# bench binaries at tiny scale (their built-in engine-agreement oracles
+# catch regressions the unit tests might miss).
+set -e
+cd "$(dirname "$0")"
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+export CFS_BENCH_SCALE=tiny
+for b in table2_circuits table3_deterministic table6_transition \
+         ablation_collapse; do
+  echo "== smoke: $b =="
+  ./build/bench/$b > /dev/null
+done
+./build/examples/quickstart > /dev/null
+echo "check.sh: all green"

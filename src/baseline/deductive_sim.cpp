@@ -1,0 +1,186 @@
+#include "baseline/deductive_sim.h"
+
+#include "util/error.h"
+
+namespace cfs {
+
+DeductiveSim::DeductiveSim(const Circuit& c, const FaultUniverse& u,
+                           Val ff_init)
+    : c_(&c), u_(&u), good_(c, ff_init) {
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    if (c.kind(g) == GateKind::Macro) {
+      throw Error("DeductiveSim: macro circuits are not supported");
+    }
+  }
+  status_.assign(u.size(), Detect::None);
+  sets_.resize(c.num_gates());
+  local_.resize(c.num_gates());
+  latch_buf_.resize(c.dffs().size());
+  for (std::uint32_t id = 0; id < u.size(); ++id) {
+    const Fault& f = u[id];
+    if (f.type != FaultType::StuckAt) {
+      throw Error("DeductiveSim: stuck-at universes only");
+    }
+    local_[f.gate].push_back({f.pin, f.value, id});
+  }
+  reset(ff_init);
+}
+
+void DeductiveSim::reset(Val ff_init, bool clear_status) {
+  if (!is_binary(ff_init)) {
+    throw Error("DeductiveSim: flip-flop initialisation must be binary");
+  }
+  if (clear_status) status_.assign(u_->size(), Detect::None);
+  good_.reset(ff_init);
+  for (auto& s : sets_) s.clear();
+  // Flip-flop output faults are live from reset.
+  const auto dffs = c_->dffs();
+  for (GateId q : dffs) {
+    for (const LocalFault& lf : local_[q]) {
+      if (lf.pin == kFaultOutPin && lf.value != ff_init) {
+        fs_insert(sets_[q], lf.id);
+      }
+    }
+  }
+}
+
+void DeductiveSim::adjust_local(GateId g, std::uint16_t pin, FaultSet& s,
+                                Val good_val) const {
+  for (const LocalFault& lf : local_[g]) {
+    if (lf.pin != pin) continue;
+    if (lf.value != good_val) {
+      fs_insert(s, lf.id);
+    } else {
+      fs_erase(s, lf.id);
+    }
+  }
+}
+
+FaultSet DeductiveSim::gate_set(GateId g) const {
+  const auto fi = c_->fanins(g);
+  const GateKind k = c_->kind(g);
+
+  // Effective input sets: driver set adjusted by this gate's pin faults.
+  // Copies are made only for pins that actually carry local faults.
+  std::vector<FaultSet> adjusted;          // storage for modified pin sets
+  std::vector<const FaultSet*> eff(fi.size());
+  for (std::size_t j = 0; j < fi.size(); ++j) {
+    bool has_local = false;
+    for (const LocalFault& lf : local_[g]) has_local |= lf.pin == j;
+    if (has_local) {
+      adjusted.push_back(sets_[fi[j]]);
+      adjust_local(g, static_cast<std::uint16_t>(j), adjusted.back(),
+                   good_.pin_value(g, static_cast<unsigned>(j)));
+      eff[j] = nullptr;  // patched below once `adjusted` stops reallocating
+    } else {
+      eff[j] = &sets_[fi[j]];
+    }
+  }
+  {
+    std::size_t a = 0;
+    for (std::size_t j = 0; j < fi.size(); ++j) {
+      if (eff[j] == nullptr) eff[j] = &adjusted[a++];
+    }
+  }
+
+  FaultSet out;
+  switch (k) {
+    case GateKind::Buf:
+    case GateKind::Not:
+      out = *eff[0];
+      break;
+    case GateKind::And:
+    case GateKind::Nand:
+    case GateKind::Or:
+    case GateKind::Nor: {
+      const Val ctrl = (k == GateKind::And || k == GateKind::Nand)
+                           ? Val::Zero
+                           : Val::One;
+      std::vector<const FaultSet*> controlling, noncontrolling;
+      for (std::size_t j = 0; j < fi.size(); ++j) {
+        const Val v = good_.pin_value(g, static_cast<unsigned>(j));
+        // The caller guarantees binary values; local pin faults do not
+        // change the *good* pin value.
+        (v == ctrl ? controlling : noncontrolling).push_back(eff[j]);
+      }
+      if (controlling.empty()) {
+        for (const FaultSet* s : noncontrolling) out = fs_union(out, *s);
+      } else {
+        out = fs_controlling_rule(controlling, noncontrolling);
+      }
+      break;
+    }
+    case GateKind::Xor:
+    case GateKind::Xnor:
+      out = fs_odd_parity(eff);
+      break;
+    default:
+      throw Error("DeductiveSim: unexpected gate kind");
+  }
+  adjust_local(g, kFaultOutPin, out, good_.value(g));
+  return out;
+}
+
+void DeductiveSim::sweep() {
+  for (GateId g : c_->topo_order()) sets_[g] = gate_set(g);
+}
+
+std::size_t DeductiveSim::apply_vector(std::span<const Val> pi_vals) {
+  for (Val v : pi_vals) {
+    if (!is_binary(v)) {
+      throw Error("DeductiveSim requires fully-specified vectors");
+    }
+  }
+  good_.apply(pi_vals);
+  // Binary-domain check: deductive inversion lists are meaningless on X.
+  for (GateId g = 0; g < c_->num_gates(); ++g) {
+    if (!is_binary(good_.value(g))) {
+      throw Error("DeductiveSim: X value reached gate '" + c_->gate_name(g) +
+                  "'");
+    }
+  }
+
+  // Primary-input fault sets (their output faults vs the applied value).
+  for (GateId g : c_->inputs()) {
+    sets_[g].clear();
+    adjust_local(g, kFaultOutPin, sets_[g], good_.value(g));
+  }
+  sweep();
+
+  // Detection: every fault on a PO line complements that PO.
+  std::size_t newly = 0;
+  for (GateId po : c_->outputs()) {
+    for (std::uint32_t id : sets_[po]) {
+      if (status_[id] != Detect::Hard) {
+        status_[id] = Detect::Hard;
+        ++newly;
+      }
+    }
+  }
+
+  // Clock: masters capture the D sets (with D-pin faults), slaves commit.
+  const auto dffs = c_->dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const GateId q = dffs[i];
+    FaultSet d = sets_[c_->fanins(q)[0]];
+    adjust_local(q, 0, d, good_.pin_value(q, 0));
+    latch_buf_[i] = std::move(d);
+  }
+  good_.clock();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const GateId q = dffs[i];
+    sets_[q] = std::move(latch_buf_[i]);
+    // Q-output faults re-adjust against the newly latched good value.
+    adjust_local(q, kFaultOutPin, sets_[q], good_.value(q));
+  }
+  return newly;
+}
+
+std::size_t DeductiveSim::bytes() const {
+  std::size_t b = good_.bytes();
+  for (const FaultSet& s : sets_) b += s.capacity() * sizeof(std::uint32_t);
+  for (const auto& v : local_) b += v.capacity() * sizeof(LocalFault);
+  return b;
+}
+
+}  // namespace cfs

@@ -1,0 +1,80 @@
+#include "baseline/fault_set.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+FaultSet fs_union(const FaultSet& a, const FaultSet& b) {
+  FaultSet out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+FaultSet fs_intersect(const FaultSet& a, const FaultSet& b) {
+  FaultSet out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+FaultSet fs_subtract(const FaultSet& a, const FaultSet& b) {
+  FaultSet out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+void fs_insert(FaultSet& s, std::uint32_t id) {
+  const auto it = std::lower_bound(s.begin(), s.end(), id);
+  if (it == s.end() || *it != id) s.insert(it, id);
+}
+
+void fs_erase(FaultSet& s, std::uint32_t id) {
+  const auto it = std::lower_bound(s.begin(), s.end(), id);
+  if (it != s.end() && *it == id) s.erase(it);
+}
+
+bool fs_contains(const FaultSet& s, std::uint32_t id) {
+  return std::binary_search(s.begin(), s.end(), id);
+}
+
+FaultSet fs_odd_parity(const std::vector<const FaultSet*>& sets) {
+  // k-way merge counting multiplicity parity.
+  FaultSet out;
+  std::vector<std::size_t> idx(sets.size(), 0);
+  for (;;) {
+    std::uint32_t m = 0xFFFFFFFFu;
+    for (std::size_t k = 0; k < sets.size(); ++k) {
+      if (idx[k] < sets[k]->size()) m = std::min(m, (*sets[k])[idx[k]]);
+    }
+    if (m == 0xFFFFFFFFu) break;
+    unsigned count = 0;
+    for (std::size_t k = 0; k < sets.size(); ++k) {
+      if (idx[k] < sets[k]->size() && (*sets[k])[idx[k]] == m) {
+        ++count;
+        ++idx[k];
+      }
+    }
+    if (count & 1u) out.push_back(m);
+  }
+  return out;
+}
+
+FaultSet fs_controlling_rule(
+    const std::vector<const FaultSet*>& controlling,
+    const std::vector<const FaultSet*>& noncontrolling) {
+  if (controlling.empty()) return {};
+  FaultSet acc = *controlling.front();
+  for (std::size_t k = 1; k < controlling.size() && !acc.empty(); ++k) {
+    acc = fs_intersect(acc, *controlling[k]);
+  }
+  for (const FaultSet* nc : noncontrolling) {
+    if (acc.empty()) break;
+    acc = fs_subtract(acc, *nc);
+  }
+  return acc;
+}
+
+}  // namespace cfs

@@ -1,0 +1,40 @@
+// Sorted fault-set algebra for the deductive fault simulator.
+//
+// Deductive simulation (Armstrong [1] in the paper) propagates, per line,
+// the *set of faults that complement the line's good value*.  Sets are
+// sorted vectors of fault ids; all operations are linear merges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cfs {
+
+using FaultSet = std::vector<std::uint32_t>;
+
+/// a ∪ b
+FaultSet fs_union(const FaultSet& a, const FaultSet& b);
+
+/// a ∩ b
+FaultSet fs_intersect(const FaultSet& a, const FaultSet& b);
+
+/// a \ b
+FaultSet fs_subtract(const FaultSet& a, const FaultSet& b);
+
+/// Insert one id (keeps order; no-op if present).
+void fs_insert(FaultSet& s, std::uint32_t id);
+
+/// Remove one id (no-op if absent).
+void fs_erase(FaultSet& s, std::uint32_t id);
+
+bool fs_contains(const FaultSet& s, std::uint32_t id);
+
+/// Ids appearing in an odd number of the given sets (XOR propagation).
+FaultSet fs_odd_parity(const std::vector<const FaultSet*>& sets);
+
+/// Intersection of `controlling`, minus the union of `noncontrolling`
+/// (the deductive rule for gates with at least one controlling input).
+FaultSet fs_controlling_rule(const std::vector<const FaultSet*>& controlling,
+                             const std::vector<const FaultSet*>& noncontrolling);
+
+}  // namespace cfs

@@ -1,0 +1,225 @@
+#include "baseline/proofs_sim.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cfs {
+
+ProofsSim::ProofsSim(const Circuit& c, const FaultUniverse& u, Val ff_init)
+    : c_(&c), u_(&u), good_(c, ff_init), queue_(c) {
+  for (const Fault& f : u.faults()) {
+    if (f.type != FaultType::StuckAt) {
+      throw Error("ProofsSim: stuck-at universes only");
+    }
+  }
+  status_.assign(u.size(), Detect::None);
+  ff_diff_.resize(u.size());
+  w_.resize(c.num_gates());
+  stamp_.assign(c.num_gates(), 0);
+}
+
+void ProofsSim::reset(Val ff_init, bool clear_status) {
+  good_.reset(ff_init);
+  if (clear_status) status_.assign(u_->size(), Detect::None);
+  for (auto& d : ff_diff_) d.clear();
+}
+
+Word64& ProofsSim::word(GateId g) {
+  if (stamp_[g] != cur_stamp_) {
+    stamp_[g] = cur_stamp_;
+    w_[g] = splat64(good_.value(g));
+  }
+  return w_[g];
+}
+
+Word64 ProofsSim::eval_word(GateId g, std::span<const Forcing> forcings) {
+  ++word_evals_;
+  const auto fi = c_->fanins(g);
+  Word64 pins[kMaxPins];
+  for (std::size_t p = 0; p < fi.size(); ++p) pins[p] = word(fi[p]);
+  for (const Forcing& f : forcings) {
+    if (f.gate == g && f.pin != kFaultOutPin) {
+      w_set(pins[f.pin], f.lane, f.val);
+    }
+  }
+  Word64 out;
+  switch (c_->kind(g)) {
+    case GateKind::Buf:
+      out = pins[0];
+      break;
+    case GateKind::Not:
+      out = w_not(pins[0]);
+      break;
+    case GateKind::And:
+    case GateKind::Nand: {
+      out = splat64(Val::One);
+      for (std::size_t p = 0; p < fi.size(); ++p) out = w_and(out, pins[p]);
+      if (c_->kind(g) == GateKind::Nand) out = w_not(out);
+      break;
+    }
+    case GateKind::Or:
+    case GateKind::Nor: {
+      out = splat64(Val::Zero);
+      for (std::size_t p = 0; p < fi.size(); ++p) out = w_or(out, pins[p]);
+      if (c_->kind(g) == GateKind::Nor) out = w_not(out);
+      break;
+    }
+    case GateKind::Xor:
+    case GateKind::Xnor: {
+      out = splat64(Val::Zero);
+      for (std::size_t p = 0; p < fi.size(); ++p) out = w_xor(out, pins[p]);
+      if (c_->kind(g) == GateKind::Xnor) out = w_not(out);
+      break;
+    }
+    case GateKind::Macro: {
+      const TruthTable& t = c_->table(c_->table_of(g));
+      out = Word64{};
+      for (unsigned lane = 0; lane < 64; ++lane) {
+        std::uint32_t idx = 0;
+        for (std::size_t p = 0; p < fi.size(); ++p) {
+          idx |= static_cast<std::uint32_t>(code(w_get(pins[p], lane)))
+                 << (2 * p);
+        }
+        w_set(out, lane, t.eval(idx));
+      }
+      break;
+    }
+    case GateKind::Input:
+    case GateKind::Dff:
+      out = word(g);
+      break;
+  }
+  for (const Forcing& f : forcings) {
+    if (f.gate == g && f.pin == kFaultOutPin) w_set(out, f.lane, f.val);
+  }
+  return out;
+}
+
+void ProofsSim::simulate_group(std::span<const std::uint32_t> group,
+                               std::size_t& newly) {
+  ++cur_stamp_;
+  forcings_.clear();
+  const auto dffs = c_->dffs();
+
+  // Inject: site forcings plus the lanes' differential flip-flop state.
+  for (std::size_t lane = 0; lane < group.size(); ++lane) {
+    const std::uint32_t fid = group[lane];
+    const Fault& f = (*u_)[fid];
+    forcings_.push_back(
+        {f.gate, f.pin, static_cast<std::uint8_t>(lane), f.value});
+    if (is_combinational(c_->kind(f.gate))) {
+      queue_.schedule(f.gate);
+    } else if (f.pin == kFaultOutPin) {
+      // Stuck output on a PI or DFF: force the lane and wake the fanouts.
+      w_set(word(f.gate), lane, f.value);
+      for (const Fanout& fo : c_->fanouts(f.gate)) {
+        if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
+      }
+    }
+    for (const auto& [dff_idx, val] : ff_diff_[fid]) {
+      const GateId q = dffs[dff_idx];
+      w_set(word(q), static_cast<unsigned>(lane), val);
+      for (const Fanout& fo : c_->fanouts(q)) {
+        if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
+      }
+    }
+  }
+
+  // Event-driven bit-parallel settle.
+  queue_.drain([this](GateId g) {
+    const Word64 out = eval_word(g, forcings_);
+    Word64& cur = word(g);
+    if (out != cur) {
+      cur = out;
+      for (const Fanout& fo : c_->fanouts(g)) {
+        if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
+      }
+    }
+  });
+
+  // Detection at the primary outputs.
+  for (GateId po : c_->outputs()) {
+    if (stamp_[po] != cur_stamp_) continue;  // identical to good: no lane set
+    const Val good = good_.value(po);
+    if (!is_binary(good)) continue;
+    const Word64 gw = splat64(good);
+    const Word64 fw = w_[po];
+    const std::uint64_t hard = w_hard_diff(fw, gw);
+    const std::uint64_t pot = w_is_x(fw);
+    for (std::size_t lane = 0; lane < group.size(); ++lane) {
+      const std::uint32_t fid = group[lane];
+      if ((hard >> lane) & 1u) {
+        if (status_[fid] != Detect::Hard) {
+          status_[fid] = Detect::Hard;
+          ++newly;
+        }
+      } else if (((pot >> lane) & 1u) && status_[fid] == Detect::None) {
+        status_[fid] = Detect::Potential;
+      }
+    }
+  }
+
+  // Capture the faulty next-state: rebuild each lane's differential
+  // flip-flop list against the good machine's next state.
+  for (std::size_t lane = 0; lane < group.size(); ++lane) {
+    ff_diff_[group[lane]].clear();
+  }
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const GateId q = dffs[i];
+    const GateId drv = c_->fanins(q)[0];
+    Word64 dw = stamp_[drv] == cur_stamp_ ? w_[drv]
+                                          : splat64(good_.value(drv));
+    Val good_d = good_.value(drv);
+    // DFF-site faults: a D-pin fault forces the latched value; a Q-output
+    // fault forces the flip-flop output permanently.
+    for (const Forcing& f : forcings_) {
+      if (f.gate == q && (f.pin == 0 || f.pin == kFaultOutPin)) {
+        w_set(dw, f.lane, f.val);
+      }
+    }
+    const std::uint64_t diff = ~w_eq(dw, splat64(good_d));
+    if (diff == 0) continue;
+    for (std::size_t lane = 0; lane < group.size(); ++lane) {
+      if ((diff >> lane) & 1u) {
+        ff_diff_[group[lane]].emplace_back(static_cast<std::uint32_t>(i),
+                                           w_get(dw, static_cast<unsigned>(lane)));
+      }
+    }
+  }
+}
+
+std::size_t ProofsSim::apply_vector(std::span<const Val> pi_vals) {
+  good_.apply(pi_vals);
+  std::size_t newly = 0;
+
+  // Regroup the still-undetected faults into words of 64.
+  std::vector<std::uint32_t> group;
+  group.reserve(64);
+  for (std::uint32_t fid = 0; fid < u_->size(); ++fid) {
+    if (status_[fid] == Detect::Hard) continue;
+    group.push_back(fid);
+    if (group.size() == 64) {
+      simulate_group(group, newly);
+      group.clear();
+    }
+  }
+  if (!group.empty()) simulate_group(group, newly);
+
+  good_.clock();
+  return newly;
+}
+
+std::size_t ProofsSim::bytes() const {
+  std::size_t b = good_.bytes();
+  b += w_.capacity() * sizeof(Word64);
+  b += stamp_.capacity() * sizeof(std::uint32_t);
+  b += status_.capacity();
+  for (const auto& d : ff_diff_) {
+    b += d.capacity() * sizeof(std::pair<std::uint32_t, Val>);
+  }
+  b += queue_.bytes();
+  return b;
+}
+
+}  // namespace cfs

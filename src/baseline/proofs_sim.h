@@ -1,0 +1,73 @@
+// PROOFS-style fault simulator (after Niermann, Cheng & Patel, DAC'90):
+// the baseline the paper compares against.
+//
+// Single pattern, fault-parallel: undetected faults are regrouped every
+// vector into words of 64; each group's 64 faulty machines are simulated
+// bit-parallel (dual-rail Word64 lanes) and event-driven, starting from the
+// fault sites and the lanes' differential flip-flop state.  Faulty
+// flip-flop values are stored per fault as (dff, value) differences from
+// the good machine, and hard-detected faults are dropped from future
+// groups.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "faults/fault.h"
+#include "netlist/circuit.h"
+#include "sim/good_sim.h"
+#include "sim/level_queue.h"
+#include "util/dualrail.h"
+
+namespace cfs {
+
+class ProofsSim {
+ public:
+  /// Stuck-at universes only (the paper's PROOFS comparison is stuck-at).
+  ProofsSim(const Circuit& c, const FaultUniverse& u, Val ff_init = Val::X);
+
+  void reset(Val ff_init = Val::X, bool clear_status = false);
+
+  /// Simulate one vector (settle, detect per fault group, latch).
+  /// Returns the number of newly hard-detected faults.
+  std::size_t apply_vector(std::span<const Val> pi_vals);
+
+  const std::vector<Detect>& status() const { return status_; }
+  Coverage coverage() const { return summarize(status_); }
+
+  std::uint64_t word_evals() const { return word_evals_; }
+  std::size_t bytes() const;
+
+ private:
+  struct Forcing {
+    GateId gate;
+    std::uint16_t pin;  // kFaultOutPin for output
+    std::uint8_t lane;
+    Val val;
+  };
+
+  Word64& word(GateId g);
+  void simulate_group(std::span<const std::uint32_t> group,
+                      std::size_t& newly);
+  Word64 eval_word(GateId g, std::span<const Forcing> forcings);
+
+  const Circuit* c_;
+  const FaultUniverse* u_;
+  GoodSim good_;
+  std::vector<Detect> status_;
+  /// Per fault: flip-flop values differing from the good machine,
+  /// (dff index, value) pairs.
+  std::vector<std::vector<std::pair<std::uint32_t, Val>>> ff_diff_;
+
+  // Per-group scratch.
+  std::vector<Word64> w_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t cur_stamp_ = 0;
+  LevelQueue queue_;
+  std::vector<Forcing> forcings_;
+
+  std::uint64_t word_evals_ = 0;
+};
+
+}  // namespace cfs

@@ -1,0 +1,57 @@
+// Serial fault simulation: the ground-truth baseline.
+//
+// One faulty machine at a time, each replaying the whole test sequence on
+// its own injected GoodSim.  Slow (|faults| full simulations) but trivially
+// correct -- every other engine in the library is property-tested for exact
+// agreement with this one under the shared three-valued semantics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "faults/fault.h"
+#include "netlist/circuit.h"
+#include "patterns/pattern.h"
+#include "util/logic.h"
+
+namespace cfs {
+
+struct SerialResult {
+  std::vector<Detect> status;       ///< per fault id
+  std::uint64_t events = 0;         ///< total gate evaluations
+};
+
+struct SerialOptions {
+  Val ff_init = Val::X;
+  /// Stop simulating a fault at its first hard detection (fault dropping).
+  bool stop_on_detect = true;
+};
+
+/// Stuck-at serial simulation over a vector sequence (vectors[i] holds one
+/// value per primary input, applied in order with a clock between frames).
+SerialResult serial_fault_sim(const Circuit& c, const FaultUniverse& u,
+                              std::span<const std::vector<Val>> vectors,
+                              SerialOptions opt = {});
+
+/// Transition-fault serial simulation with the paper's two-pass-per-vector
+/// semantics (pass 1: hold delayed transitions, sample POs and FF masters;
+/// pass 2: fire transitions, record previous values; then commit slaves).
+SerialResult serial_transition_sim(const Circuit& c, const FaultUniverse& u,
+                                   std::span<const std::vector<Val>> vectors,
+                                   SerialOptions opt = {});
+
+/// Good-machine PO trace for a vector sequence (one PO vector per frame).
+std::vector<std::vector<Val>> good_trace(const Circuit& c,
+                                         std::span<const std::vector<Val>> vectors,
+                                         Val ff_init = Val::X);
+
+/// Suite variants: every sequence is applied from the reset state and the
+/// per-fault statuses are merged (best detection wins).
+SerialResult serial_fault_sim(const Circuit& c, const FaultUniverse& u,
+                              const TestSuite& suite, SerialOptions opt = {});
+SerialResult serial_transition_sim(const Circuit& c, const FaultUniverse& u,
+                                   const TestSuite& suite,
+                                   SerialOptions opt = {});
+
+}  // namespace cfs

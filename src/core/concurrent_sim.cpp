@@ -1,0 +1,753 @@
+#include "core/concurrent_sim.h"
+
+#include <algorithm>
+
+#include "faults/transition_model.h"
+#include "util/error.h"
+
+namespace cfs {
+
+namespace {
+constexpr std::uint32_t kSentinelId = 0xFFFFFFFFu;
+}
+
+ConcurrentSim::ConcurrentSim(const Circuit& c, const FaultUniverse& u,
+                             CsimOptions opt, const MacroFaultMap* mmap)
+    : c_(&c), u_(&u), opt_(opt), mmap_(mmap), queue_(c) {
+  const std::size_t n = c.num_gates();
+  const std::size_t nf = u.size();
+
+  // Detect transition mode and validate homogeneity.
+  for (std::uint32_t id = 0; id < nf; ++id) {
+    if (u[id].type == FaultType::Transition) {
+      transition_mode_ = true;
+      break;
+    }
+  }
+  if (transition_mode_) {
+    if (mmap_ != nullptr) {
+      throw Error(
+          "transition faults cannot be simulated on a macro-extracted "
+          "circuit (no temporal model for functional faults)");
+    }
+    for (std::uint32_t id = 0; id < nf; ++id) {
+      if (u[id].type != FaultType::Transition) {
+        throw Error("mixed stuck-at/transition universes are not supported");
+      }
+      if (u[id].pin == kFaultOutPin) {
+        throw Error("transition faults must sit on input pins");
+      }
+    }
+  }
+  if (mmap_ && mmap_->mapped.size() != nf) {
+    throw Error("MacroFaultMap does not match the fault universe");
+  }
+
+  // Build descriptors and per-gate site-fault arrays.
+  descr_.resize(nf);
+  status_.assign(nf, Detect::None);
+  site_faults_.resize(n);
+  for (std::uint32_t id = 0; id < nf; ++id) {
+    Descriptor& d = descr_[id];
+    const Fault& f = u[id];
+    d.type = f.type;
+    if (mmap_) {
+      const MappedFault& m = mmap_->mapped[id];
+      d.site_gate = m.gate;
+      d.site_pin = m.pin;
+      d.forced = m.value;
+      d.masked = m.masked;
+      if (m.table != kNoGate) d.table = mmap_->tables[m.table].out.data();
+    } else {
+      d.site_gate = f.gate;
+      d.site_pin = f.pin;
+      d.forced = f.value;
+    }
+    if (d.site_gate >= n) throw Error("fault site out of range");
+    if (d.site_pin != kFaultOutPin && d.site_pin >= c.num_fanins(d.site_gate)) {
+      throw Error("fault site pin out of range");
+    }
+    if (!d.masked) site_faults_[d.site_gate].push_back(id);
+  }
+  // Ids were appended in ascending order, so site arrays are sorted already.
+
+  if (transition_mode_) {
+    prev_pin_val_.assign(nf, Val::X);
+    site_driver_.resize(nf);
+    faults_by_driver_.resize(n);
+    for (std::uint32_t id = 0; id < nf; ++id) {
+      const GateId drv = c.fanins(descr_[id].site_gate)[descr_[id].site_pin];
+      site_driver_[id] = drv;
+      faults_by_driver_[drv].push_back(id);  // ascending, hence sorted
+    }
+  }
+
+  good_state_.resize(n);
+  head_vis_.assign(n, 0);
+  head_inv_.assign(n, 0);
+  // Pool slot 0 is the shared terminal element ("a fault identifier which
+  // lies in high end memory location to avoid checking end of list").
+  const std::uint32_t s = pool_.alloc();
+  pool_[s] = Element{kSentinelId, s, 0};
+
+  latch_good_.resize(c.dffs().size());
+  latch_lists_.resize(c.dffs().size());
+
+  reset();
+}
+
+// ---------------------------------------------------------------------------
+// List primitives
+// ---------------------------------------------------------------------------
+
+void ConcurrentSim::cursor_init(Cursor& cu, std::uint32_t* head) {
+  cu.head = head;
+  cu.prev = kNullIndex;
+  cu.cur = *head;
+  cu.id = pool_[cu.cur].fault_id;
+  cursor_skip_dropped(cu);
+}
+
+void ConcurrentSim::cursor_skip_dropped(Cursor& cu) {
+  while (cu.id != kSentinelId && dropped(cu.id)) {
+    // Event-driven fault dropping: unlink while traversing (paper §2.2).
+    const std::uint32_t dead = cu.cur;
+    const std::uint32_t nxt = pool_[dead].next;
+    if (cu.prev == kNullIndex) {
+      *cu.head = nxt;
+    } else {
+      pool_[cu.prev].next = nxt;
+    }
+    pool_.free(dead);
+    cu.cur = nxt;
+    cu.id = pool_[nxt].fault_id;
+  }
+}
+
+void ConcurrentSim::cursor_advance(Cursor& cu) {
+  cu.prev = cu.cur;
+  cu.cur = pool_[cu.cur].next;
+  cu.id = pool_[cu.cur].fault_id;
+  cursor_skip_dropped(cu);
+}
+
+void ConcurrentSim::free_list(std::uint32_t& head) {
+  std::uint32_t cur = head;
+  while (pool_[cur].fault_id != kSentinelId) {
+    const std::uint32_t nxt = pool_[cur].next;
+    pool_.free(cur);
+    cur = nxt;
+  }
+  head = 0;  // sentinel
+}
+
+std::uint32_t ConcurrentSim::build_list(
+    const std::vector<std::pair<std::uint32_t, GateState>>& items) {
+  // Track indices, not pointers: alloc() may reallocate the pool storage.
+  std::uint32_t head = 0;  // sentinel
+  std::uint32_t prev = kNullIndex;
+  for (const auto& [id, st] : items) {
+    const std::uint32_t e = pool_.alloc();
+    pool_[e] = Element{id, 0, st};
+    if (prev == kNullIndex) {
+      head = e;
+    } else {
+      pool_[prev].next = e;
+    }
+    prev = e;
+  }
+  return head;
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation
+// ---------------------------------------------------------------------------
+
+Val ConcurrentSim::transition_forced(std::uint32_t fault, Val cv) const {
+  // Table 1 of the paper: a transition towards T that is under way has not
+  // completed at sampling time, so the pin still shows the previous value.
+  return transition_hold_value(prev_pin_val_[fault], cv, descr_[fault].forced);
+}
+
+Val ConcurrentSim::eval_element(GateId g, std::uint32_t fault,
+                                GateState& st) {
+  const Descriptor& d = descr_[fault];
+  ++elements_evaluated_;
+  if (d.site_gate == g && d.site_pin != kFaultOutPin) {
+    const Val cv = state_get(st, d.site_pin);
+    Val v;
+    if (d.type == FaultType::StuckAt) {
+      v = d.forced;
+    } else if (pass1_) {
+      v = transition_forced(fault, cv);
+      if (v != cv) {
+        // Remember that this site held a transition: pass 2 must re-merge.
+        if (!held_flag_[g]) {
+          held_flag_[g] = 1;
+          held_gates_.push_back(g);
+        }
+      }
+    } else {
+      v = cv;  // pass 2: the transition fires
+    }
+    st = state_set(st, d.site_pin, v);
+  }
+  Val out;
+  if (d.table != nullptr && d.site_gate == g) {
+    out = from_code(d.table[state_input_index(st, c_->num_fanins(g))]);
+  } else {
+    out = c_->eval(g, st);
+  }
+  if (d.site_gate == g && d.site_pin == kFaultOutPin &&
+      d.type == FaultType::StuckAt && d.table == nullptr) {
+    out = d.forced;
+  }
+  st = state_set_out(st, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The multi-list merge (paper §2: "the multi-list traversal technique is
+// employed to copy the logic values from the source fault lists to the
+// destination fault list")
+// ---------------------------------------------------------------------------
+
+bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
+  const unsigned nf = c_->num_fanins(g);
+  const GateState good = good_state_[g];
+  const Val old_good_out = state_out(good);
+  const auto fanins = c_->fanins(g);
+
+  // Snapshot the old *visible* sequence (ids + outputs) for the change test.
+  scratch_old_.clear();
+  {
+    Cursor cu;
+    cursor_init(cu, &head_vis_[g]);
+    while (cu.id != kSentinelId) {
+      const Val out = state_out(pool_[cu.cur].state);
+      if (opt_.split_lists || out != old_good_out) {
+        scratch_old_.emplace_back(cu.id, out);
+      }
+      cursor_advance(cu);
+    }
+  }
+
+  // Fanin cursors (visible lists in split mode; in combined mode invisible
+  // elements carry out == good, so reading them is harmless).
+  Cursor fc[kMaxPins];
+  for (unsigned p = 0; p < nf; ++p) {
+    cursor_init(fc[p], &head_vis_[fanins[p]]);
+  }
+  const auto& site = site_faults_[g];
+  std::size_t si = 0;
+  while (si < site.size() && dropped(site[si])) ++si;
+
+  scratch_vis_.clear();
+  scratch_inv_.clear();
+  const GateState in_mask = input_mask(nf);
+
+  for (;;) {
+    std::uint32_t m = si < site.size() ? site[si] : kSentinelId;
+    for (unsigned p = 0; p < nf; ++p) m = std::min(m, fc[p].id);
+    if (m == kSentinelId) break;
+
+    GateState st = 0;
+    for (unsigned p = 0; p < nf; ++p) {
+      const Val v = fc[p].id == m ? state_out(pool_[fc[p].cur].state)
+                                  : state_get(good, p);
+      st = state_set(st, p, v);
+    }
+    const Val out = eval_element(g, m, st);
+
+    if (out != new_good_out) {
+      scratch_vis_.emplace_back(m, st);
+    } else if (((st ^ good) & in_mask) != 0) {
+      // Inputs differ, output agrees: an invisible fault.
+      (opt_.split_lists ? scratch_inv_ : scratch_vis_).emplace_back(m, st);
+    }
+
+    for (unsigned p = 0; p < nf; ++p) {
+      if (fc[p].id == m) cursor_advance(fc[p]);
+    }
+    if (si < site.size() && site[si] == m) {
+      ++si;
+      while (si < site.size() && dropped(site[si])) ++si;
+    }
+  }
+
+  // Change test: did the visible (id, out) sequence change?
+  bool changed = false;
+  {
+    std::size_t oi = 0;
+    for (const auto& [id, st] : scratch_vis_) {
+      const Val out = state_out(st);
+      if (!opt_.split_lists && out == new_good_out) continue;  // invisible
+      if (oi < scratch_old_.size() && scratch_old_[oi].first == id &&
+          scratch_old_[oi].second == out) {
+        ++oi;
+      } else {
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) {
+      // All produced visibles matched a prefix; any leftovers disappeared.
+      std::size_t produced = 0;
+      for (const auto& [id, st] : scratch_vis_) {
+        if (!opt_.split_lists && state_out(st) == new_good_out) continue;
+        ++produced;
+      }
+      changed = produced != scratch_old_.size();
+    }
+  }
+
+  free_list(head_vis_[g]);
+  free_list(head_inv_[g]);
+  head_vis_[g] = build_list(scratch_vis_);
+  if (opt_.split_lists) head_inv_[g] = build_list(scratch_inv_);
+  return changed;
+}
+
+// ---------------------------------------------------------------------------
+// Event processing
+// ---------------------------------------------------------------------------
+
+void ConcurrentSim::commit_good(GateId g, Val v) {
+  good_state_[g] = state_set_out(good_state_[g], v);
+  for (const Fanout& fo : c_->fanouts(g)) {
+    good_state_[fo.gate] = state_set(good_state_[fo.gate], fo.pin, v);
+    if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
+  }
+}
+
+void ConcurrentSim::process_gate(GateId g) {
+  const Val new_good = c_->eval(g, good_state_[g]);
+  const bool vis_changed = merge_gate(g, new_good);
+  if (new_good != state_out(good_state_[g])) {
+    commit_good(g, new_good);
+  } else if (vis_changed) {
+    for (const Fanout& fo : c_->fanouts(g)) {
+      if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
+    }
+  }
+}
+
+void ConcurrentSim::settle() {
+  queue_.drain([this](GateId g) { process_gate(g); });
+}
+
+void ConcurrentSim::refresh_source_site(GateId g) {
+  // Rebuild the local fault list of a source gate (PI or DFF at reset):
+  // only output stuck-at faults materialise here.
+  scratch_vis_.clear();
+  const Val good = state_out(good_state_[g]);
+  for (std::uint32_t id : site_faults_[g]) {
+    if (dropped(id)) continue;
+    const Descriptor& d = descr_[id];
+    if (d.type != FaultType::StuckAt || d.site_pin != kFaultOutPin) continue;
+    if (d.forced == good) continue;  // not activated: no element
+    scratch_vis_.emplace_back(id, state_set_out(GateState{0}, d.forced));
+  }
+  free_list(head_vis_[g]);
+  head_vis_[g] = build_list(scratch_vis_);
+}
+
+void ConcurrentSim::reset(Val ff_init, bool clear_status) {
+  if (clear_status) status_.assign(u_->size(), Detect::None);
+  for (GateId g = 0; g < c_->num_gates(); ++g) {
+    free_list(head_vis_[g]);
+    free_list(head_inv_[g]);
+  }
+  // Good machine: PIs X, flip-flops ff_init, full consistent sweep.
+  for (GateId g = 0; g < c_->num_gates(); ++g) {
+    good_state_[g] = state_all_x(c_->num_fanins(g));
+  }
+  for (GateId g : c_->dffs()) {
+    good_state_[g] = state_set_out(good_state_[g], ff_init);
+  }
+  for (GateId g = 0; g < c_->num_gates(); ++g) {
+    if (!is_combinational(c_->kind(g))) {
+      const Val v = state_out(good_state_[g]);
+      for (const Fanout& fo : c_->fanouts(g)) {
+        good_state_[fo.gate] = state_set(good_state_[fo.gate], fo.pin, v);
+      }
+    }
+  }
+  for (GateId g : c_->topo_order()) {
+    const Val v = c_->eval(g, good_state_[g]);
+    good_state_[g] = state_set_out(good_state_[g], v);
+    for (const Fanout& fo : c_->fanouts(g)) {
+      good_state_[fo.gate] = state_set(good_state_[fo.gate], fo.pin, v);
+    }
+  }
+
+  if (transition_mode_) {
+    std::fill(prev_pin_val_.begin(), prev_pin_val_.end(), Val::X);
+  }
+  held_flag_.assign(c_->num_gates(), 0);
+  held_gates_.clear();
+  pass1_ = true;
+
+  // Activate source-site faults, then give every combinational gate one
+  // merge so comb-site faults activate too.
+  for (GateId g : c_->inputs()) refresh_source_site(g);
+  for (GateId g : c_->dffs()) refresh_source_site(g);
+  for (GateId g : c_->topo_order()) queue_.schedule(g);
+  settle();
+}
+
+void ConcurrentSim::set_inputs(std::span<const Val> pi_vals) {
+  const auto pis = c_->inputs();
+  if (pi_vals.size() != pis.size()) {
+    throw Error("apply_vector: expected " + std::to_string(pis.size()) +
+                " PI values, got " + std::to_string(pi_vals.size()));
+  }
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    const GateId g = pis[i];
+    if (state_out(good_state_[g]) != pi_vals[i]) {
+      commit_good(g, pi_vals[i]);
+      refresh_source_site(g);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Detection
+// ---------------------------------------------------------------------------
+
+void ConcurrentSim::record_detect(std::uint32_t fault, Val good, Val faulty,
+                                  std::size_t& newly) {
+  if (!is_binary(good)) return;
+  if (is_binary(faulty) && faulty != good) {
+    if (status_[fault] != Detect::Hard) {
+      status_[fault] = Detect::Hard;
+      ++newly;
+    }
+  } else if (faulty == Val::X && status_[fault] == Detect::None) {
+    status_[fault] = Detect::Potential;
+  }
+}
+
+std::size_t ConcurrentSim::sample_outputs() {
+  std::size_t newly = 0;
+  const auto pos = c_->outputs();
+  for (std::size_t p = 0; p < pos.size(); ++p) {
+    const GateId po = pos[p];
+    const Val good = state_out(good_state_[po]);
+    if (!is_binary(good)) continue;
+    Cursor cu;
+    cursor_init(cu, &head_vis_[po]);
+    while (cu.id != kSentinelId) {
+      const Val out = state_out(pool_[cu.cur].state);
+      if (out != good) {
+        record_detect(cu.id, good, out, newly);
+        if (observer_ && (is_binary(out) || out == Val::X)) {
+          observer_(cu.id, static_cast<std::uint32_t>(p), is_binary(out));
+        }
+      }
+      cursor_advance(cu);
+    }
+  }
+  return newly;
+}
+
+// ---------------------------------------------------------------------------
+// Flip-flop latching
+// ---------------------------------------------------------------------------
+
+void ConcurrentSim::latch_flipflops(bool capture_only) {
+  const auto dffs = c_->dffs();
+  // Phase 1 (master): capture good D and the merged faulty D list per DFF.
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const GateId q = dffs[i];
+    const GateId drv = c_->fanins(q)[0];
+    const Val good_d = state_get(good_state_[q], 0);
+    latch_good_[i] = good_d;
+    auto& items = latch_lists_[i];
+    items.clear();
+
+    Cursor fc;
+    cursor_init(fc, &head_vis_[drv]);
+    const auto& site = site_faults_[q];
+    std::size_t si = 0;
+    while (si < site.size() && dropped(site[si])) ++si;
+
+    for (;;) {
+      std::uint32_t m = si < site.size() ? site[si] : kSentinelId;
+      m = std::min(m, fc.id);
+      if (m == kSentinelId) break;
+      Val faulty_d = fc.id == m ? state_out(pool_[fc.cur].state) : good_d;
+      Val newq = faulty_d;
+      const Descriptor& d = descr_[m];
+      if (d.site_gate == q) {
+        ++elements_evaluated_;
+        if (d.type == FaultType::StuckAt) {
+          // Both a D-pin fault and a Q-output fault force the latched value.
+          faulty_d = d.site_pin == kFaultOutPin ? faulty_d : d.forced;
+          newq = d.forced;
+        } else if (pass1_) {
+          faulty_d = transition_forced(m, faulty_d);
+          newq = faulty_d;
+        }
+      }
+      if (newq != latch_good_[i]) {
+        GateState st = state_set(GateState{0}, 0, faulty_d);
+        st = state_set_out(st, newq);
+        items.emplace_back(m, st);
+      }
+      if (fc.id == m) cursor_advance(fc);
+      if (si < site.size() && site[si] == m) {
+        ++si;
+        while (si < site.size() && dropped(site[si])) ++si;
+      }
+    }
+  }
+  if (capture_only) return;
+  commit_masters();
+}
+
+void ConcurrentSim::commit_masters() {
+  const auto dffs = c_->dffs();
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const GateId q = dffs[i];
+    const Val old_good_q = state_out(good_state_[q]);
+
+    // Change test against the old visible Q list.
+    bool changed = false;
+    {
+      scratch_old_.clear();
+      Cursor cu;
+      cursor_init(cu, &head_vis_[q]);
+      while (cu.id != kSentinelId) {
+        scratch_old_.emplace_back(cu.id, state_out(pool_[cu.cur].state));
+        cursor_advance(cu);
+      }
+      if (scratch_old_.size() != latch_lists_[i].size()) {
+        changed = true;
+      } else {
+        for (std::size_t k = 0; k < scratch_old_.size(); ++k) {
+          if (scratch_old_[k].first != latch_lists_[i][k].first ||
+              scratch_old_[k].second !=
+                  state_out(latch_lists_[i][k].second)) {
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    free_list(head_vis_[q]);
+    head_vis_[q] = build_list(latch_lists_[i]);
+    if (latch_good_[i] != old_good_q) {
+      commit_good(q, latch_good_[i]);
+    } else if (changed) {
+      for (const Fanout& fo : c_->fanouts(q)) {
+        if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
+      }
+    }
+  }
+  settle();
+}
+
+void ConcurrentSim::clock() { latch_flipflops(/*capture_only=*/false); }
+
+// ---------------------------------------------------------------------------
+// Vector application
+// ---------------------------------------------------------------------------
+
+std::size_t ConcurrentSim::apply_vector(std::span<const Val> pi_vals) {
+  if (transition_mode_) return apply_vector_transition(pi_vals);
+  set_inputs(pi_vals);
+  settle();
+  const std::size_t newly = sample_outputs();
+  clock();
+  return newly;
+}
+
+std::size_t ConcurrentSim::apply_vector_transition(
+    std::span<const Val> pi_vals) {
+  // Pass 1: delayed transitions hold their previous value; POs and the FF
+  // masters sample this state (paper §3).
+  pass1_ = true;
+  set_inputs(pi_vals);
+  settle();
+  const std::size_t newly = sample_outputs();
+  latch_flipflops(/*capture_only=*/true);
+
+  // Pass 2: fire every transition and settle; this is the state the next
+  // frame's "previous values" come from.  The slaves are not updated yet,
+  // so the new flip-flop values cannot leak into this pass.
+  pass1_ = false;
+  for (GateId g : held_gates_) {
+    held_flag_[g] = 0;
+    queue_.schedule(g);
+  }
+  held_gates_.clear();
+  settle();
+  update_prev_values();
+
+  // Slave update: commit the captured masters; the propagation belongs to
+  // the next frame's pass 1.
+  pass1_ = true;
+  commit_masters();
+  return newly;
+}
+
+void ConcurrentSim::update_prev_values() {
+  // For every transition fault, the next frame's "previous value" is the
+  // pass-2 settled value of its site pin *in its own machine*: the driver's
+  // faulty value if the fault is visible there, the good value otherwise.
+  for (GateId d = 0; d < c_->num_gates(); ++d) {
+    const auto& group = faults_by_driver_[d];
+    if (group.empty()) continue;
+    const Val good = state_out(good_state_[d]);
+    for (std::uint32_t id : group) prev_pin_val_[id] = good;
+    Cursor cu;
+    cursor_init(cu, &head_vis_[d]);
+    std::size_t gi = 0;
+    while (cu.id != kSentinelId && gi < group.size()) {
+      if (cu.id == group[gi]) {
+        prev_pin_val_[group[gi]] = state_out(pool_[cu.cur].state);
+        cursor_advance(cu);
+        ++gi;
+      } else if (cu.id < group[gi]) {
+        cursor_advance(cu);
+      } else {
+        ++gi;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+Val ConcurrentSim::faulty_value(GateId g, std::uint32_t fault) const {
+  for (std::uint32_t head : {head_vis_[g], head_inv_[g]}) {
+    std::uint32_t cur = head;
+    while (pool_[cur].fault_id != kSentinelId) {
+      if (pool_[cur].fault_id == fault) return state_out(pool_[cur].state);
+      cur = pool_[cur].next;
+    }
+  }
+  return state_out(good_state_[g]);
+}
+
+std::vector<std::pair<std::uint32_t, Val>> ConcurrentSim::visible_at(
+    GateId g) const {
+  std::vector<std::pair<std::uint32_t, Val>> out;
+  const Val good = state_out(good_state_[g]);
+  std::uint32_t cur = head_vis_[g];
+  while (pool_[cur].fault_id != kSentinelId) {
+    const Val v = state_out(pool_[cur].state);
+    if (v != good && !dropped(pool_[cur].fault_id)) {
+      out.emplace_back(pool_[cur].fault_id, v);
+    }
+    cur = pool_[cur].next;
+  }
+  return out;
+}
+
+void ConcurrentSim::validate() const {
+  if (transition_mode_) {
+    throw Error("validate() supports stuck-at mode only");
+  }
+  auto fail = [&](GateId g, const std::string& msg) {
+    throw Error("validate: gate '" + c_->gate_name(g) + "': " + msg);
+  };
+  // Faulty driver value as seen by `fault` (visible element or good).
+  auto driver_value = [&](GateId d, std::uint32_t fault) {
+    std::uint32_t cur = head_vis_[d];
+    while (pool_[cur].fault_id < fault) cur = pool_[cur].next;
+    return pool_[cur].fault_id == fault ? state_out(pool_[cur].state)
+                                        : state_out(good_state_[d]);
+  };
+  for (GateId g = 0; g < c_->num_gates(); ++g) {
+    const Val good = state_out(good_state_[g]);
+    const bool comb = is_combinational(c_->kind(g));
+    for (int list = 0; list < 2; ++list) {
+      std::uint32_t cur = list == 0 ? head_vis_[g] : head_inv_[g];
+      std::uint32_t last_id = 0;
+      bool first = true;
+      while (pool_[cur].fault_id != kSentinelId) {
+        const std::uint32_t id = pool_[cur].fault_id;
+        if (!first && id <= last_id) fail(g, "list not strictly sorted");
+        first = false;
+        last_id = id;
+        if (id >= status_.size()) fail(g, "fault id out of range");
+        const Element& e = pool_[cur];
+        const Val out = state_out(e.state);
+        if (!dropped(id)) {
+          if (opt_.split_lists) {
+            if (list == 0 && out == good) fail(g, "invisible on visible list");
+            if (list == 1 && out != good) fail(g, "visible on invisible list");
+          }
+          if (comb) {
+            // Pins must mirror the faulty driver values (site pins hold the
+            // forced value instead), and the output must re-evaluate.
+            const Descriptor& d = descr_[id];
+            const auto fanins = c_->fanins(g);
+            GateState expect = 0;
+            for (std::size_t p = 0; p < fanins.size(); ++p) {
+              Val v = driver_value(fanins[p], id);
+              if (d.site_gate == g && d.site_pin == p &&
+                  d.type == FaultType::StuckAt) {
+                v = d.forced;
+              }
+              expect = state_set(expect, static_cast<unsigned>(p), v);
+            }
+            if ((expect & input_mask(static_cast<unsigned>(fanins.size()))) !=
+                (e.state & input_mask(static_cast<unsigned>(fanins.size())))) {
+              fail(g, "stale pins for fault " + std::to_string(id));
+            }
+            Val eo;
+            if (d.table != nullptr && d.site_gate == g) {
+              eo = from_code(d.table[state_input_index(
+                  expect, c_->num_fanins(g))]);
+            } else {
+              eo = c_->eval(g, expect);
+            }
+            if (d.site_gate == g && d.site_pin == kFaultOutPin &&
+                d.table == nullptr) {
+              eo = d.forced;
+            }
+            if (eo != out) {
+              fail(g, "stale output for fault " + std::to_string(id));
+            }
+          }
+        }
+        cur = pool_[cur].next;
+      }
+      if (!opt_.split_lists && list == 1 && head_inv_[g] != 0) {
+        fail(g, "invisible list in combined mode");
+      }
+    }
+  }
+}
+
+std::size_t ConcurrentSim::bytes() const {
+  std::size_t b = pool_.bytes();
+  b += head_vis_.capacity() * sizeof(std::uint32_t);
+  b += head_inv_.capacity() * sizeof(std::uint32_t);
+  b += good_state_.capacity() * sizeof(GateState);
+  b += descr_.capacity() * sizeof(Descriptor);
+  b += status_.capacity() * sizeof(Detect);
+  for (const auto& v : site_faults_) b += v.capacity() * sizeof(std::uint32_t);
+  b += prev_pin_val_.capacity() * sizeof(Val);
+  b += site_driver_.capacity() * sizeof(GateId);
+  for (const auto& v : faults_by_driver_) {
+    b += v.capacity() * sizeof(std::uint32_t);
+  }
+  b += queue_.bytes();
+  if (mmap_) b += mmap_->bytes();
+  return b;
+}
+
+void ConcurrentSim::report_memory(MemStats& ms) const {
+  ms.sample("fault_elements", pool_.bytes());
+  ms.sample("engine_fixed", bytes() - pool_.bytes());
+  ms.sample("circuit", c_->bytes());
+}
+
+}  // namespace cfs

@@ -1,0 +1,203 @@
+// The paper's contribution: a concurrent fault simulator for synchronous
+// sequential circuits with deductive-style per-gate fault lists.
+//
+// Representation (paper §2, Figure 2):
+//  - Every gate carries a sorted fault list of elements
+//    {fault id, packed state, next}; lists terminate in a shared sentinel
+//    whose fault id is the largest representable value, so traversals never
+//    test for end-of-list.
+//  - A fault *descriptor* table holds per-fault global information: the
+//    site, the forced value, the detection status, and (in macro mode) the
+//    faulty lookup table of a functional fault.
+//  - Zero-delay levelized event-driven simulation: only gate ids are
+//    scheduled; a processed gate performs one multi-list merge over its
+//    fanins' (visible) fault lists, its own lists, and its local site
+//    faults, evaluating each faulty machine by table lookup and deciding
+//    divergence/convergence by comparing packed states.
+//
+// Improvements (paper §2.2): event-driven fault dropping, visible/invisible
+// list splitting, and macro mode (functional faults via per-descriptor
+// tables).  §3's transition-fault model is implemented by the same engine in
+// transition mode: two passes per vector -- pass 1 holds delayed transitions
+// at their previous value (Table 1) and is what POs and FF masters sample,
+// pass 2 fires every transition to produce the next frame's "previous"
+// values.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/options.h"
+#include "faults/fault.h"
+#include "faults/macro_map.h"
+#include "netlist/circuit.h"
+#include "sim/level_queue.h"
+#include "util/logic.h"
+#include "util/memtrack.h"
+#include "util/packed_state.h"
+#include "util/pool.h"
+
+namespace cfs {
+
+class ConcurrentSim {
+ public:
+  /// Plain mode: simulate universe `u` on circuit `c`.  In macro mode pass
+  /// the extracted circuit as `c` and the fault map as `mmap` (the universe
+  /// still indexes the *original* faults; only sites move).  The caller
+  /// keeps `c`, `u`, and `mmap` alive for the engine's lifetime.
+  ConcurrentSim(const Circuit& c, const FaultUniverse& u,
+                CsimOptions opt = {}, const MacroFaultMap* mmap = nullptr);
+
+  const Circuit& circuit() const { return *c_; }
+  bool transition_mode() const { return transition_mode_; }
+
+  /// Reinitialise: good machine to X inputs / `ff_init` flip-flops, all
+  /// fault lists rebuilt from scratch, detection status preserved unless
+  /// `clear_status`.
+  void reset(Val ff_init = Val::X, bool clear_status = false);
+
+  /// Simulate one test vector: drive PIs, settle, sample POs (detection),
+  /// clock the flip-flops.  In transition mode this runs the two-pass
+  /// scheme.  Returns the number of newly hard-detected faults.
+  std::size_t apply_vector(std::span<const Val> pi_vals);
+
+  // -- granular API (stuck-at mode), used by tests ------------------------
+  void set_inputs(std::span<const Val> pi_vals);
+  void settle();
+  std::size_t sample_outputs();
+  void clock();
+
+  // -- results ------------------------------------------------------------
+  const std::vector<Detect>& status() const { return status_; }
+  Coverage coverage() const { return summarize(status_); }
+
+  /// Observer invoked on every output mismatch during sampling (including
+  /// repeats for already-detected faults when dropping is off): arguments
+  /// are the fault id, the PO position in circuit().outputs(), and whether
+  /// the mismatch is hard (binary complement) or potential (X vs binary).
+  /// Used by the fault-dictionary builder.
+  using DetectionObserver =
+      std::function<void(std::uint32_t fault, std::uint32_t po, bool hard)>;
+  void set_detection_observer(DetectionObserver obs) {
+    observer_ = std::move(obs);
+  }
+
+  /// Good-machine value of a gate (settled).
+  Val good_value(GateId g) const { return state_out(good_state_[g]); }
+
+  /// Faulty output value of `fault` at gate `g`: the element's value if one
+  /// is present, otherwise the good value.  For tests and debugging.
+  Val faulty_value(GateId g, std::uint32_t fault) const;
+
+  /// Sorted (fault id, output value) pairs visible at a gate.
+  std::vector<std::pair<std::uint32_t, Val>> visible_at(GateId g) const;
+
+  /// Deep structural check for tests: every list sorted, unique, and
+  /// sentinel-terminated; visible elements differ from the good output,
+  /// invisible ones agree; every non-dropped element's pins equal the
+  /// faulty driver values (visible element at the driver, else good), and
+  /// its output equals re-evaluation of its pins.  Throws cfs::Error with a
+  /// description of the first violation (stuck-at mode only; the settled
+  /// state between vectors is required).
+  void validate() const;
+
+  // -- statistics ----------------------------------------------------------
+  std::size_t live_elements() const { return pool_.live() - 1; }  // -sentinel
+  std::size_t peak_elements() const { return pool_.peak_live(); }
+  std::uint64_t gates_processed() const { return queue_.processed(); }
+  std::uint64_t elements_evaluated() const { return elements_evaluated_; }
+  std::size_t bytes() const;
+  void report_memory(MemStats& ms) const;
+
+ private:
+  struct Element {
+    std::uint32_t fault_id;
+    std::uint32_t next;
+    GateState state;
+  };
+
+  struct Descriptor {
+    GateId site_gate = kNoGate;
+    std::uint16_t site_pin = kFaultOutPin;
+    FaultType type = FaultType::StuckAt;
+    bool masked = false;          // functional fault equal to good function
+    Val forced = Val::Zero;       // stuck value / transition destination
+    const std::uint8_t* table = nullptr;  // faulty macro table, or null
+  };
+
+  bool dropped(std::uint32_t fault) const {
+    return opt_.drop_detected && fault < status_.size() &&
+           status_[fault] == Detect::Hard;
+  }
+
+  // Cursor over a linked fault list with lazy dropping (unlinks dropped
+  // elements as it passes them).
+  struct Cursor {
+    std::uint32_t* head = nullptr;  // pointer to the head slot
+    std::uint32_t prev = kNullIndex;
+    std::uint32_t cur = kNullIndex;
+    std::uint32_t id = 0xFFFFFFFFu;
+  };
+  void cursor_init(Cursor& cu, std::uint32_t* head);
+  void cursor_skip_dropped(Cursor& cu);
+  void cursor_advance(Cursor& cu);
+
+  Val transition_forced(std::uint32_t fault, Val cv) const;
+  Val eval_element(GateId g, std::uint32_t fault, GateState& state);
+  bool merge_gate(GateId g, Val new_good_out);
+  void process_gate(GateId g);
+  void commit_good(GateId g, Val v);
+  void free_list(std::uint32_t& head);
+  std::uint32_t build_list(const std::vector<std::pair<std::uint32_t, GateState>>& items);
+  void refresh_source_site(GateId g);
+  void latch_flipflops(bool capture_only);
+  void commit_masters();
+  void record_detect(std::uint32_t fault, Val good, Val faulty,
+                     std::size_t& newly);
+
+  // Transition-mode helpers.
+  std::size_t apply_vector_transition(std::span<const Val> pi_vals);
+  void update_prev_values();
+
+  const Circuit* c_;
+  const FaultUniverse* u_;
+  CsimOptions opt_;
+  const MacroFaultMap* mmap_;
+  bool transition_mode_ = false;
+
+  std::vector<Descriptor> descr_;
+  std::vector<Detect> status_;
+  std::vector<std::vector<std::uint32_t>> site_faults_;  // per gate, sorted
+
+  std::vector<GateState> good_state_;
+  std::vector<std::uint32_t> head_vis_, head_inv_;
+  Pool<Element> pool_;
+  LevelQueue queue_;
+
+  // Transition mode: per-fault previous (pass-2 settled) site-pin value and
+  // the driver gate feeding the site pin; faults grouped by driver for the
+  // end-of-frame previous-value sweep.
+  std::vector<Val> prev_pin_val_;
+  std::vector<GateId> site_driver_;
+  std::vector<std::vector<std::uint32_t>> faults_by_driver_;
+  bool pass1_ = true;
+  // Gates whose site held a delayed transition during pass 1; they must be
+  // re-merged when the transitions fire in pass 2.
+  std::vector<std::uint8_t> held_flag_;
+  std::vector<GateId> held_gates_;
+
+  // DFF latching scratch: new good Q and new fault list per DFF.
+  std::vector<Val> latch_good_;
+  std::vector<std::vector<std::pair<std::uint32_t, GateState>>> latch_lists_;
+
+  // Merge scratch (reused across calls).
+  std::vector<std::pair<std::uint32_t, GateState>> scratch_vis_, scratch_inv_;
+  std::vector<std::pair<std::uint32_t, Val>> scratch_old_;
+
+  std::uint64_t elements_evaluated_ = 0;
+  DetectionObserver observer_;
+};
+
+}  // namespace cfs

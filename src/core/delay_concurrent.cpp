@@ -1,0 +1,373 @@
+#include "core/delay_concurrent.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cfs {
+
+namespace {
+constexpr std::uint32_t kSentinelId = 0xFFFFFFFFu;
+}
+
+DelayConcurrentSim::DelayConcurrentSim(const Circuit& c,
+                                       const FaultUniverse& u,
+                                       std::vector<std::uint32_t> delays,
+                                       bool drop_detected)
+    : c_(&c), u_(&u), delays_(std::move(delays)),
+      drop_detected_(drop_detected) {
+  if (!c.dffs().empty()) {
+    throw Error("DelayConcurrentSim supports combinational circuits only");
+  }
+  if (delays_.size() != c.num_gates()) {
+    throw Error("DelayConcurrentSim: delay vector size mismatch");
+  }
+  for (std::uint32_t d : delays_) {
+    if (d == 0) throw Error("DelayConcurrentSim: zero delays not supported");
+  }
+  status_.assign(u.size(), Detect::None);
+  good_state_.resize(c.num_gates());
+  good_last_posted_.assign(c.num_gates(), Val::X);
+  head_.assign(c.num_gates(), 0);
+  good_inflight_.resize(c.num_gates());
+  sites_.resize(c.num_gates());
+  wheel_.resize(kWheelSize);
+  activated_flag_.assign(c.num_gates(), 0);
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    good_state_[g] = state_all_x(c.num_fanins(g));
+  }
+  const std::uint32_t s = pool_.alloc();
+  pool_[s] = Element{kSentinelId, s, 0, Val::X, 0};
+
+  for (std::uint32_t id = 0; id < u.size(); ++id) {
+    const Fault& f = u[id];
+    if (f.type != FaultType::StuckAt) {
+      throw Error("DelayConcurrentSim: stuck-at universes only");
+    }
+    sites_[f.gate].push_back({id, f.pin, f.value});
+  }
+  // Materialise permanent site elements and seed their initial events.
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    for (const Site& site : sites_[g]) {
+      const std::uint32_t e = ensure_element(g, site.fault);
+      if (site.pin == kFaultOutPin && c.kind(g) == GateKind::Input) {
+        // A stuck primary input asserts immediately.
+        pool_[e].last_posted = site.value;
+        ++pool_[e].pend;
+        post(0, g, site.fault, site.value);
+      } else {
+        const Val v = eval_element(g, pool_[e]);
+        if (v != pool_[e].last_posted) post_faulty(g, e, v);
+      }
+    }
+  }
+}
+
+std::uint32_t DelayConcurrentSim::find_element(GateId g,
+                                               std::uint32_t fault) const {
+  std::uint32_t cur = head_[g];
+  while (pool_[cur].fault_id < fault) cur = pool_[cur].next;
+  return pool_[cur].fault_id == fault ? cur : kNullIndex;
+}
+
+std::uint32_t DelayConcurrentSim::ensure_element(GateId g,
+                                                 std::uint32_t fault) {
+  std::uint32_t prev = kNullIndex;
+  std::uint32_t cur = head_[g];
+  while (pool_[cur].fault_id < fault) {
+    prev = cur;
+    cur = pool_[cur].next;
+  }
+  if (pool_[cur].fault_id == fault) return cur;
+  const std::uint32_t e = pool_.alloc();
+  // A freshly diverged machine mirrors the good machine at this gate --
+  // including the good events still in the wheel, which belong to this
+  // machine's history too (it was implicit when they were posted).
+  pool_[e] = Element{fault, cur, good_state_[g], good_last_posted_[g],
+                     static_cast<std::uint16_t>(good_inflight_[g].size())};
+  for (const auto& [t, val] : good_inflight_[g]) post(t, g, fault, val);
+  if (prev == kNullIndex) {
+    head_[g] = e;
+  } else {
+    pool_[prev].next = e;
+  }
+  return e;
+}
+
+void DelayConcurrentSim::remove_element(GateId g, std::uint32_t fault) {
+  std::uint32_t prev = kNullIndex;
+  std::uint32_t cur = head_[g];
+  while (pool_[cur].fault_id < fault) {
+    prev = cur;
+    cur = pool_[cur].next;
+  }
+  if (pool_[cur].fault_id != fault) return;
+  if (prev == kNullIndex) {
+    head_[g] = pool_[cur].next;
+  } else {
+    pool_[prev].next = pool_[cur].next;
+  }
+  pool_.free(cur);
+}
+
+Val DelayConcurrentSim::eval_element(GateId g, const Element& e) {
+  ++element_evals_;
+  GateState s = e.state;
+  Val forced_out = Val::X;
+  bool has_out_force = false;
+  for (const Site& site : sites_[g]) {
+    if (site.fault != e.fault_id) continue;
+    if (site.pin == kFaultOutPin) {
+      forced_out = site.value;
+      has_out_force = true;
+    } else {
+      s = state_set(s, site.pin, site.value);
+    }
+  }
+  if (has_out_force) return forced_out;
+  return c_->eval(g, s);
+}
+
+void DelayConcurrentSim::post(std::uint64_t t, GateId g, std::uint32_t fault,
+                              Val v) {
+  ++pending_;
+  if (t - now_ < kWheelSize) {
+    wheel_[t % kWheelSize].push_back({g, fault, v});
+  } else {
+    overflow_.emplace_back(t, Event{g, fault, v});
+  }
+}
+
+void DelayConcurrentSim::post_faulty(GateId g, std::uint32_t elem, Val v) {
+  pool_[elem].last_posted = v;
+  ++pool_[elem].pend;
+  post(now_ + delays_[g], g, pool_[elem].fault_id, v);
+}
+
+void DelayConcurrentSim::activate(GateId g) {
+  if (!activated_flag_[g]) {
+    activated_flag_[g] = 1;
+    activated_.push_back(g);
+  }
+}
+
+void DelayConcurrentSim::set_input(unsigned pi_index, Val v) {
+  const GateId g = c_->inputs()[pi_index];
+  good_inflight_[g].push_back({now_, v});
+  post(now_, g, kGoodEvent, v);
+}
+
+void DelayConcurrentSim::assign_good(GateId g, Val v) {
+  if (state_out(good_state_[g]) == v) return;
+  good_state_[g] = state_set_out(good_state_[g], v);
+  for (const Fanout& fo : c_->fanouts(g)) {
+    good_state_[fo.gate] = state_set(good_state_[fo.gate], fo.pin, v);
+    // Merge walk over g's and the fanout's lists:
+    //  - machine explicit at both: its pin already tracks its own events;
+    //  - explicit only at the fanout (implicit at g): pin follows good;
+    //  - explicit only at g: if its value differs from the new good value
+    //    the good change itself diverges the machine at the fanout.
+    std::uint32_t src = head_[g];
+    std::uint32_t dst = head_[fo.gate];
+    for (;;) {
+      const std::uint32_t sid = pool_[src].fault_id;
+      const std::uint32_t did = pool_[dst].fault_id;
+      if (sid == kSentinelId && did == kSentinelId) break;
+      if (did < sid) {
+        pool_[dst].state = state_set(pool_[dst].state, fo.pin, v);
+        dst = pool_[dst].next;
+      } else if (sid < did) {
+        const Val fv = state_out(pool_[src].state);
+        if (fv != v && !dropped(sid)) {
+          const std::uint32_t fresh = ensure_element(fo.gate, sid);
+          pool_[fresh].state = state_set(pool_[fresh].state, fo.pin, fv);
+          // `dst` may have been the insertion successor; re-anchor on it.
+          dst = pool_[fresh].next;
+        }
+        src = pool_[src].next;
+      } else {
+        src = pool_[src].next;
+        dst = pool_[dst].next;
+      }
+    }
+    activate(fo.gate);
+  }
+  activate(g);  // its elements' convergence eligibility may have changed
+}
+
+void DelayConcurrentSim::assign_faulty(GateId g, std::uint32_t fault, Val v) {
+  std::uint32_t e = find_element(g, fault);
+  if (e != kNullIndex && pool_[e].pend > 0) --pool_[e].pend;
+  if (dropped(fault)) return;
+  const Val good = state_out(good_state_[g]);
+  if (e == kNullIndex) {
+    if (v == good) return;  // still implicit: nothing diverged
+    e = ensure_element(g, fault);
+  } else if (state_out(pool_[e].state) == v) {
+    activate(g);  // pend dropped to zero: convergence may now be possible
+    return;
+  }
+  pool_[e].state = state_set_out(pool_[e].state, v);
+  for (const Fanout& fo : c_->fanouts(g)) {
+    const std::uint32_t eh = find_element(fo.gate, fault);
+    if (eh != kNullIndex) {
+      pool_[eh].state = state_set(pool_[eh].state, fo.pin, v);
+    } else if (v != good) {
+      const std::uint32_t fresh = ensure_element(fo.gate, fault);
+      pool_[fresh].state = state_set(pool_[fresh].state, fo.pin, v);
+    }
+    activate(fo.gate);
+  }
+  activate(g);  // own convergence check happens in phase 2
+}
+
+void DelayConcurrentSim::phase2() {
+  for (GateId g : activated_) {
+    activated_flag_[g] = 0;
+    const bool comb = is_combinational(c_->kind(g));
+    if (comb) {
+      const Val v = c_->eval(g, good_state_[g]);
+      if (v != good_last_posted_[g]) {
+        good_last_posted_[g] = v;
+        good_inflight_[g].push_back({now_ + delays_[g], v});
+        post(now_ + delays_[g], g, kGoodEvent, v);
+      }
+    }
+    std::uint32_t prev = kNullIndex;
+    std::uint32_t cur = head_[g];
+    while (pool_[cur].fault_id != kSentinelId) {
+      const std::uint32_t nxt = pool_[cur].next;
+      const std::uint32_t fid = pool_[cur].fault_id;
+      if (dropped(fid)) {
+        // Event-driven dropping: unlink while traversing.
+        if (prev == kNullIndex) {
+          head_[g] = nxt;
+        } else {
+          pool_[prev].next = nxt;
+        }
+        pool_.free(cur);
+        cur = nxt;
+        continue;
+      }
+      bool removed = false;
+      if (comb) {
+        const Val v = eval_element(g, pool_[cur]);
+        if (v != pool_[cur].last_posted) post_faulty(g, cur, v);
+      }
+      // Convergence: the machine's whole state equals the good machine's
+      // and no divergent value is in flight.  Site elements are permanent.
+      {
+        const Element& e = pool_[cur];
+        bool is_site = false;
+        for (const Site& site : sites_[g]) is_site |= site.fault == fid;
+        if (!is_site && e.pend == 0 && e.state == good_state_[g] &&
+            e.last_posted == good_last_posted_[g]) {
+          if (prev == kNullIndex) {
+            head_[g] = nxt;
+          } else {
+            pool_[prev].next = nxt;
+          }
+          pool_.free(cur);
+          removed = true;
+        }
+      }
+      if (!removed) prev = cur;
+      cur = nxt;
+    }
+  }
+  activated_.clear();
+}
+
+std::uint64_t DelayConcurrentSim::run(std::uint64_t max_time) {
+  std::uint64_t last_change = now_;
+  while (pending_ > 0 && now_ <= max_time) {
+    if (!overflow_.empty()) {
+      auto it = overflow_.begin();
+      while (it != overflow_.end()) {
+        if (it->first - now_ < kWheelSize) {
+          wheel_[it->first % kWheelSize].push_back(it->second);
+          it = overflow_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    auto& slot = wheel_[now_ % kWheelSize];
+    if (slot.empty()) {
+      ++now_;
+      continue;
+    }
+    // Index loop: element creation during phase 1 may clone an in-flight
+    // good event into *this* slot (same-time inheritance), growing it.
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      const Event ev = slot[i];
+      --pending_;
+      if (ev.fault == kGoodEvent) {
+        auto& inflight = good_inflight_[ev.gate];
+        if (!inflight.empty() && inflight.front().first == now_ &&
+            inflight.front().second == ev.val) {
+          inflight.erase(inflight.begin());
+        }
+        if (state_out(good_state_[ev.gate]) != ev.val) {
+          last_change = now_;
+          assign_good(ev.gate, ev.val);
+        }
+      } else {
+        last_change = now_;
+        assign_faulty(ev.gate, ev.fault, ev.val);
+      }
+    }
+    slot.clear();
+    phase2();
+    ++now_;
+  }
+  return last_change;
+}
+
+std::size_t DelayConcurrentSim::strobe() {
+  std::size_t newly = 0;
+  for (GateId po : c_->outputs()) {
+    const Val good = state_out(good_state_[po]);
+    if (!is_binary(good)) continue;
+    std::uint32_t cur = head_[po];
+    while (pool_[cur].fault_id != kSentinelId) {
+      const std::uint32_t fid = pool_[cur].fault_id;
+      const Val v = state_out(pool_[cur].state);
+      if (!dropped(fid) && v != good) {
+        if (is_binary(v)) {
+          if (status_[fid] != Detect::Hard) {
+            status_[fid] = Detect::Hard;
+            ++newly;
+          }
+        } else if (status_[fid] == Detect::None) {
+          status_[fid] = Detect::Potential;
+        }
+      }
+      cur = pool_[cur].next;
+    }
+  }
+  return newly;
+}
+
+Val DelayConcurrentSim::faulty_value(GateId g, std::uint32_t fault) const {
+  const std::uint32_t e = find_element(g, fault);
+  return e == kNullIndex ? state_out(good_state_[g])
+                         : state_out(pool_[e].state);
+}
+
+std::size_t DelayConcurrentSim::bytes() const {
+  std::size_t b = pool_.bytes();
+  b += good_state_.capacity() * sizeof(GateState);
+  b += good_last_posted_.capacity();
+  b += head_.capacity() * sizeof(std::uint32_t);
+  b += status_.capacity();
+  for (const auto& v : sites_) b += v.capacity() * sizeof(Site);
+  for (const auto& v : good_inflight_) {
+    b += v.capacity() * sizeof(std::pair<std::uint64_t, Val>);
+  }
+  for (const auto& v : wheel_) b += v.capacity() * sizeof(Event);
+  b += overflow_.capacity() * sizeof(std::pair<std::uint64_t, Event>);
+  return b;
+}
+
+}  // namespace cfs

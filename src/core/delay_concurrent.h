@@ -1,0 +1,132 @@
+// Arbitrary-delay concurrent fault simulation -- the general two-phase mode
+// the paper describes before specialising to zero delay (§2):
+//
+//   "Assuming that delays are associated with gates, events are posted for
+//    all changing elements after gate evaluation. ...  In the first phase
+//    of fault simulation, the matured events are fetched to assign logic
+//    values to gate outputs. ...  The fanout gate identifiers are entered
+//    into a local queue, not the timing queue, for the second phase."
+//
+// Unlike the zero-delay engine (which re-derives fault lists by multi-list
+// merge per event), this engine is classic element-level concurrent
+// simulation: faulty-machine events are queued into the timing wheel
+// individually, elements carry their own pin copies, divergence happens
+// when a propagated faulty value reaches a machine with no element, and
+// convergence removes an element whose whole state has returned to the
+// good machine's.  Both event-driven fault dropping and the data-structure
+// simplifications (pooled elements, sentinel-terminated sorted lists, one
+// packed word per state) carry over unchanged, exactly as the paper notes.
+//
+// Scope: combinational circuits, per-gate transport delays, stuck-at
+// faults.  Detection is by strobing the primary outputs at caller-chosen
+// times.  The serial reference is sim/delay_sim.h with one injection per
+// run; see tests/test_delay_concurrent.cpp for the equivalence property.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/options.h"
+#include "faults/fault.h"
+#include "netlist/circuit.h"
+#include "util/logic.h"
+#include "util/packed_state.h"
+#include "util/pool.h"
+
+namespace cfs {
+
+class DelayConcurrentSim {
+ public:
+  DelayConcurrentSim(const Circuit& c, const FaultUniverse& u,
+                     std::vector<std::uint32_t> delays,
+                     bool drop_detected = true);
+
+  /// Schedule a primary-input change at the current time.
+  void set_input(unsigned pi_index, Val v);
+
+  /// Run the two-phase loop until quiet or past `max_time`; returns the
+  /// time of the last value change.
+  std::uint64_t run(std::uint64_t max_time = ~0ull);
+
+  /// Sample the primary outputs now: hard/potential detection against the
+  /// good machine.  Returns newly hard-detected faults.
+  std::size_t strobe();
+
+  const std::vector<Detect>& status() const { return status_; }
+  Coverage coverage() const { return summarize(status_); }
+
+  Val good_value(GateId g) const { return state_out(good_state_[g]); }
+  /// The faulty machine's value at a gate (good value if implicit there).
+  Val faulty_value(GateId g, std::uint32_t fault) const;
+
+  std::uint64_t now() const { return now_; }
+  std::size_t live_elements() const { return pool_.live() - 1; }
+  std::uint64_t element_evals() const { return element_evals_; }
+  std::size_t bytes() const;
+
+ private:
+  static constexpr std::uint32_t kGoodEvent = 0xFFFFFFFEu;
+
+  struct Element {
+    std::uint32_t fault_id;
+    std::uint32_t next;
+    GateState state;
+    Val last_posted;
+    std::uint16_t pend;  ///< this machine's events still in the wheel
+  };
+
+  struct Event {
+    GateId gate;
+    std::uint32_t fault;  // kGoodEvent for good-machine events
+    Val val;
+  };
+
+  bool dropped(std::uint32_t fault) const {
+    return drop_detected_ && status_[fault] == Detect::Hard;
+  }
+  std::uint32_t find_element(GateId g, std::uint32_t fault) const;
+  std::uint32_t ensure_element(GateId g, std::uint32_t fault);
+  void remove_element(GateId g, std::uint32_t fault);
+  Val eval_element(GateId g, const Element& e);
+  void post(std::uint64_t t, GateId g, std::uint32_t fault, Val v);
+  void post_faulty(GateId g, std::uint32_t elem, Val v);
+  void activate(GateId g);
+  void assign_good(GateId g, Val v);
+  void assign_faulty(GateId g, std::uint32_t fault, Val v);
+  void phase2();
+
+  const Circuit* c_;
+  const FaultUniverse* u_;
+  std::vector<std::uint32_t> delays_;
+  bool drop_detected_;
+
+  std::vector<Detect> status_;
+  std::vector<GateState> good_state_;
+  std::vector<Val> good_last_posted_;
+  /// Good-machine events still in the wheel, per gate, in maturity order.
+  /// A machine that diverges at a gate was implicit there when these were
+  /// posted, so element creation clones them as its own events.
+  std::vector<std::vector<std::pair<std::uint64_t, Val>>> good_inflight_;
+  std::vector<std::uint32_t> head_;  // fault list per gate (sentinel = 0)
+  Pool<Element> pool_;
+
+  // Site bookkeeping: faults forced at each gate.
+  struct Site {
+    std::uint32_t fault;
+    std::uint16_t pin;  // kFaultOutPin for output
+    Val value;
+  };
+  std::vector<std::vector<Site>> sites_;
+
+  static constexpr std::size_t kWheelSize = 256;
+  std::vector<std::vector<Event>> wheel_;
+  std::vector<std::pair<std::uint64_t, Event>> overflow_;
+  std::uint64_t now_ = 0;
+  std::uint64_t pending_ = 0;
+  std::vector<GateId> activated_;
+  std::vector<std::uint8_t> activated_flag_;
+
+  std::uint64_t element_evals_ = 0;
+};
+
+}  // namespace cfs

@@ -1,0 +1,85 @@
+#include "core/dictionary.h"
+
+#include <algorithm>
+
+#include "core/concurrent_sim.h"
+
+namespace cfs {
+
+void FaultDictionary::seal() {
+  for (auto& s : syndromes_) {
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    s.shrink_to_fit();
+  }
+}
+
+std::vector<FaultDictionary::Candidate> FaultDictionary::diagnose(
+    std::span<const Syndrome> observed, std::size_t top_k) const {
+  std::vector<Syndrome> obs(observed.begin(), observed.end());
+  std::sort(obs.begin(), obs.end());
+  obs.erase(std::unique(obs.begin(), obs.end()), obs.end());
+
+  std::vector<Candidate> out;
+  for (std::uint32_t f = 0; f < syndromes_.size(); ++f) {
+    const auto& pred = syndromes_[f];
+    if (pred.empty()) continue;
+    std::size_t matched = 0;
+    std::size_t i = 0, j = 0;
+    while (i < obs.size() && j < pred.size()) {
+      if (obs[i] == pred[j]) {
+        ++matched;
+        ++i;
+        ++j;
+      } else if (obs[i] < pred[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    if (matched == 0) continue;
+    Candidate cand;
+    cand.fault = f;
+    cand.matched = matched;
+    cand.missed = obs.size() - matched;
+    cand.extra = pred.size() - matched;
+    cand.score = static_cast<double>(matched) -
+                 0.5 * static_cast<double>(cand.missed + cand.extra);
+    out.push_back(cand);
+  }
+  std::sort(out.begin(), out.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.fault < b.fault;
+  });
+  if (out.size() > top_k) out.resize(top_k);
+  return out;
+}
+
+std::size_t FaultDictionary::bytes() const {
+  std::size_t b = syndromes_.capacity() * sizeof(std::vector<Syndrome>);
+  for (const auto& s : syndromes_) b += s.capacity() * sizeof(Syndrome);
+  return b;
+}
+
+FaultDictionary build_dictionary(const Circuit& c, const FaultUniverse& u,
+                                 std::span<const std::vector<Val>> tests,
+                                 Val ff_init) {
+  FaultDictionary dict(u.size());
+  CsimOptions opt;
+  opt.drop_detected = false;  // the full syndrome of every fault is needed
+  ConcurrentSim sim(c, u, opt);
+  sim.reset(ff_init);
+  std::uint32_t vec = 0;
+  sim.set_detection_observer(
+      [&dict, &vec](std::uint32_t fault, std::uint32_t po, bool hard) {
+        if (hard) dict.record(fault, {vec, po});
+      });
+  for (std::size_t i = 0; i < tests.size(); ++i) {
+    vec = static_cast<std::uint32_t>(i);
+    sim.apply_vector(tests[i]);
+  }
+  dict.seal();
+  return dict;
+}
+
+}  // namespace cfs

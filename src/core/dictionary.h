@@ -1,0 +1,77 @@
+// Fault dictionaries and dictionary-based diagnosis.
+//
+// A fault dictionary records, for every fault, the complete set of
+// (vector index, primary output) pairs at which the fault produces a hard
+// output error under a given test sequence.  Dictionaries are the classic
+// downstream product of a fault simulator: once built, a failing device's
+// observed error syndrome can be matched against them to rank candidate
+// faults without re-simulating anything.
+//
+// Building a dictionary requires fault dropping OFF -- the full syndrome of
+// every fault is needed, not just its first detection.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "faults/fault.h"
+#include "netlist/circuit.h"
+#include "util/logic.h"
+
+namespace cfs {
+
+/// One output error: test vector `vector` failed at primary output `po`
+/// (index into circuit().outputs()).
+struct Syndrome {
+  std::uint32_t vector;
+  std::uint32_t po;
+
+  friend auto operator<=>(const Syndrome&, const Syndrome&) = default;
+};
+
+class FaultDictionary {
+ public:
+  explicit FaultDictionary(std::size_t num_faults)
+      : syndromes_(num_faults) {}
+
+  void record(std::uint32_t fault, Syndrome s) {
+    syndromes_[fault].push_back(s);
+  }
+
+  std::size_t num_faults() const { return syndromes_.size(); }
+  /// Sorted syndrome of one fault.
+  const std::vector<Syndrome>& syndrome(std::uint32_t fault) const {
+    return syndromes_[fault];
+  }
+
+  /// Finalise: sort and deduplicate each fault's syndrome.
+  void seal();
+
+  struct Candidate {
+    std::uint32_t fault;
+    std::size_t matched;  ///< observed failures this fault explains
+    std::size_t missed;   ///< observed failures it does not explain
+    std::size_t extra;    ///< predicted failures not observed
+    double score;         ///< matched - 0.5*(missed + extra)
+  };
+
+  /// Rank candidate faults against an observed syndrome (sorted or not).
+  /// Returns up to `top_k` candidates, best first; faults explaining
+  /// nothing are omitted.
+  std::vector<Candidate> diagnose(std::span<const Syndrome> observed,
+                                  std::size_t top_k = 10) const;
+
+  std::size_t bytes() const;
+
+ private:
+  std::vector<std::vector<Syndrome>> syndromes_;
+};
+
+/// Build the full-response dictionary for a stuck-at universe by concurrent
+/// fault simulation with dropping disabled.
+FaultDictionary build_dictionary(const Circuit& c, const FaultUniverse& u,
+                                 std::span<const std::vector<Val>> tests,
+                                 Val ff_init = Val::X);
+
+}  // namespace cfs

@@ -1,0 +1,26 @@
+// Configuration switches for the concurrent fault simulator.
+//
+// The paper evaluates four variants built from two independent switches:
+//   csim    : neither improvement
+//   csim-V  : split visible/invisible fault lists
+//   csim-M  : macro extraction (selected by constructing the engine over a
+//             macro-extracted circuit with a MacroFaultMap)
+//   csim-MV : both
+// plus event-driven fault dropping, which all variants use (we expose it as
+// a switch for the ablation bench).
+#pragma once
+
+namespace cfs {
+
+struct CsimOptions {
+  /// Keep visible and invisible fault elements on separate lists so fanout
+  /// processing never examines invisible faults (paper §2.2, the "V" in
+  /// csim-V).
+  bool split_lists = true;
+
+  /// Event-driven fault dropping: hard-detected faults are purged lazily
+  /// whenever a list containing them is traversed (paper §2.2).
+  bool drop_detected = true;
+};
+
+}  // namespace cfs

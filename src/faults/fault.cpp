@@ -1,0 +1,177 @@
+#include "faults/fault.h"
+
+#include <numeric>
+
+namespace cfs {
+
+std::string describe_fault(const Circuit& c, const Fault& f) {
+  std::string s = c.gate_name(f.gate);
+  if (f.pin == kFaultOutPin) {
+    s += "/O";
+  } else {
+    s += "." + std::to_string(f.pin);
+  }
+  if (f.type == FaultType::StuckAt) {
+    s += " s-a-";
+    s += to_char(f.value);
+  } else {
+    s += f.value == Val::One ? " str" : " stf";
+  }
+  return s;
+}
+
+FaultUniverse FaultUniverse::all_stuck_at(const Circuit& c) {
+  FaultUniverse u;
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    u.add({FaultType::StuckAt, g, kFaultOutPin, Val::Zero});
+    u.add({FaultType::StuckAt, g, kFaultOutPin, Val::One});
+    const auto fi = c.fanins(g);
+    for (std::size_t p = 0; p < fi.size(); ++p) {
+      if (c.num_fanouts(fi[p]) > 1) {
+        u.add({FaultType::StuckAt, g, static_cast<std::uint16_t>(p),
+               Val::Zero});
+        u.add({FaultType::StuckAt, g, static_cast<std::uint16_t>(p),
+               Val::One});
+      }
+    }
+  }
+  return u;
+}
+
+FaultUniverse FaultUniverse::all_transition(const Circuit& c) {
+  FaultUniverse u;
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    const auto fi = c.fanins(g);
+    for (std::size_t p = 0; p < fi.size(); ++p) {
+      u.add({FaultType::Transition, g, static_cast<std::uint16_t>(p),
+             Val::One});   // slow-to-rise
+      u.add({FaultType::Transition, g, static_cast<std::uint16_t>(p),
+             Val::Zero});  // slow-to-fall
+    }
+  }
+  return u;
+}
+
+namespace {
+
+struct UnionFind {
+  std::vector<std::uint32_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0u);
+  }
+  std::uint32_t find(std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    parent[b] = a;  // smaller id becomes the representative
+  }
+};
+
+}  // namespace
+
+std::vector<std::uint32_t> collapse_equivalent(const Circuit& c,
+                                               const FaultUniverse& u) {
+  // Per-gate fault index so site lookups stay linear in local fault count.
+  std::vector<std::vector<std::uint32_t>> by_gate(c.num_gates());
+  for (std::uint32_t id = 0; id < u.size(); ++id) {
+    by_gate[u[id].gate].push_back(id);
+  }
+  auto find_fault = [&](GateId gate, std::uint16_t pin,
+                        Val value) -> std::uint32_t {
+    for (std::uint32_t id : by_gate[gate]) {
+      const Fault& f = u[id];
+      if (f.pin == pin && f.value == value && f.type == FaultType::StuckAt) {
+        return id;
+      }
+    }
+    return 0xFFFFFFFFu;
+  };
+
+  UnionFind uf(u.size());
+  // Resolve a (gate, pin, value) site to its fault id.  A pin on a
+  // single-fanout net is not enumerated in the universe; the same physical
+  // line is represented by the driver's output fault, so chase through it --
+  // this also chains equivalences across BUF/NOT/controlling-value paths.
+  auto site_id = [&](GateId g, std::uint16_t p, Val v) -> std::uint32_t {
+    if (p != kFaultOutPin) {
+      const GateId driver = c.fanins(g)[p];
+      // A primary output is an extra observation point: the stem fault is
+      // then distinguishable from the (un-enumerated) pin fault, so the
+      // chase is invalid.
+      if (c.num_fanouts(driver) == 1 && !c.is_po(driver)) {
+        return find_fault(driver, kFaultOutPin, v);
+      }
+    }
+    return find_fault(g, p, v);
+  };
+  auto unite_sites = [&](GateId g1, std::uint16_t p1, Val v1, GateId g2,
+                         std::uint16_t p2, Val v2) {
+    const std::uint32_t a = site_id(g1, p1, v1);
+    const std::uint32_t b = site_id(g2, p2, v2);
+    if (a != 0xFFFFFFFFu && b != 0xFFFFFFFFu) uf.unite(a, b);
+  };
+
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    const unsigned nf = c.num_fanins(g);
+    switch (c.kind(g)) {
+      case GateKind::And:
+        for (unsigned p = 0; p < nf; ++p) {
+          unite_sites(g, static_cast<std::uint16_t>(p), Val::Zero, g,
+                      kFaultOutPin, Val::Zero);
+        }
+        break;
+      case GateKind::Nand:
+        for (unsigned p = 0; p < nf; ++p) {
+          unite_sites(g, static_cast<std::uint16_t>(p), Val::Zero, g,
+                      kFaultOutPin, Val::One);
+        }
+        break;
+      case GateKind::Or:
+        for (unsigned p = 0; p < nf; ++p) {
+          unite_sites(g, static_cast<std::uint16_t>(p), Val::One, g,
+                      kFaultOutPin, Val::One);
+        }
+        break;
+      case GateKind::Nor:
+        for (unsigned p = 0; p < nf; ++p) {
+          unite_sites(g, static_cast<std::uint16_t>(p), Val::One, g,
+                      kFaultOutPin, Val::Zero);
+        }
+        break;
+      case GateKind::Buf:
+        unite_sites(g, 0, Val::Zero, g, kFaultOutPin, Val::Zero);
+        unite_sites(g, 0, Val::One, g, kFaultOutPin, Val::One);
+        break;
+      case GateKind::Not:
+        unite_sites(g, 0, Val::Zero, g, kFaultOutPin, Val::One);
+        unite_sites(g, 0, Val::One, g, kFaultOutPin, Val::Zero);
+        break;
+      default:
+        break;  // XOR/XNOR/DFF/Macro/Input: no structural equivalences
+    }
+  }
+
+  std::vector<std::uint32_t> rep(u.size());
+  for (std::uint32_t id = 0; id < u.size(); ++id) rep[id] = uf.find(id);
+  return rep;
+}
+
+Coverage summarize(const std::vector<Detect>& status) {
+  Coverage cov;
+  cov.total = status.size();
+  for (Detect d : status) {
+    if (d == Detect::Hard) ++cov.hard;
+    if (d == Detect::Potential) ++cov.potential;
+  }
+  return cov;
+}
+
+}  // namespace cfs

@@ -1,0 +1,95 @@
+// Fault model shared by every simulator.
+//
+// Stuck-at faults sit on gate outputs or gate input pins.  Transition
+// (gross-delay) faults sit on gate input pins, one slow-to-rise and one
+// slow-to-fall per pin (paper §3).  A fault id is its index in the
+// FaultUniverse; the *fault descriptor* of the paper corresponds to the
+// per-id entries kept by the engines (detection status, functional table,
+// ...) -- the universe itself carries only the site.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "util/logic.h"
+
+namespace cfs {
+
+/// Pin index denoting the gate output (mirrors sim/good_sim.h's kOutPin but
+/// lives here so fault code need not depend on the simulator).
+inline constexpr std::uint16_t kFaultOutPin = 0xFFFF;
+
+enum class FaultType : std::uint8_t {
+  StuckAt,     ///< line permanently at `value`
+  Transition,  ///< transition *towards* `value` is delayed past the sample
+};
+
+struct Fault {
+  FaultType type = FaultType::StuckAt;
+  GateId gate = kNoGate;
+  std::uint16_t pin = kFaultOutPin;  ///< kFaultOutPin or input pin index
+  Val value = Val::Zero;  ///< stuck value; for Transition the *destination*
+                          ///< of the delayed transition (One = slow-to-rise)
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Human-readable "G17/O s-a-0" / "G8.1 str" style description.
+std::string describe_fault(const Circuit& c, const Fault& f);
+
+class FaultUniverse {
+ public:
+  /// Full stuck-at universe: both polarities on every gate output, plus both
+  /// polarities on every input pin whose driver has fanout > 1 (a pin on a
+  /// single-fanout net is functionally identical to the driver's output
+  /// fault, so enumerating it would double-count).
+  static FaultUniverse all_stuck_at(const Circuit& c);
+
+  /// Transition universe: slow-to-rise and slow-to-fall on every input pin
+  /// of every gate (including DFF D pins).
+  static FaultUniverse all_transition(const Circuit& c);
+
+  std::size_t size() const { return faults_.size(); }
+  const Fault& operator[](std::uint32_t id) const { return faults_[id]; }
+  const std::vector<Fault>& faults() const { return faults_; }
+
+  void add(const Fault& f) { faults_.push_back(f); }
+
+ private:
+  std::vector<Fault> faults_;
+};
+
+/// Structural equivalence collapsing.  Returns, for each fault id, the id of
+/// its class representative (the smallest member).  Merges the classic
+/// within-gate equivalences: AND in-s-a-0 == out-s-a-0, NAND in-s-a-0 ==
+/// out-s-a-1, OR in-s-a-1 == out-s-a-1, NOR in-s-a-1 == out-s-a-0, and the
+/// BUF/NOT pass-through/inversion pairs.  Only meaningful for stuck-at
+/// universes.
+std::vector<std::uint32_t> collapse_equivalent(const Circuit& c,
+                                               const FaultUniverse& u);
+
+/// Detection status per fault.
+enum class Detect : std::uint8_t {
+  None = 0,
+  Potential = 1,  ///< good PO binary, faulty PO X at some sample
+  Hard = 2,       ///< good PO binary, faulty PO its complement
+};
+
+/// Coverage bookkeeping over a universe (optionally restricted to the
+/// representatives of a collapsing).
+struct Coverage {
+  std::size_t total = 0;
+  std::size_t hard = 0;
+  std::size_t potential = 0;
+
+  double pct() const {
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(hard) /
+                                  static_cast<double>(total);
+  }
+};
+
+Coverage summarize(const std::vector<Detect>& status);
+
+}  // namespace cfs

@@ -1,0 +1,65 @@
+#include "faults/macro_map.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/error.h"
+
+namespace cfs {
+
+MacroFaultMap map_faults_to_macros(const Circuit& orig,
+                                   const MacroExtraction& ext,
+                                   const FaultUniverse& u) {
+  MacroFaultMap out;
+  out.mapped.resize(u.size());
+  // Many faults inside one region induce the *same* faulty function (all
+  // controlling-value input faults of a gate, equivalent internal faults,
+  // ...): share one table per distinct function ("each fault descriptor
+  // holds an adequate look up table entry", paper §2.2).
+  std::unordered_map<std::string, std::uint32_t> dedup;
+  for (std::uint32_t id = 0; id < u.size(); ++id) {
+    const Fault& f = u[id];
+    if (f.type != FaultType::StuckAt) {
+      throw Error("map_faults_to_macros: only stuck-at universes supported");
+    }
+    MappedFault& m = out.mapped[id];
+    m.value = f.value;
+    const std::uint32_t mi = ext.macro_of[f.gate];
+    const bool is_root =
+        mi != kNoGate && ext.macros[mi].root == f.gate;
+    if (mi == kNoGate) {
+      // Site untouched by extraction; pin order is preserved for survivors.
+      m.gate = ext.gate_map[f.gate];
+      m.pin = f.pin;
+      continue;
+    }
+    const MacroInfo& macro = ext.macros[mi];
+    m.gate = macro.macro_gate;
+    if (is_root && f.pin == kFaultOutPin) {
+      // The root's output *is* the macro's output: stays a plain stuck-at.
+      m.pin = kFaultOutPin;
+      continue;
+    }
+    // Functional fault: faulty truth table over the macro's external pins.
+    m.pin = kFaultOutPin;  // evaluated at the macro; pin is irrelevant
+    TruthTable t =
+        build_macro_table_faulty(orig, macro, f.gate, f.pin, f.value);
+    const TruthTable& good = ext.circuit.table(ext.circuit.table_of(m.gate));
+    m.masked = t.out == good.out;
+    ++out.num_functional;
+    if (m.masked) ++out.num_masked;
+    // Key: macro gate id + function (gates can share table *contents* but
+    // not arity/semantics across different macros of equal width -- the
+    // gate id keeps the key exact and cheap).
+    std::string key = std::to_string(m.gate);
+    key.push_back('\0');  // unambiguous id/contents boundary
+    key.append(reinterpret_cast<const char*>(t.out.data()), t.out.size());
+    const auto [it, inserted] =
+        dedup.emplace(std::move(key), static_cast<std::uint32_t>(out.tables.size()));
+    if (inserted) out.tables.push_back(std::move(t));
+    m.table = it->second;
+  }
+  return out;
+}
+
+}  // namespace cfs

@@ -1,0 +1,54 @@
+// Mapping a stuck-at fault universe onto a macro-extracted circuit.
+//
+// "When reconvergent macros are used, stuck at faults may be translated
+// into functional faults which can be represented by look up table entries.
+// The functional faults can be evaluated efficiently because each fault
+// descriptor holds an adequate look up table entry corresponding [to] the
+// fault." (paper §2.2)
+//
+// Every fault keeps its original id; only its *site* moves:
+//  - site gate survives unchanged        -> same (gate, pin) in the new ids
+//  - site is a macro root's output       -> the macro gate's output
+//  - site is inside a macro (any pin or a swallowed gate) -> a functional
+//    fault: the macro gate plus a private faulty truth table
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault.h"
+#include "netlist/macro_extract.h"
+
+namespace cfs {
+
+struct MappedFault {
+  GateId gate = kNoGate;             ///< site gate in the extracted circuit
+  std::uint16_t pin = kFaultOutPin;  ///< pin in the extracted circuit
+  Val value = Val::Zero;
+  /// Index into MacroFaultMap::tables for functional faults, else kNoGate.
+  std::uint32_t table = kNoGate;
+  /// True when the faulty macro function equals the good function: the fault
+  /// is undetectable (masked inside its fanout-free region).
+  bool masked = false;
+};
+
+struct MacroFaultMap {
+  std::vector<MappedFault> mapped;  ///< index == original fault id
+  std::vector<TruthTable> tables;   ///< faulty tables for functional faults
+  std::size_t num_functional = 0;
+  std::size_t num_masked = 0;
+
+  std::size_t bytes() const {
+    std::size_t b = mapped.capacity() * sizeof(MappedFault);
+    for (const TruthTable& t : tables) b += t.bytes();
+    return b;
+  }
+};
+
+/// Map a stuck-at universe of the *original* circuit onto the extracted
+/// circuit.  Throws for transition faults (macros carry no temporal model).
+MacroFaultMap map_faults_to_macros(const Circuit& orig,
+                                   const MacroExtraction& ext,
+                                   const FaultUniverse& u);
+
+}  // namespace cfs

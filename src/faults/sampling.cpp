@@ -1,0 +1,65 @@
+#include "faults/sampling.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+std::vector<std::uint32_t> sample_faults(const FaultUniverse& u,
+                                         std::size_t n, std::uint64_t seed) {
+  n = std::min(n, u.size());
+  // Partial Fisher-Yates over the id range.
+  std::vector<std::uint32_t> ids(u.size());
+  for (std::uint32_t i = 0; i < u.size(); ++i) ids[i] = i;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = i + rng.below(ids.size() - i);
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(n);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+SubUniverse restrict_universe(const FaultUniverse& u,
+                              const std::vector<std::uint32_t>& ids) {
+  SubUniverse out;
+  out.original = ids;
+  for (std::uint32_t id : ids) {
+    if (id >= u.size()) throw Error("restrict_universe: id out of range");
+    out.universe.add(u[id]);
+  }
+  return out;
+}
+
+SubUniverse representative_universe(const FaultUniverse& u,
+                                    const std::vector<std::uint32_t>& rep) {
+  if (rep.size() != u.size()) {
+    throw Error("representative_universe: rep map size mismatch");
+  }
+  std::vector<std::uint32_t> ids;
+  for (std::uint32_t i = 0; i < u.size(); ++i) {
+    if (rep[i] == i) ids.push_back(i);
+  }
+  return restrict_universe(u, ids);
+}
+
+std::vector<Detect> expand_to_classes(const std::vector<Detect>& rep_status,
+                                      const SubUniverse& reps,
+                                      const std::vector<std::uint32_t>& rep) {
+  if (rep_status.size() != reps.original.size()) {
+    throw Error("expand_to_classes: status size mismatch");
+  }
+  // Representative original id -> its status.
+  std::vector<Detect> by_original(rep.size(), Detect::None);
+  for (std::size_t i = 0; i < reps.original.size(); ++i) {
+    by_original[reps.original[i]] = rep_status[i];
+  }
+  std::vector<Detect> out(rep.size());
+  for (std::size_t i = 0; i < rep.size(); ++i) out[i] = by_original[rep[i]];
+  return out;
+}
+
+}  // namespace cfs

@@ -1,0 +1,41 @@
+// Fault sampling and collapsed-universe helpers.
+//
+// Two classic fault-simulation cost reducers:
+//  - *sampling*: estimate coverage from a random subset of the universe
+//    (the standard error of the estimate shrinks as 1/sqrt(n));
+//  - *collapsed simulation*: simulate only one representative per
+//    structural-equivalence class and expand the verdict to the class.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault.h"
+
+namespace cfs {
+
+/// Uniform random sample (without replacement) of `n` fault ids from `u`.
+/// Returns sorted ids; n is clamped to the universe size.
+std::vector<std::uint32_t> sample_faults(const FaultUniverse& u,
+                                         std::size_t n, std::uint64_t seed);
+
+/// Universe restricted to the given (sorted) ids, plus the id map back.
+struct SubUniverse {
+  FaultUniverse universe;               ///< re-indexed faults
+  std::vector<std::uint32_t> original;  ///< sub id -> original id
+};
+SubUniverse restrict_universe(const FaultUniverse& u,
+                              const std::vector<std::uint32_t>& ids);
+
+/// Universe of class representatives under `rep` (from collapse_equivalent),
+/// with the map back to representatives' original ids.
+SubUniverse representative_universe(const FaultUniverse& u,
+                                    const std::vector<std::uint32_t>& rep);
+
+/// Expand per-representative detection status to the full universe: every
+/// fault inherits its class representative's status.
+std::vector<Detect> expand_to_classes(const std::vector<Detect>& rep_status,
+                                      const SubUniverse& reps,
+                                      const std::vector<std::uint32_t>& rep);
+
+}  // namespace cfs

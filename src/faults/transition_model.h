@@ -1,0 +1,29 @@
+// The transition (gross-delay) fault model's value relation -- the paper's
+// Table 1, shared by every engine that simulates transition faults so their
+// results are comparable bit for bit.
+//
+// A pin whose transition towards `target` is delayed past the sampling
+// moment shows, at sample time, the *previous* settled value whenever that
+// transition would be under way:
+//
+//   pv == ~T : the pin was at ~T; whether or not a T-transition is arriving,
+//              the sample still reads ~T (either it is delayed, or there was
+//              no transition).
+//   pv ==  T : no transition towards T can start from T; the arriving value
+//              passes through.
+//   pv ==  X : the two binary possibilities agree only when the arriving
+//              value is ~T (both read ~T); otherwise the sample is X.
+#pragma once
+
+#include "util/logic.h"
+
+namespace cfs {
+
+constexpr Val transition_hold_value(Val pv, Val cv, Val target) {
+  const Val not_t = v_not(target);
+  if (pv == not_t) return not_t;
+  if (pv == target) return cv;
+  return cv == not_t ? not_t : Val::X;  // pv == X
+}
+
+}  // namespace cfs

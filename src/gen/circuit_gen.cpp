@@ -1,0 +1,185 @@
+#include "gen/circuit_gen.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "netlist/builder.h"
+#include "util/rng.h"
+
+namespace cfs {
+
+namespace {
+
+GateKind pick_kind(Rng& rng, unsigned nfanins) {
+  if (nfanins == 1) return rng.chance(3, 4) ? GateKind::Not : GateKind::Buf;
+  // ISCAS-like mix: NAND/NOR dominate, some AND/OR, occasional XOR pairs.
+  const std::uint64_t r = rng.below(100);
+  if (r < 30) return GateKind::Nand;
+  if (r < 55) return GateKind::Nor;
+  if (r < 70) return GateKind::And;
+  if (r < 85) return GateKind::Or;
+  if (r < 93) return GateKind::Xor;
+  return GateKind::Xnor;
+}
+
+unsigned pick_fanin_count(Rng& rng) {
+  // Real ISCAS-89 netlists are inverter/buffer-rich (roughly a quarter of
+  // the gates), which is what gives them their fanout-free regions.
+  const std::uint64_t r = rng.below(100);
+  if (r < 25) return 1;
+  if (r < 72) return 2;
+  if (r < 89) return 3;
+  return 4;
+}
+
+}  // namespace
+
+Circuit generate_circuit(const GenProfile& p) {
+  Rng rng(p.seed);
+
+  // Signals are indexed 0..n-1: PIs, then DFF outputs, then gates.
+  const std::size_t ff0 = p.num_pis;
+  const std::size_t g0 = ff0 + p.num_dffs;
+  const std::size_t n = g0 + p.num_gates;
+
+  std::vector<GateKind> kinds(n, GateKind::Input);
+  std::vector<std::vector<std::size_t>> fanins(n);
+  std::vector<unsigned> uses(n, 0);
+
+  // Gate cloud: fanins drawn from everything created earlier, with a
+  // recency bias so the circuit develops depth.
+  for (std::size_t g = g0; g < n; ++g) {
+    const std::size_t avail = g;  // signals 0..g-1 usable
+    const unsigned nf = std::min<unsigned>(pick_fanin_count(rng),
+                                           static_cast<unsigned>(avail));
+    kinds[g] = pick_kind(rng, nf);
+    auto& fi = fanins[g];
+    for (unsigned k = 0; k < nf; ++k) {
+      // Chain bias: the first fanin often continues the most recent gate,
+      // which is what creates the fanout-free chains real netlists have.
+      if (k == 0 && g > g0 && rng.chance(35, 100)) {
+        fi.push_back(g - 1);
+        continue;
+      }
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        std::size_t idx;
+        if (rng.chance(25, 100)) {
+          // Hub bias: real netlists concentrate fanout on a few signals
+          // (clock-enable-like nets); sinking picks into hubs leaves the
+          // majority of gates with the single fanout macros need.
+          idx = rng.below(std::min<std::size_t>(avail, 64));
+        } else if (const std::size_t window =
+                       std::max<std::size_t>(48, avail / 6);
+                   rng.chance(p.locality_permille, 1000) && avail > window) {
+          // The window scales with circuit size so logic depth grows like
+          // the real benchmarks' (tens of levels), not linearly.
+          idx = avail - 1 - rng.below(window);
+        } else {
+          idx = rng.below(avail);
+        }
+        if (std::find(fi.begin(), fi.end(), idx) == fi.end()) {
+          fi.push_back(idx);
+          break;
+        }
+      }
+    }
+    if (fi.empty()) fi.push_back(rng.below(avail));
+    for (std::size_t idx : fi) ++uses[idx];
+    if (fi.size() == 1 && kinds[g] != GateKind::Not) kinds[g] = GateKind::Buf;
+  }
+
+  // DFF data inputs and POs: drawn from the deeper half of the cloud.
+  auto pick_sink = [&]() -> std::size_t {
+    if (p.num_gates == 0) return rng.below(n);
+    const std::size_t lo = g0 + p.num_gates / 2;
+    for (int probe = 0; probe < 16; ++probe) {
+      const std::size_t c = lo + rng.below(n - lo);
+      if (uses[c] == 0) return c;
+    }
+    return lo + rng.below(n - lo);
+  };
+  for (std::size_t f = ff0; f < g0; ++f) {
+    kinds[f] = GateKind::Dff;
+    const std::size_t src = pick_sink();
+    fanins[f].push_back(src);
+    ++uses[src];
+  }
+  std::vector<std::size_t> pos;
+  for (unsigned i = 0; i < p.num_pos && pos.size() < n; ++i) {
+    std::size_t src = pick_sink();
+    for (int attempt = 0;
+         attempt < 64 &&
+         std::find(pos.begin(), pos.end(), src) != pos.end();
+         ++attempt) {
+      src = pick_sink();
+    }
+    if (std::find(pos.begin(), pos.end(), src) != pos.end()) {
+      for (std::size_t c = 0; c < n; ++c) {
+        if (std::find(pos.begin(), pos.end(), c) == pos.end()) {
+          src = c;
+          break;
+        }
+      }
+    }
+    pos.push_back(src);
+    ++uses[src];
+  }
+
+  // Dead-end elimination: a gate with no fanout that is neither a PO nor a
+  // DFF input is unobservable (every fault in its cone is undetectable and
+  // the logic is dead).  Rewire each dead end into a *later* gate (keeps
+  // the construction acyclic) by replacing one of its fanins.  Replacing a
+  // fanin may orphan the old driver, so iterate to a fixpoint; processing
+  // dead ends from high to low indices keeps the pass near-linear.
+  auto is_po = [&](std::size_t s) {
+    return std::find(pos.begin(), pos.end(), s) != pos.end();
+  };
+  for (int round = 0; round < 64; ++round) {
+    bool changed = false;
+    for (std::size_t g = n; g-- > g0;) {
+      if (uses[g] > 0 || is_po(g)) continue;
+      // Collect later gates that could absorb g as a fanin.
+      bool rewired = false;
+      for (int attempt = 0; attempt < 32 && g + 1 < n; ++attempt) {
+        const std::size_t h = g + 1 + rng.below(n - g - 1);
+        if (kinds[h] == GateKind::Dff) continue;
+        auto& fi = fanins[h];
+        if (std::find(fi.begin(), fi.end(), g) != fi.end()) continue;
+        const std::size_t victim = rng.below(fi.size());
+        --uses[fi[victim]];
+        fi[victim] = g;
+        ++uses[g];
+        rewired = true;
+        changed = true;
+        break;
+      }
+      // If no absorber was found (rare for late gates), the dead end stays;
+      // its cone simply contributes undetectable faults, like real designs'
+      // redundant logic does.
+      (void)rewired;
+    }
+    if (!changed) break;
+  }
+
+  // Emit through the Builder (name resolution + validation for free).
+  Builder b(p.name);
+  auto name_of = [&](std::size_t s) -> std::string {
+    if (s < ff0) return "pi" + std::to_string(s);
+    if (s < g0) return "ff" + std::to_string(s - ff0);
+    return "g" + std::to_string(s - g0);
+  };
+  for (std::size_t s = 0; s < ff0; ++s) b.add_input(name_of(s));
+  for (std::size_t s = ff0; s < g0; ++s) {
+    b.add_dff(name_of(s), name_of(fanins[s][0]));
+  }
+  for (std::size_t s = g0; s < n; ++s) {
+    std::vector<std::string> fi;
+    fi.reserve(fanins[s].size());
+    for (std::size_t f : fanins[s]) fi.push_back(name_of(f));
+    b.add_gate(kinds[s], name_of(s), fi);
+  }
+  for (std::size_t s : pos) b.mark_output(name_of(s));
+  return b.build();
+}
+
+}  // namespace cfs

@@ -1,0 +1,37 @@
+// Deterministic synthetic synchronous circuit generator.
+//
+// The real ISCAS-89 netlists are not redistributed with this repository;
+// instead, each benchmark circuit is reproduced by a generator seeded from
+// its name and parameterised by the published profile (PI/PO/FF/gate counts,
+// gate-type mix, fanin distribution).  The fault-simulation algorithms under
+// study are sensitive to circuit *scale and shape* -- gate count, logic
+// depth, fanout structure, flip-flop count -- all of which the generator
+// reproduces; they are not sensitive to the exact Boolean functions.  Real
+// .bench files can be dropped in through netlist/bench_parser at any time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace cfs {
+
+struct GenProfile {
+  std::string name;
+  unsigned num_pis = 4;
+  unsigned num_pos = 2;
+  unsigned num_dffs = 4;
+  unsigned num_gates = 50;  ///< combinational gates
+  std::uint64_t seed = 1;
+  /// Fanin locality: probability (x1000) that a fanin is drawn from the
+  /// recent window rather than uniformly from all existing signals.  Higher
+  /// values produce deeper circuits.
+  unsigned locality_permille = 700;
+};
+
+/// Generate a levelizable synchronous circuit matching the profile exactly
+/// in PI/PO/DFF/gate counts.  Deterministic in (profile, seed).
+Circuit generate_circuit(const GenProfile& profile);
+
+}  // namespace cfs

@@ -1,0 +1,72 @@
+#include "gen/iscas_profiles.h"
+
+#include <array>
+
+#include "gen/circuit_gen.h"
+#include "gen/known_circuits.h"
+#include "util/error.h"
+
+namespace cfs {
+
+namespace {
+
+// Published PI/PO/DFF/gate counts for the ISCAS-89 circuits used in the
+// paper's Tables 2-6.
+constexpr std::array<IscasProfile, 20> kProfiles = {{
+    {"s27", 4, 1, 3, 10},
+    {"s298", 3, 6, 14, 119},
+    {"s344", 9, 11, 15, 160},
+    {"s349", 9, 11, 15, 161},
+    {"s382", 3, 6, 21, 158},
+    {"s386", 7, 7, 6, 159},
+    {"s400", 3, 6, 21, 162},
+    {"s444", 3, 6, 21, 181},
+    {"s510", 19, 7, 6, 211},
+    {"s526", 3, 6, 21, 193},
+    {"s641", 35, 24, 19, 379},
+    {"s713", 35, 23, 19, 393},
+    {"s820", 18, 19, 5, 289},
+    {"s832", 18, 19, 5, 287},
+    {"s1196", 14, 14, 18, 529},
+    {"s1238", 14, 14, 18, 508},
+    {"s1488", 8, 19, 6, 653},
+    {"s1494", 8, 19, 6, 647},
+    {"s5378", 35, 49, 179, 2779},
+    {"s35932", 35, 320, 1728, 16065},
+}};
+
+std::uint64_t name_seed(std::string_view name) {
+  // FNV-1a so every benchmark gets a stable, distinct generator seed.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::span<const IscasProfile> iscas89_profiles() { return kProfiles; }
+
+const IscasProfile& iscas89_profile(std::string_view name) {
+  for (const IscasProfile& p : kProfiles) {
+    if (p.name == name) return p;
+  }
+  throw Error("unknown ISCAS-89 benchmark: " + std::string(name));
+}
+
+Circuit make_benchmark(std::string_view name) {
+  if (name == "s27") return make_s27();
+  const IscasProfile& p = iscas89_profile(name);
+  GenProfile g;
+  g.name = std::string(p.name);
+  g.num_pis = p.num_pis;
+  g.num_pos = p.num_pos;
+  g.num_dffs = p.num_dffs;
+  g.num_gates = p.num_gates;
+  g.seed = name_seed(name);
+  return generate_circuit(g);
+}
+
+}  // namespace cfs

@@ -1,0 +1,32 @@
+// Published ISCAS-89 benchmark profiles and the factory that reproduces
+// them (s27 verbatim, the rest through the synthetic generator -- see
+// circuit_gen.h for the substitution rationale).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "netlist/circuit.h"
+
+namespace cfs {
+
+struct IscasProfile {
+  std::string_view name;
+  unsigned num_pis;
+  unsigned num_pos;
+  unsigned num_dffs;
+  unsigned num_gates;
+};
+
+/// The ISCAS-89 circuits the paper evaluates, with their published counts.
+std::span<const IscasProfile> iscas89_profiles();
+
+/// Look up a profile by name; throws cfs::Error if unknown.
+const IscasProfile& iscas89_profile(std::string_view name);
+
+/// Materialise a circuit for a benchmark name: the real netlist for s27,
+/// a profile-matched synthetic circuit otherwise.  Deterministic.
+Circuit make_benchmark(std::string_view name);
+
+}  // namespace cfs

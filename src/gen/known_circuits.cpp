@@ -1,0 +1,232 @@
+#include "gen/known_circuits.h"
+
+#include <string>
+
+#include "netlist/bench_parser.h"
+#include "netlist/builder.h"
+#include "util/error.h"
+
+namespace cfs {
+
+Circuit make_s27() {
+  static const char* kText = R"(
+# s27 -- ISCAS-89
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+  return parse_bench(kText, "s27");
+}
+
+Circuit make_c17() {
+  static const char* kText = R"(
+# c17 -- ISCAS-85
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  return parse_bench(kText, "c17");
+}
+
+Circuit make_full_adder() {
+  Builder b("fa");
+  b.add_input("a");
+  b.add_input("b");
+  b.add_input("cin");
+  b.add_gate(GateKind::Xor, "ab", {"a", "b"});
+  b.add_gate(GateKind::Xor, "sum", {"ab", "cin"});
+  b.add_gate(GateKind::And, "g1", {"a", "b"});
+  b.add_gate(GateKind::And, "g2", {"ab", "cin"});
+  b.add_gate(GateKind::Or, "cout", {"g1", "g2"});
+  b.mark_output("sum");
+  b.mark_output("cout");
+  return b.build();
+}
+
+Circuit make_counter(unsigned bits) {
+  Builder b("counter" + std::to_string(bits));
+  b.add_input("en");
+  // q[i] toggles when en and all lower bits are 1.
+  for (unsigned i = 0; i < bits; ++i) {
+    b.add_dff("q" + std::to_string(i), "d" + std::to_string(i));
+    b.mark_output("q" + std::to_string(i));
+  }
+  std::string carry = "en";
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::string qi = "q" + std::to_string(i);
+    b.add_gate(GateKind::Xor, "d" + std::to_string(i), {qi, carry});
+    if (i + 1 < bits) {
+      const std::string nc = "c" + std::to_string(i);
+      b.add_gate(GateKind::And, nc, {carry, qi});
+      carry = nc;
+    }
+  }
+  return b.build();
+}
+
+Circuit make_shift_register(unsigned bits) {
+  Builder b("shift" + std::to_string(bits));
+  b.add_input("sin");
+  std::string prev = "sin";
+  std::vector<std::string> stages;
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::string qi = "q" + std::to_string(i);
+    b.add_dff(qi, prev);
+    prev = qi;
+    stages.push_back(qi);
+  }
+  b.mark_output(prev);
+  if (bits >= 2) {
+    b.add_gate(GateKind::Xor, "parity", stages);
+    b.mark_output("parity");
+  }
+  return b.build();
+}
+
+Circuit make_lfsr(unsigned bits) {
+  // Second feedback tap of a primitive 2-tap polynomial per width
+  // (x^2+x+1, x^3+x^2+1, x^4+x^3+1, x^5+x^3+1, x^6+x^5+1, x^7+x^6+1).
+  static constexpr unsigned kTap2[] = {0, 0, 0, 1, 2, 2, 4, 5};
+  if (bits < 2 || bits > 7) {
+    throw Error("make_lfsr supports 2..7 bits (primitive 2-tap feedbacks)");
+  }
+  Builder b("lfsr" + std::to_string(bits));
+  b.add_input("en");
+  for (unsigned i = 0; i < bits; ++i) {
+    b.add_dff("q" + std::to_string(i), "d" + std::to_string(i));
+  }
+  // Feedback: XOR of the top stage and the second tap, gated by en.
+  b.add_gate(GateKind::Xor, "fb",
+             {"q" + std::to_string(bits - 1), "q" + std::to_string(kTap2[bits])});
+  // d0 = en ? fb : q0 -> (en AND fb) OR (NOT en AND q0)
+  b.add_gate(GateKind::Not, "nen", {"en"});
+  b.add_gate(GateKind::And, "t0", {"en", "fb"});
+  b.add_gate(GateKind::And, "t1", {"nen", "q0"});
+  b.add_gate(GateKind::Or, "d0", {"t0", "t1"});
+  for (unsigned i = 1; i < bits; ++i) {
+    const std::string prev = "q" + std::to_string(i - 1);
+    const std::string ti = "u" + std::to_string(i);
+    b.add_gate(GateKind::And, "s" + std::to_string(i), {"en", prev});
+    b.add_gate(GateKind::And, ti, {"nen", "q" + std::to_string(i)});
+    b.add_gate(GateKind::Or, "d" + std::to_string(i),
+               {"s" + std::to_string(i), ti});
+  }
+  b.mark_output("q" + std::to_string(bits - 1));
+  return b.build();
+}
+
+Circuit make_gray_counter(unsigned bits) {
+  Builder b("gray" + std::to_string(bits));
+  b.add_input("en");
+  for (unsigned i = 0; i < bits; ++i) {
+    b.add_dff("q" + std::to_string(i), "d" + std::to_string(i));
+  }
+  std::string carry = "en";
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::string qi = "q" + std::to_string(i);
+    b.add_gate(GateKind::Xor, "d" + std::to_string(i), {qi, carry});
+    if (i + 1 < bits) {
+      const std::string nc = "c" + std::to_string(i);
+      b.add_gate(GateKind::And, nc, {carry, qi});
+      carry = nc;
+    }
+  }
+  // Gray output stage: g_i = q_i XOR q_(i+1); g_(N-1) = q_(N-1).
+  for (unsigned i = 0; i + 1 < bits; ++i) {
+    b.add_gate(GateKind::Xor, "g" + std::to_string(i),
+               {"q" + std::to_string(i), "q" + std::to_string(i + 1)});
+    b.mark_output("g" + std::to_string(i));
+  }
+  b.add_gate(GateKind::Buf, "g" + std::to_string(bits - 1),
+             {"q" + std::to_string(bits - 1)});
+  b.mark_output("g" + std::to_string(bits - 1));
+  return b.build();
+}
+
+Circuit make_ripple_adder(unsigned bits) {
+  Builder b("rca" + std::to_string(bits));
+  for (unsigned i = 0; i < bits; ++i) b.add_input("a" + std::to_string(i));
+  for (unsigned i = 0; i < bits; ++i) b.add_input("b" + std::to_string(i));
+  b.add_input("cin");
+  std::string carry = "cin";
+  for (unsigned i = 0; i < bits; ++i) {
+    const std::string ai = "a" + std::to_string(i);
+    const std::string bi = "b" + std::to_string(i);
+    const std::string x = "x" + std::to_string(i);
+    b.add_gate(GateKind::Xor, x, {ai, bi});
+    b.add_gate(GateKind::Xor, "s" + std::to_string(i), {x, carry});
+    b.add_gate(GateKind::And, "m" + std::to_string(i), {ai, bi});
+    b.add_gate(GateKind::And, "n" + std::to_string(i), {x, carry});
+    const std::string nc = "k" + std::to_string(i);
+    b.add_gate(GateKind::Or, nc,
+               {"m" + std::to_string(i), "n" + std::to_string(i)});
+    carry = nc;
+    b.mark_output("s" + std::to_string(i));
+  }
+  b.add_gate(GateKind::Buf, "cout", {carry});
+  b.mark_output("cout");
+  return b.build();
+}
+
+Circuit make_traffic_light() {
+  Builder b("traffic");
+  b.add_input("en");
+  b.add_gate(GateKind::Not, "nen", {"en"});
+  // One-hot ring r -> g -> y -> r; self-initialising: r_next also fires
+  // when no light is on (all-zero recovery).
+  b.add_dff("r", "dr");
+  b.add_dff("y", "dy");
+  b.add_dff("g", "dg");
+  b.add_gate(GateKind::Nor, "none", {"r", "y", "g"});
+  b.add_gate(GateKind::And, "ry_adv", {"en", "y"});   // y -> r
+  b.add_gate(GateKind::And, "r_hold", {"nen", "r"});
+  b.add_gate(GateKind::Or, "dr", {"ry_adv", "r_hold", "none"});
+  b.add_gate(GateKind::And, "g_adv", {"en", "r"});    // r -> g
+  b.add_gate(GateKind::And, "g_hold", {"nen", "g"});
+  b.add_gate(GateKind::Or, "dg", {"g_adv", "g_hold"});
+  b.add_gate(GateKind::And, "y_adv", {"en", "g"});    // g -> y
+  b.add_gate(GateKind::And, "y_hold", {"nen", "y"});
+  b.add_gate(GateKind::Or, "dy", {"y_adv", "y_hold"});
+  b.mark_output("r");
+  b.mark_output("y");
+  b.mark_output("g");
+  return b.build();
+}
+
+Circuit make_seq_detector() {
+  Builder b("det11");
+  b.add_input("in");
+  // State bit: saw a 1 last cycle.
+  b.add_dff("s", "in_buf");
+  b.add_gate(GateKind::Buf, "in_buf", {"in"});
+  b.add_gate(GateKind::And, "det", {"s", "in"});
+  b.mark_output("det");
+  return b.build();
+}
+
+}  // namespace cfs

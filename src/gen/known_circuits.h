@@ -1,0 +1,46 @@
+// Small real circuits embedded verbatim, plus hand-written teaching
+// circuits used throughout the tests and examples.
+#pragma once
+
+#include "netlist/circuit.h"
+
+namespace cfs {
+
+/// ISCAS-89 s27 (real netlist): 4 PIs, 1 PO, 3 DFFs, 10 gates.
+Circuit make_s27();
+
+/// ISCAS-85 c17 (real netlist): 5 PIs, 2 POs, 6 NAND gates, combinational.
+Circuit make_c17();
+
+/// 1-bit full adder (combinational): inputs a, b, cin; outputs sum, cout.
+Circuit make_full_adder();
+
+/// N-bit synchronous binary counter with enable: wraps modulo 2^N.
+/// Inputs: en; outputs: q0..q(N-1).
+Circuit make_counter(unsigned bits);
+
+/// N-bit shift register with serial input and parity output.
+/// Inputs: sin; outputs: q(N-1), parity (XOR of all stages).
+Circuit make_shift_register(unsigned bits);
+
+/// Tiny 2-state Mealy FSM (sequence detector for "11").
+/// Inputs: in; outputs: det.
+Circuit make_seq_detector();
+
+/// Fibonacci LFSR with taps at the two highest stages (x^N + x^(N-1) + 1).
+/// Inputs: en (feedback gated); outputs: q(N-1).  N >= 2.
+Circuit make_lfsr(unsigned bits);
+
+/// N-bit Gray-code counter: binary counter plus the binary-to-Gray XOR
+/// stage.  Inputs: en; outputs: g0..g(N-1).
+Circuit make_gray_counter(unsigned bits);
+
+/// N-bit ripple-carry adder (combinational).
+/// Inputs: a0..a(N-1), b0..b(N-1), cin; outputs: s0..s(N-1), cout.
+Circuit make_ripple_adder(unsigned bits);
+
+/// Three-state one-hot ring ("traffic light"): advances on en, exactly one
+/// of r/y/g is high once initialised.  Inputs: en; outputs: r, y, g.
+Circuit make_traffic_light();
+
+}  // namespace cfs

@@ -1,0 +1,108 @@
+#include "harness/runner.h"
+
+#include "baseline/proofs_sim.h"
+#include "baseline/serial_sim.h"
+#include "netlist/macro_extract.h"
+#include "util/stopwatch.h"
+
+namespace cfs {
+
+std::string variant_name(CsimVariant v) {
+  switch (v) {
+    case CsimVariant::Plain: return "csim";
+    case CsimVariant::V: return "csim-V";
+    case CsimVariant::M: return "csim-M";
+    case CsimVariant::MV: return "csim-MV";
+  }
+  return "?";
+}
+
+namespace {
+
+// Apply a test suite through any engine exposing reset(Val) and
+// apply_vector(span): one reset per sequence.
+template <typename Engine>
+double apply_suite(Engine& sim, const TestSuite& t, Val ff_init) {
+  Stopwatch sw;
+  for (const PatternSet& seq : t.sequences()) {
+    sim.reset(ff_init);
+    for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
+  }
+  return sw.seconds();
+}
+
+}  // namespace
+
+RunResult run_csim(const Circuit& c, const FaultUniverse& u,
+                   const TestSuite& t, CsimVariant variant, Val ff_init,
+                   bool drop_detected) {
+  RunResult r;
+  r.sim_name = variant_name(variant);
+
+  CsimOptions opt;
+  opt.split_lists = variant == CsimVariant::V || variant == CsimVariant::MV;
+  opt.drop_detected = drop_detected;
+  const bool use_macros =
+      variant == CsimVariant::M || variant == CsimVariant::MV;
+
+  if (use_macros) {
+    MacroExtraction ext = extract_macros(c);
+    MacroFaultMap mmap = map_faults_to_macros(c, ext, u);
+    ConcurrentSim sim(ext.circuit, u, opt, &mmap);
+    r.cpu_s = apply_suite(sim, t, ff_init);
+    r.mem_bytes = sim.bytes() + ext.circuit.bytes();
+    r.cov = sim.coverage();
+    r.activity = sim.elements_evaluated();
+  } else {
+    ConcurrentSim sim(c, u, opt);
+    r.cpu_s = apply_suite(sim, t, ff_init);
+    r.mem_bytes = sim.bytes() + c.bytes();
+    r.cov = sim.coverage();
+    r.activity = sim.elements_evaluated();
+  }
+  return r;
+}
+
+RunResult run_proofs(const Circuit& c, const FaultUniverse& u,
+                     const TestSuite& t, Val ff_init) {
+  RunResult r;
+  r.sim_name = "PROOFS";
+  ProofsSim sim(c, u, ff_init);
+  r.cpu_s = apply_suite(sim, t, ff_init);
+  r.mem_bytes = sim.bytes() + c.bytes();
+  r.cov = sim.coverage();
+  r.activity = sim.word_evals();
+  return r;
+}
+
+RunResult run_serial(const Circuit& c, const FaultUniverse& u,
+                     const TestSuite& t, Val ff_init) {
+  RunResult r;
+  r.sim_name = "serial";
+  SerialOptions opt;
+  opt.ff_init = ff_init;
+  Stopwatch sw;
+  const SerialResult sr = serial_fault_sim(c, u, t, opt);
+  r.cpu_s = sw.seconds();
+  r.mem_bytes = c.bytes();
+  r.cov = summarize(sr.status);
+  r.activity = sr.events;
+  return r;
+}
+
+RunResult run_csim_transition(const Circuit& c, const FaultUniverse& u,
+                              const TestSuite& t, Val ff_init,
+                              bool split_lists) {
+  RunResult r;
+  r.sim_name = split_lists ? "csim-V (transition)" : "csim (transition)";
+  CsimOptions opt;
+  opt.split_lists = split_lists;
+  ConcurrentSim sim(c, u, opt);
+  r.cpu_s = apply_suite(sim, t, ff_init);
+  r.mem_bytes = sim.bytes() + c.bytes();
+  r.cov = sim.coverage();
+  r.activity = sim.elements_evaluated();
+  return r;
+}
+
+}  // namespace cfs

@@ -1,0 +1,47 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cfs {
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    width[i] = headers_[i].size();
+  }
+  for (const auto& r : rows_) {
+    for (std::size_t i = 0; i < r.size() && i < width.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& s = i < cells.size() ? cells[i] : std::string();
+      if (i == 0) {
+        out << s << std::string(width[i] - s.size(), ' ');
+      } else {
+        out << "  " << std::string(width[i] - s.size(), ' ') << s;
+      }
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w;
+  out << std::string(total + 2 * (width.size() - 1), '-') << "\n";
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string fmt_fixed(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_count(std::size_t v) { return std::to_string(v); }
+
+}  // namespace cfs

@@ -1,0 +1,29 @@
+// Console table printer for the experiment benches (column-aligned,
+// paper-style rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cfs {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  /// Render with column alignment; first column left-aligned, the rest
+  /// right-aligned (numbers).
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string fmt_fixed(double v, int precision);
+std::string fmt_count(std::size_t v);
+
+}  // namespace cfs

@@ -1,0 +1,116 @@
+#include "netlist/bench_parser.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "netlist/builder.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace cfs {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw Error(".bench line " + std::to_string(line_no) + ": " + msg);
+}
+
+// Parse "HEAD(arg1, arg2, ...)" -> {HEAD, args}.  Returns false if `s` does
+// not have call shape.
+bool parse_call(std::string_view s, std::string& head,
+                std::vector<std::string>& args) {
+  const std::size_t open = s.find('(');
+  const std::size_t close = s.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return false;
+  }
+  head = std::string(trim(s.substr(0, open)));
+  args = split(s.substr(open + 1, close - open - 1), ',');
+  return !head.empty();
+}
+
+}  // namespace
+
+Circuit parse_bench(std::string_view text, const std::string& circuit_name) {
+  Builder b(circuit_name);
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(x) or OUTPUT(x)
+      std::string head;
+      std::vector<std::string> args;
+      if (!parse_call(line, head, args) || args.size() != 1) {
+        fail(line_no, "expected INPUT(sig) or OUTPUT(sig)");
+      }
+      const std::string u = upper(head);
+      if (u == "INPUT") {
+        b.add_input(args[0]);
+      } else if (u == "OUTPUT") {
+        b.mark_output(args[0]);
+      } else {
+        fail(line_no, "unknown directive '" + head + "'");
+      }
+      continue;
+    }
+
+    const std::string target(trim(line.substr(0, eq)));
+    if (target.empty()) fail(line_no, "missing signal name before '='");
+    std::string head;
+    std::vector<std::string> args;
+    if (!parse_call(line.substr(eq + 1), head, args) || args.empty()) {
+      fail(line_no, "expected sig = KIND(a, ...)");
+    }
+    GateKind kind;
+    try {
+      kind = kind_from_name(head);
+    } catch (const Error& e) {
+      fail(line_no, e.what());
+    }
+    if (kind == GateKind::Input) fail(line_no, "INPUT cannot be assigned");
+    if (kind == GateKind::Dff) {
+      if (args.size() != 1) fail(line_no, "DFF takes exactly one input");
+      b.add_dff(target, args[0]);
+    } else {
+      b.add_gate(kind, target, args);
+    }
+  }
+  Circuit c = b.build();
+  if (c.num_gates() == 0) {
+    throw Error(".bench input '" + circuit_name + "' defines no gates");
+  }
+  return c;
+}
+
+Circuit parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open .bench file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string stem = path;
+  if (const std::size_t slash = stem.find_last_of('/');
+      slash != std::string::npos) {
+    stem = stem.substr(slash + 1);
+  }
+  if (const std::size_t dot = stem.find_last_of('.');
+      dot != std::string::npos) {
+    stem = stem.substr(0, dot);
+  }
+  return parse_bench(ss.str(), stem);
+}
+
+}  // namespace cfs

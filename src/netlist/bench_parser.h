@@ -1,0 +1,30 @@
+// ISCAS-85 / ISCAS-89 .bench format reader.
+//
+// Grammar (one statement per line):
+//   # comment
+//   INPUT(sig)
+//   OUTPUT(sig)
+//   sig = KIND(a, b, ...)        KIND in AND OR NAND NOR XOR XNOR NOT
+//                                BUF|BUFF DFF (case-insensitive)
+//
+// OUTPUT may appear before the signal's definition.  Unknown keywords,
+// redefinitions, undefined references, and combinational cycles are
+// reported as cfs::Error with the offending line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "netlist/circuit.h"
+
+namespace cfs {
+
+/// Parse .bench text.  `circuit_name` names the result (typically the file
+/// stem).
+Circuit parse_bench(std::string_view text, const std::string& circuit_name);
+
+/// Parse a .bench file from disk.
+Circuit parse_bench_file(const std::string& path);
+
+}  // namespace cfs

@@ -1,0 +1,35 @@
+#include "netlist/bench_writer.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cfs {
+
+std::string write_bench(const Circuit& c) {
+  std::ostringstream out;
+  out << "# " << c.name() << "\n";
+  for (GateId g : c.inputs()) out << "INPUT(" << c.gate_name(g) << ")\n";
+  for (GateId g : c.outputs()) out << "OUTPUT(" << c.gate_name(g) << ")\n";
+  // DFFs first (conventional), then combinational gates in topo order.
+  for (GateId g : c.dffs()) {
+    out << c.gate_name(g) << " = DFF(" << c.gate_name(c.fanins(g)[0])
+        << ")\n";
+  }
+  for (GateId g : c.topo_order()) {
+    const GateKind k = c.kind(g);
+    if (k == GateKind::Macro) {
+      throw Error("write_bench: macro gates are not expressible in .bench");
+    }
+    out << c.gate_name(g) << " = " << kind_name(k) << "(";
+    const auto fi = c.fanins(g);
+    for (std::size_t i = 0; i < fi.size(); ++i) {
+      if (i) out << ", ";
+      out << c.gate_name(fi[i]);
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace cfs

@@ -1,0 +1,14 @@
+// .bench format writer: the inverse of bench_parser, used to round-trip
+// synthetic circuits and to export macro-extracted netlists for inspection.
+// Macro gates cannot be expressed in .bench and are rejected.
+#pragma once
+
+#include <string>
+
+#include "netlist/circuit.h"
+
+namespace cfs {
+
+std::string write_bench(const Circuit& c);
+
+}  // namespace cfs

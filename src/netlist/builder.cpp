@@ -1,0 +1,121 @@
+#include "netlist/builder.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace cfs {
+
+void Builder::add_input(const std::string& signal) {
+  gates_.push_back({GateKind::Input, signal, {}});
+}
+
+void Builder::add_dff(const std::string& signal, const std::string& d) {
+  gates_.push_back({GateKind::Dff, signal, {d}});
+}
+
+void Builder::add_gate(GateKind kind, const std::string& signal,
+                       const std::vector<std::string>& fanins) {
+  if (kind == GateKind::Input) {
+    add_input(signal);
+    return;
+  }
+  gates_.push_back({kind, signal, fanins});
+}
+
+void Builder::mark_output(const std::string& signal) {
+  if (std::find(outputs_.begin(), outputs_.end(), signal) == outputs_.end()) {
+    outputs_.push_back(signal);
+  }
+}
+
+Circuit Builder::build() {
+  // Decompose gates wider than kMaxPins.  NAND/NOR/XNOR become trees of the
+  // base kind with the inversion applied only at the root.
+  std::vector<ProtoGate> expanded;
+  expanded.reserve(gates_.size());
+  for (const ProtoGate& pg : gates_) {
+    if (pg.fanins.size() <= kMaxPins) {
+      expanded.push_back(pg);
+      continue;
+    }
+    GateKind base;
+    switch (pg.kind) {
+      case GateKind::And:
+      case GateKind::Nand: base = GateKind::And; break;
+      case GateKind::Or:
+      case GateKind::Nor: base = GateKind::Or; break;
+      case GateKind::Xor:
+      case GateKind::Xnor: base = GateKind::Xor; break;
+      default:
+        throw Error("gate '" + pg.name + "' too wide and not decomposable");
+    }
+    // Reduce the operand list in chunks of kMaxPins until it fits.
+    std::vector<std::string> operands = pg.fanins;
+    unsigned synth = 0;
+    while (operands.size() > kMaxPins) {
+      std::vector<std::string> next;
+      for (std::size_t i = 0; i < operands.size(); i += kMaxPins) {
+        const std::size_t end = std::min(operands.size(), i + kMaxPins);
+        if (end - i == 1) {
+          next.push_back(operands[i]);
+          continue;
+        }
+        std::string nm = pg.name + "$d" + std::to_string(synth++);
+        expanded.push_back(
+            {base, nm,
+             std::vector<std::string>(operands.begin() + i,
+                                      operands.begin() + end)});
+        next.push_back(std::move(nm));
+      }
+      operands = std::move(next);
+    }
+    expanded.push_back({pg.kind, pg.name, std::move(operands)});
+  }
+
+  // Name resolution.
+  std::unordered_map<std::string, GateId> ids;
+  ids.reserve(expanded.size());
+  for (std::size_t g = 0; g < expanded.size(); ++g) {
+    if (!ids.emplace(expanded[g].name, static_cast<GateId>(g)).second) {
+      throw Error("signal '" + expanded[g].name + "' defined twice");
+    }
+  }
+
+  CircuitData data;
+  data.name = name_;
+  data.kinds.reserve(expanded.size());
+  data.names.reserve(expanded.size());
+  data.fanins.reserve(expanded.size());
+  for (std::size_t g = 0; g < expanded.size(); ++g) {
+    const ProtoGate& pg = expanded[g];
+    data.kinds.push_back(pg.kind);
+    data.names.push_back(pg.name);
+    std::vector<GateId> fi;
+    fi.reserve(pg.fanins.size());
+    for (const std::string& f : pg.fanins) {
+      const auto it = ids.find(f);
+      if (it == ids.end()) {
+        throw Error("gate '" + pg.name + "' references undefined signal '" +
+                    f + "'");
+      }
+      fi.push_back(it->second);
+    }
+    data.fanins.push_back(std::move(fi));
+    if (pg.kind == GateKind::Input) {
+      data.primary_inputs.push_back(static_cast<GateId>(g));
+    }
+  }
+  for (const std::string& out : outputs_) {
+    const auto it = ids.find(out);
+    if (it == ids.end()) {
+      throw Error("primary output '" + out + "' is undefined");
+    }
+    data.primary_outputs.push_back(it->second);
+  }
+  return Circuit(std::move(data));
+}
+
+}  // namespace cfs

@@ -1,0 +1,50 @@
+// Incremental netlist construction with name resolution.
+//
+// Signals may be referenced before they are defined (ISCAS .bench files do
+// this freely); everything is resolved when build() runs.  Gates wider than
+// kMaxPins are decomposed into balanced trees of synthesized gates so the
+// packed-state representation always fits one word.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace cfs {
+
+class Builder {
+ public:
+  explicit Builder(std::string circuit_name) : name_(std::move(circuit_name)) {}
+
+  /// Declare a primary input.
+  void add_input(const std::string& signal);
+
+  /// Declare a D flip-flop: `signal = DFF(d)`.
+  void add_dff(const std::string& signal, const std::string& d);
+
+  /// Declare a combinational gate: `signal = kind(fanins...)`.
+  void add_gate(GateKind kind, const std::string& signal,
+                const std::vector<std::string>& fanins);
+
+  /// Mark a signal as a primary output (idempotent; order preserved).
+  void mark_output(const std::string& signal);
+
+  /// Resolve names, decompose wide gates, validate, levelize.
+  /// Throws cfs::Error on duplicate definitions, undefined signals, arity
+  /// violations, or combinational cycles.
+  Circuit build();
+
+ private:
+  struct ProtoGate {
+    GateKind kind;
+    std::string name;
+    std::vector<std::string> fanins;
+  };
+
+  std::string name_;
+  std::vector<ProtoGate> gates_;
+  std::vector<std::string> outputs_;
+};
+
+}  // namespace cfs

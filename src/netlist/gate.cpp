@@ -1,0 +1,111 @@
+#include "netlist/gate.h"
+
+#include <mutex>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace cfs {
+
+std::string_view kind_name(GateKind k) {
+  switch (k) {
+    case GateKind::Input: return "INPUT";
+    case GateKind::Buf: return "BUF";
+    case GateKind::Not: return "NOT";
+    case GateKind::And: return "AND";
+    case GateKind::Nand: return "NAND";
+    case GateKind::Or: return "OR";
+    case GateKind::Nor: return "NOR";
+    case GateKind::Xor: return "XOR";
+    case GateKind::Xnor: return "XNOR";
+    case GateKind::Dff: return "DFF";
+    case GateKind::Macro: return "MACRO";
+  }
+  return "?";
+}
+
+GateKind kind_from_name(std::string_view name) {
+  const std::string u = upper(name);
+  if (u == "BUF" || u == "BUFF") return GateKind::Buf;
+  if (u == "NOT" || u == "INV") return GateKind::Not;
+  if (u == "AND") return GateKind::And;
+  if (u == "NAND") return GateKind::Nand;
+  if (u == "OR") return GateKind::Or;
+  if (u == "NOR") return GateKind::Nor;
+  if (u == "XOR") return GateKind::Xor;
+  if (u == "XNOR") return GateKind::Xnor;
+  if (u == "DFF") return GateKind::Dff;
+  if (u == "INPUT") return GateKind::Input;
+  throw Error("unknown gate kind: " + std::string(name));
+}
+
+Val eval_kind(GateKind k, GateState s, unsigned nfanins) {
+  switch (k) {
+    case GateKind::Input:
+    case GateKind::Dff:
+      return state_out(s);
+    case GateKind::Buf:
+      return state_get(s, 0);
+    case GateKind::Not:
+      return v_not(state_get(s, 0));
+    case GateKind::And:
+    case GateKind::Nand: {
+      Val r = Val::One;
+      for (unsigned i = 0; i < nfanins; ++i) r = v_and(r, state_get(s, i));
+      return k == GateKind::And ? r : v_not(r);
+    }
+    case GateKind::Or:
+    case GateKind::Nor: {
+      Val r = Val::Zero;
+      for (unsigned i = 0; i < nfanins; ++i) r = v_or(r, state_get(s, i));
+      return k == GateKind::Or ? r : v_not(r);
+    }
+    case GateKind::Xor:
+    case GateKind::Xnor: {
+      Val r = Val::Zero;
+      for (unsigned i = 0; i < nfanins; ++i) r = v_xor(r, state_get(s, i));
+      return k == GateKind::Xor ? r : v_not(r);
+    }
+    case GateKind::Macro:
+      throw Error("eval_kind cannot evaluate Macro gates; use the circuit's truth table");
+  }
+  return Val::X;
+}
+
+namespace {
+
+// Fast tables for the 8 combinational kinds x fanin 1..4.
+struct FastTables {
+  std::array<std::array<std::uint8_t, 256>, 8 * 5> tables{};
+  FastTables() {
+    for (unsigned ki = 0; ki < 8; ++ki) {
+      const GateKind k = static_cast<GateKind>(ki + 1);  // Buf..Xnor
+      for (unsigned n = 1; n <= 4; ++n) {
+        auto& t = tables[ki * 5 + n];
+        for (unsigned idx = 0; idx < 256; ++idx) {
+          // Normalise every pin code through from_code so the invalid code 1
+          // behaves as X, then evaluate.
+          GateState s = 0;
+          for (unsigned p = 0; p < n; ++p) {
+            s = state_set(s, p, from_code(static_cast<std::uint8_t>(idx >> (2 * p))));
+          }
+          t[idx] = code(eval_kind(k, s, n));
+        }
+      }
+    }
+  }
+};
+
+const FastTables& fast_tables() {
+  static const FastTables t;
+  return t;
+}
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& fast_table(GateKind k, unsigned nfanins) {
+  const unsigned ki = static_cast<unsigned>(k) - 1;
+  return fast_tables().tables[ki * 5 + nfanins];
+}
+
+}  // namespace cfs

@@ -1,0 +1,51 @@
+#include "netlist/hierarchy.h"
+
+#include "util/error.h"
+
+namespace cfs {
+
+std::vector<std::string> instantiate(
+    Builder& b, const Circuit& module, const std::string& inst,
+    const std::vector<std::string>& input_signals) {
+  if (input_signals.size() != module.inputs().size()) {
+    throw Error("instantiate('" + inst + "'): module '" + module.name() +
+                "' has " + std::to_string(module.inputs().size()) +
+                " inputs, got " + std::to_string(input_signals.size()));
+  }
+
+  // Parent-scope name of each module gate: inputs map onto the provided
+  // signals, everything else gets the instance prefix.
+  std::vector<std::string> name_of(module.num_gates());
+  for (std::size_t i = 0; i < module.inputs().size(); ++i) {
+    name_of[module.inputs()[i]] = input_signals[i];
+  }
+  for (GateId g = 0; g < module.num_gates(); ++g) {
+    if (module.kind(g) != GateKind::Input) {
+      name_of[g] = inst + "/" + module.gate_name(g);
+    }
+  }
+
+  for (GateId g = 0; g < module.num_gates(); ++g) {
+    const GateKind k = module.kind(g);
+    if (k == GateKind::Input) continue;
+    if (k == GateKind::Macro) {
+      throw Error("instantiate: macro gates cannot be re-instantiated; "
+                  "extract macros after flattening");
+    }
+    std::vector<std::string> fanins;
+    fanins.reserve(module.num_fanins(g));
+    for (GateId f : module.fanins(g)) fanins.push_back(name_of[f]);
+    if (k == GateKind::Dff) {
+      b.add_dff(name_of[g], fanins[0]);
+    } else {
+      b.add_gate(k, name_of[g], fanins);
+    }
+  }
+
+  std::vector<std::string> outputs;
+  outputs.reserve(module.outputs().size());
+  for (GateId g : module.outputs()) outputs.push_back(name_of[g]);
+  return outputs;
+}
+
+}  // namespace cfs

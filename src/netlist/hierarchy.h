@@ -1,0 +1,33 @@
+// Hierarchical netlist composition by module instantiation.
+//
+// The paper closes with: "More efficient fault simulation is possible when
+// hierarchical design information is utilized because the concurrent fault
+// simulation method is inherently suited to hierarchical designs."  This
+// module provides the design-entry half of that story: any Circuit can be
+// used as a module and instantiated (flattened) into a Builder any number
+// of times, with instance-qualified names ("u3/sum").  Sequential modules
+// flatten naturally -- their flip-flops become flip-flops of the parent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/builder.h"
+#include "netlist/circuit.h"
+
+namespace cfs {
+
+/// Flatten one instance of `module` into `b`.
+///
+///  - `inst` prefixes every internal signal name ("<inst>/<name>").
+///  - `input_signals` connect the module's primary inputs, in declared
+///    order, to existing (or later-defined) parent signals.
+///  - Returns the parent-scope names of the module's primary outputs, in
+///    declared order, for wiring into the rest of the design.
+///
+/// Throws cfs::Error if the input count does not match the module.
+std::vector<std::string> instantiate(Builder& b, const Circuit& module,
+                                     const std::string& inst,
+                                     const std::vector<std::string>& input_signals);
+
+}  // namespace cfs

@@ -1,0 +1,209 @@
+#include "netlist/macro_extract.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/error.h"
+
+namespace cfs {
+
+namespace {
+
+// Evaluate the region of `m` over the external pin values `ext`, optionally
+// forcing a stuck-at value at one internal site.  Returns the root output.
+Val eval_region(const Circuit& orig, const MacroInfo& m,
+                const std::vector<Val>& ext, GateId site_gate,
+                std::uint16_t site_pin, Val stuck, bool inject) {
+  // Driver gate id -> value, for internal results.
+  std::unordered_map<GateId, Val> vals;
+  vals.reserve(m.internal.size());
+  auto pin_index_of = [&](GateId driver) -> int {
+    for (std::size_t i = 0; i < m.ext_drivers.size(); ++i) {
+      if (m.ext_drivers[i] == driver) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  Val out = Val::X;
+  for (GateId g : m.internal) {
+    const auto fi = orig.fanins(g);
+    GateState s = 0;
+    for (std::size_t p = 0; p < fi.size(); ++p) {
+      Val v;
+      const auto it = vals.find(fi[p]);
+      if (it != vals.end()) {
+        v = it->second;
+      } else {
+        const int pi = pin_index_of(fi[p]);
+        if (pi < 0) throw Error("macro region has unmapped external driver");
+        v = ext[static_cast<std::size_t>(pi)];
+      }
+      if (inject && g == site_gate && site_pin == p) v = stuck;
+      s = state_set(s, static_cast<unsigned>(p), v);
+    }
+    Val o = orig.eval(g, s);
+    if (inject && g == site_gate && site_pin == kOutputPin) o = stuck;
+    vals[g] = o;
+    out = o;  // internal is in topo order with the root last
+  }
+  return out;
+}
+
+TruthTable build_table(const Circuit& orig, const MacroInfo& m,
+                       GateId site_gate, std::uint16_t site_pin, Val stuck,
+                       bool inject) {
+  const unsigned k = static_cast<unsigned>(m.ext_drivers.size());
+  TruthTable t;
+  t.num_inputs = static_cast<std::uint8_t>(k);
+  t.out.resize(std::size_t{1} << (2 * k));
+  std::vector<Val> ext(k);
+  for (std::size_t idx = 0; idx < t.out.size(); ++idx) {
+    for (unsigned p = 0; p < k; ++p) {
+      ext[p] = from_code(static_cast<std::uint8_t>(idx >> (2 * p)));
+    }
+    t.out[idx] =
+        code(eval_region(orig, m, ext, site_gate, site_pin, stuck, inject));
+  }
+  return t;
+}
+
+}  // namespace
+
+TruthTable build_macro_table(const Circuit& orig, const MacroInfo& m) {
+  return build_table(orig, m, kNoGate, 0, Val::X, false);
+}
+
+TruthTable build_macro_table_faulty(const Circuit& orig, const MacroInfo& m,
+                                    GateId site_gate, std::uint16_t site_pin,
+                                    Val stuck) {
+  return build_table(orig, m, site_gate, site_pin, stuck, true);
+}
+
+MacroExtraction extract_macros(const Circuit& orig, MacroOptions opt) {
+  if (opt.max_inputs < 2 || opt.max_inputs > 6) {
+    throw Error("MacroOptions::max_inputs must be in [2, 6]");
+  }
+  const std::size_t n = orig.num_gates();
+  std::vector<std::uint8_t> claimed(n, 0);
+  std::vector<MacroInfo> macros;
+
+  // Walk combinational gates output-side first so a gate sees its consumers'
+  // regions before it could become a root itself.
+  const auto topo = orig.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const GateId root = *it;
+    if (claimed[root] || orig.kind(root) == GateKind::Macro) continue;
+
+    MacroInfo m;
+    m.root = root;
+    std::unordered_set<GateId> internal{root};
+    std::vector<GateId> ext;
+    for (GateId f : orig.fanins(root)) {
+      if (std::find(ext.begin(), ext.end(), f) == ext.end()) ext.push_back(f);
+    }
+    if (ext.size() > opt.max_inputs) {
+      // Root alone already exceeds the cap; keep as a plain gate.
+      claimed[root] = 1;
+      continue;
+    }
+
+    // Greedy absorption until no external driver qualifies.
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (std::size_t i = 0; i < ext.size(); ++i) {
+        const GateId d = ext[i];
+        if (claimed[d] || internal.count(d)) continue;
+        if (!is_combinational(orig.kind(d)) ||
+            orig.kind(d) == GateKind::Macro || orig.is_po(d)) {
+          continue;
+        }
+        bool all_inside = true;
+        for (const Fanout& fo : orig.fanouts(d)) {
+          if (!internal.count(fo.gate)) {
+            all_inside = false;
+            break;
+          }
+        }
+        if (!all_inside) continue;
+        // Tentative new external set.
+        std::vector<GateId> next_ext;
+        next_ext.reserve(ext.size() + orig.num_fanins(d));
+        for (std::size_t j = 0; j < ext.size(); ++j) {
+          if (j != i) next_ext.push_back(ext[j]);
+        }
+        for (GateId f : orig.fanins(d)) {
+          if (internal.count(f)) continue;
+          if (std::find(next_ext.begin(), next_ext.end(), f) ==
+              next_ext.end()) {
+            next_ext.push_back(f);
+          }
+        }
+        if (next_ext.size() > opt.max_inputs) continue;
+        internal.insert(d);
+        ext = std::move(next_ext);
+        grew = true;
+        break;  // restart scan: ext changed under us
+      }
+    }
+
+    if (internal.size() < opt.min_gates) {
+      claimed[root] = 1;
+      continue;
+    }
+    for (GateId g : internal) claimed[g] = 1;
+    m.internal.assign(internal.begin(), internal.end());
+    std::sort(m.internal.begin(), m.internal.end(),
+              [&](GateId a, GateId b) { return orig.level(a) < orig.level(b); });
+    m.ext_drivers = std::move(ext);
+    macros.push_back(std::move(m));
+  }
+
+  // Assemble the extracted circuit.
+  std::vector<std::uint32_t> macro_of(n, kNoGate);
+  std::vector<std::uint8_t> is_internal(n, 0);
+  std::vector<GateId> root_macro(n, kNoGate);
+  for (std::size_t mi = 0; mi < macros.size(); ++mi) {
+    for (GateId g : macros[mi].internal) {
+      macro_of[g] = static_cast<std::uint32_t>(mi);
+      if (g != macros[mi].root) is_internal[g] = 1;
+    }
+    root_macro[macros[mi].root] = static_cast<GateId>(mi);
+  }
+
+  CircuitData data;
+  data.name = orig.name() + "+macros";
+  std::vector<GateId> gate_map(n, kNoGate);
+  for (GateId g = 0; g < n; ++g) {
+    if (is_internal[g]) continue;
+    gate_map[g] = static_cast<GateId>(data.kinds.size());
+    const bool as_macro = root_macro[g] != kNoGate;
+    data.kinds.push_back(as_macro ? GateKind::Macro : orig.kind(g));
+    data.names.push_back(orig.gate_name(g));
+    data.fanins.emplace_back();  // filled below once all ids exist
+    data.tables_of.push_back(kNoGate);
+  }
+  // Fanins and truth tables.
+  for (GateId g = 0; g < n; ++g) {
+    if (is_internal[g]) continue;
+    const GateId ng = gate_map[g];
+    std::vector<GateId>& fi = data.fanins[ng];
+    if (root_macro[g] != kNoGate) {
+      MacroInfo& m = macros[root_macro[g]];
+      m.macro_gate = ng;
+      for (GateId d : m.ext_drivers) fi.push_back(gate_map[d]);
+      data.tables_of[ng] = static_cast<std::uint32_t>(data.tables.size());
+      data.tables.push_back(build_macro_table(orig, m));
+    } else {
+      for (GateId d : orig.fanins(g)) fi.push_back(gate_map[d]);
+    }
+  }
+  for (GateId g : orig.inputs()) data.primary_inputs.push_back(gate_map[g]);
+  for (GateId g : orig.outputs()) data.primary_outputs.push_back(gate_map[g]);
+
+  MacroExtraction result{Circuit(std::move(data)), std::move(gate_map),
+                         std::move(macro_of), std::move(macros)};
+  return result;
+}
+
+}  // namespace cfs

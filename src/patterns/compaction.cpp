@@ -1,0 +1,141 @@
+#include "patterns/compaction.h"
+
+#include "core/concurrent_sim.h"
+
+namespace cfs {
+
+namespace {
+
+Coverage simulate(const Circuit& c, const FaultUniverse& u,
+                  const std::vector<std::vector<Val>>& vecs, Val ff_init) {
+  ConcurrentSim sim(c, u);
+  sim.reset(ff_init);
+  for (const auto& v : vecs) sim.apply_vector(v);
+  return sim.coverage();
+}
+
+Coverage simulate_suite(const Circuit& c, const FaultUniverse& u,
+                        const TestSuite& t, Val ff_init) {
+  ConcurrentSim sim(c, u);
+  for (const PatternSet& seq : t.sequences()) {
+    sim.reset(ff_init);
+    for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
+  }
+  return sim.coverage();
+}
+
+}  // namespace
+
+CompactionResult compact_tests(const Circuit& c, const FaultUniverse& u,
+                               const PatternSet& tests,
+                               CompactionOptions opt) {
+  CompactionResult r;
+  r.original_size = tests.size();
+  std::vector<std::vector<Val>> cur = tests.vectors();
+
+  ++r.simulations;
+  const Coverage base = simulate(c, u, cur, opt.ff_init);
+
+  for (std::size_t pass = 0; pass < opt.max_passes; ++pass) {
+    bool shrunk = false;
+    for (std::size_t block = opt.block; block >= 1; block /= 2) {
+      // Try deleting each aligned block, scanning from the back (late
+      // vectors are the most likely to be redundant after dropping).
+      std::size_t pos = cur.size() >= block ? cur.size() - block : 0;
+      for (;;) {
+        if (cur.size() <= block) break;
+        std::vector<std::vector<Val>> trial;
+        trial.reserve(cur.size() - block);
+        trial.insert(trial.end(), cur.begin(),
+                     cur.begin() + static_cast<long>(pos));
+        trial.insert(trial.end(),
+                     cur.begin() + static_cast<long>(pos + block), cur.end());
+        ++r.simulations;
+        if (simulate(c, u, trial, opt.ff_init).hard >= base.hard) {
+          cur = std::move(trial);
+          shrunk = true;
+          // Stay at the same position: the next block slid into it.
+          if (pos + block > cur.size()) {
+            pos = cur.size() > block ? cur.size() - block : 0;
+          }
+        } else if (pos >= block) {
+          pos -= block;
+        } else {
+          break;
+        }
+      }
+      if (block == 1) break;
+    }
+    if (!shrunk) break;
+  }
+
+  r.patterns = PatternSet(tests.num_inputs());
+  for (auto& v : cur) r.patterns.add(std::move(v));
+  ++r.simulations;
+  r.coverage = simulate(c, u, r.patterns.vectors(), opt.ff_init);
+  return r;
+}
+
+SuiteCompactionResult compact_suite(const Circuit& c, const FaultUniverse& u,
+                                    const TestSuite& tests,
+                                    CompactionOptions opt) {
+  SuiteCompactionResult r;
+  r.original_vectors = tests.total_vectors();
+  TestSuite cur = tests;
+  cur.prune_empty();
+
+  ++r.simulations;
+  const Coverage base = simulate_suite(c, u, cur, opt.ff_init);
+
+  // Pass 1: whole-sequence deletion, later sequences first (they usually
+  // carry the fewest unique detections).
+  for (std::size_t i = cur.num_sequences(); i-- > 0 && cur.num_sequences() > 1;) {
+    TestSuite trial = cur;
+    trial.sequences().erase(trial.sequences().begin() + static_cast<long>(i));
+    ++r.simulations;
+    if (simulate_suite(c, u, trial, opt.ff_init).hard >= base.hard) {
+      cur = std::move(trial);
+    }
+  }
+
+  // Pass 2: block-compact each sequence, validating on the whole suite.
+  for (std::size_t si = 0; si < cur.num_sequences(); ++si) {
+    for (std::size_t block = opt.block; block >= 1; block /= 2) {
+      std::size_t pos = cur.sequences()[si].size() >= block
+                            ? cur.sequences()[si].size() - block
+                            : 0;
+      for (;;) {
+        PatternSet& seq = cur.sequences()[si];
+        if (seq.size() <= block) break;
+        TestSuite trial = cur;
+        PatternSet edited(seq.num_inputs());
+        for (std::size_t k = 0; k < seq.size(); ++k) {
+          if (k < pos || k >= pos + block) edited.add(seq[k]);
+        }
+        trial.sequences()[si] = std::move(edited);
+        ++r.simulations;
+        if (simulate_suite(c, u, trial, opt.ff_init).hard >= base.hard) {
+          cur = std::move(trial);
+          if (pos + block > cur.sequences()[si].size()) {
+            pos = cur.sequences()[si].size() > block
+                      ? cur.sequences()[si].size() - block
+                      : 0;
+          }
+        } else if (pos >= block) {
+          pos -= block;
+        } else {
+          break;
+        }
+      }
+      if (block == 1) break;
+    }
+  }
+
+  cur.prune_empty();
+  r.suite = std::move(cur);
+  ++r.simulations;
+  r.coverage = simulate_suite(c, u, r.suite, opt.ff_init);
+  return r;
+}
+
+}  // namespace cfs

@@ -1,0 +1,52 @@
+// Static test-set compaction for sequential circuits.
+//
+// Sequential tests cannot be reordered or thinned arbitrarily -- every
+// vector conditions the state the following vectors depend on -- so
+// compaction works on *suffix-safe* edits validated by re-simulation:
+// repeatedly try to delete a block of vectors and keep the deletion only
+// if fault simulation of the edited sequence still achieves the original
+// hard-detection count.  This is the simple restoration-style compaction
+// widely used with simulation-based sequential test generators.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault.h"
+#include "netlist/circuit.h"
+#include "patterns/pattern.h"
+
+namespace cfs {
+
+struct CompactionOptions {
+  std::size_t block = 16;   ///< initial deletion-block size (halves down to 1)
+  std::size_t max_passes = 4;
+  Val ff_init = Val::X;
+};
+
+struct CompactionResult {
+  PatternSet patterns;
+  std::size_t original_size = 0;
+  std::size_t simulations = 0;  ///< fault-sim runs spent validating edits
+  Coverage coverage;            ///< of the compacted set (same hard count)
+};
+
+/// Compact `tests` against the stuck-at universe `u`.  The result detects
+/// at least as many faults as the input did.
+CompactionResult compact_tests(const Circuit& c, const FaultUniverse& u,
+                               const PatternSet& tests,
+                               CompactionOptions opt = {});
+
+/// Suite compaction: first tries to delete whole sequences (cheapest win),
+/// then block-compacts each surviving sequence, validating every edit by
+/// re-simulating the entire suite.
+struct SuiteCompactionResult {
+  TestSuite suite;
+  std::size_t original_vectors = 0;
+  std::size_t simulations = 0;
+  Coverage coverage;
+};
+SuiteCompactionResult compact_suite(const Circuit& c, const FaultUniverse& u,
+                                    const TestSuite& tests,
+                                    CompactionOptions opt = {});
+
+}  // namespace cfs

@@ -1,0 +1,167 @@
+#include "patterns/pattern.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cfs {
+
+void PatternSet::add(std::vector<Val> v) {
+  if (num_inputs_ == 0 && vectors_.empty()) num_inputs_ = v.size();
+  if (v.size() != num_inputs_) {
+    throw Error("PatternSet::add: vector width " + std::to_string(v.size()) +
+                " != " + std::to_string(num_inputs_));
+  }
+  vectors_.push_back(std::move(v));
+}
+
+void PatternSet::truncate(std::size_t new_size) {
+  if (new_size < vectors_.size()) vectors_.resize(new_size);
+}
+
+PatternSet PatternSet::random(std::size_t num_inputs, std::size_t count,
+                              std::uint64_t seed, unsigned x_permille) {
+  Rng rng(seed);
+  PatternSet ps(num_inputs);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<Val> v(num_inputs);
+    for (auto& x : v) {
+      if (x_permille > 0 && rng.chance(x_permille, 1000)) {
+        x = Val::X;
+      } else {
+        x = rng.chance(1, 2) ? Val::One : Val::Zero;
+      }
+    }
+    ps.add(std::move(v));
+  }
+  return ps;
+}
+
+PatternSet PatternSet::parse(std::string_view text) {
+  PatternSet ps;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    std::vector<Val> v;
+    v.reserve(line.size());
+    for (char ch : line) {
+      if (ch != '0' && ch != '1' && ch != 'x' && ch != 'X') {
+        throw Error("pattern line " + std::to_string(line_no) +
+                    ": invalid character '" + std::string(1, ch) + "'");
+      }
+      v.push_back(val_from_char(ch));
+    }
+    try {
+      ps.add(std::move(v));
+    } catch (const Error&) {
+      throw Error("pattern line " + std::to_string(line_no) +
+                  ": inconsistent vector width");
+    }
+  }
+  return ps;
+}
+
+std::string PatternSet::to_text(std::string_view comment) const {
+  std::ostringstream out;
+  if (!comment.empty()) out << "# " << comment << "\n";
+  for (const auto& v : vectors_) {
+    for (Val x : v) out << to_char(x);
+    out << "\n";
+  }
+  return out.str();
+}
+
+PatternSet PatternSet::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open pattern file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void PatternSet::save(const std::string& path,
+                      std::string_view comment) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write pattern file: " + path);
+  out << to_text(comment);
+}
+
+std::size_t TestSuite::total_vectors() const {
+  std::size_t n = 0;
+  for (const PatternSet& s : seqs_) n += s.size();
+  return n;
+}
+
+void TestSuite::prune_empty() {
+  std::erase_if(seqs_, [](const PatternSet& s) { return s.empty(); });
+}
+
+TestSuite TestSuite::parse(std::string_view text) {
+  TestSuite suite;
+  std::string chunk;
+  std::size_t pos = 0;
+  auto flush = [&] {
+    const PatternSet s = PatternSet::parse(chunk);
+    if (!s.empty()) suite.seqs_.push_back(s);
+    chunk.clear();
+  };
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, nl == std::string_view::npos ? text.size() - pos
+                                                      : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    if (upper(trim(line)) == "RESET") {
+      flush();
+    } else {
+      chunk += line;
+      chunk += '\n';
+    }
+  }
+  flush();
+  for (const PatternSet& s : suite.seqs_) {
+    if (s.num_inputs() != suite.num_inputs()) {
+      throw Error("test suite sequences have inconsistent vector widths");
+    }
+  }
+  return suite;
+}
+
+std::string TestSuite::to_text(std::string_view comment) const {
+  std::ostringstream out;
+  if (!comment.empty()) out << "# " << comment << "\n";
+  for (std::size_t i = 0; i < seqs_.size(); ++i) {
+    if (i) out << "RESET\n";
+    out << seqs_[i].to_text();
+  }
+  return out.str();
+}
+
+TestSuite TestSuite::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open pattern file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse(ss.str());
+}
+
+void TestSuite::save(const std::string& path, std::string_view comment) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write pattern file: " + path);
+  out << to_text(comment);
+}
+
+}  // namespace cfs

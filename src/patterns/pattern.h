@@ -1,0 +1,91 @@
+// Test pattern sets: ordered input-vector sequences with text I/O.
+//
+// Synchronous sequential tests are a single continuous sequence -- every
+// fault simulator in the library resets once and then applies the vectors
+// in order with a clock between frames -- so a PatternSet is exactly that:
+// one vector of PI values per frame.
+//
+// Text format, one vector per line, characters 0/1/x, '#' comments:
+//   # s27, 3 vectors
+//   0101
+//   1100
+//   x011
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "util/logic.h"
+
+namespace cfs {
+
+class PatternSet {
+ public:
+  PatternSet() = default;
+  explicit PatternSet(std::size_t num_inputs) : num_inputs_(num_inputs) {}
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t size() const { return vectors_.size(); }
+  bool empty() const { return vectors_.empty(); }
+
+  const std::vector<Val>& operator[](std::size_t i) const {
+    return vectors_[i];
+  }
+  const std::vector<std::vector<Val>>& vectors() const { return vectors_; }
+
+  /// Append one vector; must match num_inputs (throws otherwise).
+  void add(std::vector<Val> v);
+
+  /// Drop vectors from `new_size` onward.
+  void truncate(std::size_t new_size);
+
+  /// Uniform random patterns; `x_permille` of the values are X.
+  static PatternSet random(std::size_t num_inputs, std::size_t count,
+                           std::uint64_t seed, unsigned x_permille = 0);
+
+  static PatternSet parse(std::string_view text);
+  std::string to_text(std::string_view comment = {}) const;
+
+  static PatternSet load(const std::string& path);
+  void save(const std::string& path, std::string_view comment = {}) const;
+
+ private:
+  std::size_t num_inputs_ = 0;
+  std::vector<std::vector<Val>> vectors_;
+};
+
+/// A test suite: one or more vector sequences, each applied from the reset
+/// state.  Sequential ATPG uses restarts because some faults are only
+/// excitable from a freshly initialised machine.  Text format: sequences
+/// separated by a line containing the keyword RESET.
+class TestSuite {
+ public:
+  TestSuite() = default;
+  explicit TestSuite(PatternSet single) { seqs_.push_back(std::move(single)); }
+
+  std::vector<PatternSet>& sequences() { return seqs_; }
+  const std::vector<PatternSet>& sequences() const { return seqs_; }
+
+  std::size_t num_sequences() const { return seqs_.size(); }
+  std::size_t total_vectors() const;
+  std::size_t num_inputs() const {
+    return seqs_.empty() ? 0 : seqs_.front().num_inputs();
+  }
+  bool empty() const { return total_vectors() == 0; }
+
+  /// Drop sequences that contain no vectors.
+  void prune_empty();
+
+  static TestSuite parse(std::string_view text);
+  std::string to_text(std::string_view comment = {}) const;
+  static TestSuite load(const std::string& path);
+  void save(const std::string& path, std::string_view comment = {}) const;
+
+ private:
+  std::vector<PatternSet> seqs_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,77 @@
+#include "patterns/tgen.h"
+
+#include "util/rng.h"
+
+namespace cfs {
+
+TgenResult generate_tests(const Circuit& c, const FaultUniverse& u,
+                          const TgenOptions& opt) {
+  Rng rng(opt.seed);
+  ConcurrentSim sim(c, u);
+  sim.reset(opt.ff_init);
+
+  TgenResult r;
+  std::size_t total = 0;
+
+  // Segment proposal: weighted random with occasional input holding, which
+  // exercises sequential behaviour better than pure white noise.
+  std::vector<Val> v(c.inputs().size(), Val::Zero);
+  auto propose = [&](std::vector<std::vector<Val>>& seg) {
+    seg.clear();
+    for (auto& x : v) x = rng.chance(1, 2) ? Val::One : Val::Zero;
+    for (std::size_t i = 0; i < opt.segment_len; ++i) {
+      // Flip each input with probability 1/3: correlated successive vectors.
+      for (auto& x : v) {
+        if (rng.chance(1, 3)) x = x == Val::One ? Val::Zero : Val::One;
+      }
+      seg.push_back(v);
+    }
+  };
+
+  std::vector<std::vector<Val>> seg;
+  for (std::size_t restart = 0; restart <= opt.max_restarts; ++restart) {
+    if (restart > 0) {
+      sim.reset(opt.ff_init);  // fresh machine, detection status kept
+      ++r.restarts;
+    }
+    PatternSet seq(c.inputs().size());
+    std::size_t last_useful = 0;
+    std::size_t stale = 0;
+    bool kept_any = false;
+    while (total + seq.size() < opt.max_vectors &&
+           stale < opt.stale_limit &&
+           sim.coverage().pct() < opt.target_coverage_pct) {
+      propose(seg);
+      ++r.segments_tried;
+      std::size_t newly = 0;
+      for (const auto& vec : seg) {
+        if (total + seq.size() >= opt.max_vectors) break;
+        newly += sim.apply_vector(vec);
+        seq.add(vec);
+        if (newly > 0) last_useful = seq.size();
+      }
+      if (newly > 0) {
+        ++r.segments_kept;
+        kept_any = true;
+        stale = 0;
+      } else {
+        ++stale;
+      }
+    }
+    // Trim the useless tail -- prefixes of a sequence remain valid tests.
+    seq.truncate(last_useful);
+    total += seq.size();
+    if (!seq.empty()) r.suite.sequences().push_back(std::move(seq));
+    if (total >= opt.max_vectors ||
+        sim.coverage().pct() >= opt.target_coverage_pct) {
+      break;
+    }
+    // A restart that contributed nothing signals exhaustion.
+    if (restart > 0 && !kept_any) break;
+  }
+
+  r.coverage = sim.coverage();
+  return r;
+}
+
+}  // namespace cfs

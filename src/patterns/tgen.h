@@ -1,0 +1,47 @@
+// Simulation-guided sequential test generation.
+//
+// The paper takes its deterministic test sets from the PROOFS authors
+// (Table 3) and from the authors' own sequential test generator [14]
+// (Table 4).  Neither is available, so this module produces deterministic
+// tests the same way simulation-based sequential ATPGs do: propose random
+// input segments, fault-simulate each with the concurrent simulator
+// (dogfooding the core engine), keep segments that detect new faults, trim
+// useless tails, and *restart* from the reset state when a sequence goes
+// stale -- some faults are only excitable from a freshly initialised
+// machine, so the result is a TestSuite of independent sequences.  A fixed
+// seed makes every test set reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "core/concurrent_sim.h"
+#include "faults/fault.h"
+#include "netlist/circuit.h"
+#include "patterns/pattern.h"
+
+namespace cfs {
+
+struct TgenOptions {
+  std::size_t segment_len = 16;    ///< vectors proposed per step
+  std::size_t max_vectors = 4096;  ///< hard budget on total test length
+  std::size_t stale_limit = 12;    ///< restart after this many useless segments
+  std::size_t max_restarts = 6;    ///< additional sequences to try
+  std::uint64_t seed = 7;
+  Val ff_init = Val::X;
+  /// Coverage (in percent of the universe) at which to stop early.
+  double target_coverage_pct = 100.0;
+};
+
+struct TgenResult {
+  TestSuite suite;
+  Coverage coverage;  ///< achieved on the given universe
+  std::size_t segments_kept = 0;
+  std::size_t segments_tried = 0;
+  std::size_t restarts = 0;
+};
+
+/// Generate a deterministic test suite for the stuck-at universe `u`.
+TgenResult generate_tests(const Circuit& c, const FaultUniverse& u,
+                          const TgenOptions& opt = {});
+
+}  // namespace cfs

@@ -1,0 +1,124 @@
+#include "sim/delay_sim.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cfs {
+
+DelaySim::DelaySim(const Circuit& c, std::vector<std::uint32_t> delays)
+    : c_(&c), delays_(std::move(delays)) {
+  if (!c.dffs().empty()) {
+    throw Error("DelaySim supports combinational circuits only");
+  }
+  if (delays_.size() != c.num_gates()) {
+    throw Error("DelaySim: delay vector size mismatch");
+  }
+  for (std::uint32_t d : delays_) {
+    if (d == 0) throw Error("DelaySim: zero delays are not representable");
+  }
+  states_.resize(c.num_gates());
+  last_posted_.assign(c.num_gates(), Val::X);
+  wheel_.resize(kWheelSize);
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    states_[g] = state_all_x(c.num_fanins(g));
+  }
+}
+
+DelaySim::DelaySim(const Circuit& c, std::uint32_t uniform_delay)
+    : DelaySim(c, std::vector<std::uint32_t>(c.num_gates(), uniform_delay)) {}
+
+void DelaySim::post(std::uint64_t t, GateId g, Val v) {
+  if (last_posted_[g] == v) return;  // suppressed: no change vs last post
+  last_posted_[g] = v;
+  ++pending_;
+  if (t - now_ < kWheelSize) {
+    wheel_[t % kWheelSize].push_back({g, v});
+  } else {
+    overflow_.emplace_back(t, Event{g, v});
+  }
+}
+
+void DelaySim::set_input(unsigned pi_index, Val v) {
+  const GateId g = c_->inputs()[pi_index];
+  if (inj_active_ && inj_gate_ == g && inj_pin_ == 0xFFFF) v = inj_val_;
+  post(now_, g, v);
+}
+
+std::uint64_t DelaySim::run(std::uint64_t max_time) {
+  std::uint64_t last_event_time = now_;
+  std::vector<GateId> activated;  // phase-2 local queue
+  while (pending_ > 0 && now_ <= max_time) {
+    // Refill the wheel slot for `now_` from overflow when it comes in range.
+    if (!overflow_.empty()) {
+      auto it = overflow_.begin();
+      while (it != overflow_.end()) {
+        if (it->first - now_ < kWheelSize) {
+          wheel_[it->first % kWheelSize].push_back(it->second);
+          it = overflow_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    auto& slot = wheel_[now_ % kWheelSize];
+    if (slot.empty()) {
+      ++now_;
+      continue;
+    }
+    // Phase 1: assign matured values; collect activated fanout gates.
+    activated.clear();
+    for (const Event& ev : slot) {
+      --pending_;
+      ++processed_;
+      if (state_out(states_[ev.gate]) == ev.val) continue;
+      states_[ev.gate] = state_set_out(states_[ev.gate], ev.val);
+      history_.push_back({now_, ev.gate, ev.val});
+      last_event_time = now_;
+      for (const Fanout& fo : c_->fanouts(ev.gate)) {
+        states_[fo.gate] = state_set(states_[fo.gate], fo.pin, ev.val);
+        if (std::find(activated.begin(), activated.end(), fo.gate) ==
+            activated.end()) {
+          activated.push_back(fo.gate);
+        }
+      }
+    }
+    slot.clear();
+    // Phase 2: evaluate activated gates, post future events.
+    for (GateId g : activated) {
+      post(now_ + delays_[g], g, evaluate(g));
+    }
+    ++now_;
+  }
+  return last_event_time;
+}
+
+Val DelaySim::evaluate(GateId g) const {
+  GateState s = states_[g];
+  if (inj_active_ && inj_gate_ == g && inj_pin_ != 0xFFFF) {
+    s = state_set(s, inj_pin_, inj_val_);
+  }
+  Val v = c_->eval(g, s);
+  if (inj_active_ && inj_gate_ == g && inj_pin_ == 0xFFFF) v = inj_val_;
+  return v;
+}
+
+void DelaySim::inject(GateId gate, std::uint16_t pin, Val v) {
+  inj_active_ = true;
+  inj_gate_ = gate;
+  inj_pin_ = pin;
+  inj_val_ = v;
+  if (pin == 0xFFFF) {
+    if (c_->kind(gate) == GateKind::Input) {
+      post(now_, gate, v);  // a stuck PI is just a forced input
+    } else {
+      // The stuck output asserts itself after the gate's delay.
+      post(now_ + delays_[gate], gate, v);
+    }
+  } else {
+    // A stuck pin flows through the gate's evaluation.
+    post(now_ + delays_[gate], gate, evaluate(gate));
+  }
+}
+
+}  // namespace cfs

@@ -1,0 +1,87 @@
+// Arbitrary-delay two-phase event-driven simulator (timing wheel).
+//
+// The paper's §2 sketches the general concurrent-simulation mode before
+// specialising to zero delay: "events are posted for all changing elements
+// after gate evaluation... In the first phase of fault simulation, the
+// matured events are fetched to assign logic values to gate outputs...  The
+// fanout gate identifiers are entered into a local queue, not the timing
+// queue, for the second phase."  This module implements exactly that
+// two-phase loop for the good machine over combinational netlists with
+// per-gate transport delays; it is the substrate that the concurrent
+// paradigm runs on when the synchronous shortcut does not apply.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "util/logic.h"
+#include "util/packed_state.h"
+
+namespace cfs {
+
+class DelaySim {
+ public:
+  /// `delays[g]` is gate g's transport delay in ticks (sources ignore it).
+  /// Only combinational circuits are supported; throws on DFFs.
+  DelaySim(const Circuit& c, std::vector<std::uint32_t> delays);
+
+  /// Convenience: every gate gets the same delay.
+  DelaySim(const Circuit& c, std::uint32_t uniform_delay);
+
+  /// Schedule a primary-input change at the current time.
+  void set_input(unsigned pi_index, Val v);
+
+  /// Run the two-phase loop until the wheel is empty or `max_time` is
+  /// passed; returns the time of the last processed event.
+  std::uint64_t run(std::uint64_t max_time = ~0ull);
+
+  Val value(GateId g) const { return state_out(states_[g]); }
+  std::uint64_t now() const { return now_; }
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Force a stuck-at value at a site (`pin == 0xFFFF` = the gate output).
+  /// Must be called before any set_input/run activity: the fault is present
+  /// from t=0.  Used as the serial reference for the arbitrary-delay
+  /// concurrent engine.
+  void inject(GateId gate, std::uint16_t pin, Val v);
+
+  /// Recorded output-change history (time, gate, new value) -- used by the
+  /// tests to check glitch timing.
+  struct Change {
+    std::uint64_t time;
+    GateId gate;
+    Val val;
+  };
+  const std::vector<Change>& history() const { return history_; }
+  void clear_history() { history_.clear(); }
+
+ private:
+  struct Event {
+    GateId gate;
+    Val val;
+  };
+
+  void post(std::uint64_t t, GateId g, Val v);
+
+  Val evaluate(GateId g) const;
+
+  const Circuit* c_;
+  std::vector<std::uint32_t> delays_;
+  std::vector<GateState> states_;
+  std::vector<Val> last_posted_;
+  bool inj_active_ = false;
+  GateId inj_gate_ = kNoGate;
+  std::uint16_t inj_pin_ = 0xFFFF;
+  Val inj_val_ = Val::X;
+  // Timing wheel with overflow: slot = time % wheel size.
+  static constexpr std::size_t kWheelSize = 256;
+  std::vector<std::vector<Event>> wheel_;
+  std::vector<std::pair<std::uint64_t, Event>> overflow_;
+  std::uint64_t now_ = 0;
+  std::uint64_t pending_ = 0;
+  std::uint64_t processed_ = 0;
+  std::vector<Change> history_;
+};
+
+}  // namespace cfs

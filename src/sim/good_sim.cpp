@@ -1,0 +1,211 @@
+#include "sim/good_sim.h"
+
+#include "util/error.h"
+
+namespace cfs {
+
+GoodSim::GoodSim(const Circuit& c, Val ff_init) : c_(&c), queue_(c) {
+  states_.resize(c.num_gates());
+  latch_buf_.resize(c.dffs().size());
+  reset(ff_init);
+}
+
+Val GoodSim::evaluate(GateId g) const {
+  GateState s = states_[g];
+  if (inj_gate_ == g && inj_pin_ != kOutPin) {
+    if (inj_mode_ == InjMode::Stuck) {
+      s = state_set(s, inj_pin_, inj_val_);
+    } else if (inj_mode_ == InjMode::Transition && inj_hold_) {
+      const Val cv = state_get(s, inj_pin_);
+      s = state_set(s, inj_pin_,
+                    transition_hold_value(inj_prev_, cv, inj_val_));
+    }
+  }
+  Val v = c_->eval(g, s);
+  if (inj_mode_ == InjMode::Stuck && inj_gate_ == g && inj_pin_ == kOutPin) {
+    v = inj_val_;
+  }
+  return v;
+}
+
+void GoodSim::commit_output(GateId g, Val v) {
+  states_[g] = state_set_out(states_[g], v);
+  for (const Fanout& fo : c_->fanouts(g)) {
+    states_[fo.gate] = state_set(states_[fo.gate], fo.pin, v);
+    if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
+  }
+}
+
+void GoodSim::force_source(GateId g) {
+  // Apply an output injection on a source (PI or DFF) right away.
+  if (inj_mode_ == InjMode::Stuck && inj_gate_ == g && inj_pin_ == kOutPin &&
+      state_out(states_[g]) != inj_val_) {
+    commit_output(g, inj_val_);
+  }
+}
+
+void GoodSim::reset(Val ff_init) {
+  for (GateId g = 0; g < c_->num_gates(); ++g) {
+    states_[g] = state_all_x(c_->num_fanins(g));
+  }
+  // Source values: X on PIs, ff_init on DFF outputs, output injections win.
+  auto source_val = [&](GateId g, Val base) {
+    if (inj_mode_ == InjMode::Stuck && inj_gate_ == g && inj_pin_ == kOutPin) {
+      return inj_val_;
+    }
+    return base;
+  };
+  for (GateId g : c_->inputs()) {
+    states_[g] = state_set_out(states_[g], source_val(g, Val::X));
+  }
+  for (GateId g : c_->dffs()) {
+    states_[g] = state_set_out(states_[g], source_val(g, ff_init));
+  }
+  // Full sweep: push source values into pins, evaluate in topo order.
+  for (GateId g = 0; g < c_->num_gates(); ++g) {
+    if (!is_combinational(c_->kind(g))) {
+      const Val v = state_out(states_[g]);
+      for (const Fanout& fo : c_->fanouts(g)) {
+        states_[fo.gate] = state_set(states_[fo.gate], fo.pin, v);
+      }
+    }
+  }
+  for (GateId g : c_->topo_order()) {
+    const Val v = evaluate(g);
+    states_[g] = state_set_out(states_[g], v);
+    for (const Fanout& fo : c_->fanouts(g)) {
+      states_[fo.gate] = state_set(states_[fo.gate], fo.pin, v);
+    }
+  }
+}
+
+void GoodSim::set_input(unsigned pi_index, Val v) {
+  const GateId g = c_->inputs()[pi_index];
+  if (inj_mode_ == InjMode::Stuck && inj_gate_ == g && inj_pin_ == kOutPin) {
+    v = inj_val_;
+  }
+  if (state_out(states_[g]) != v) commit_output(g, v);
+}
+
+void GoodSim::set_inputs(std::span<const Val> vals) {
+  if (vals.size() != c_->inputs().size()) {
+    throw Error("set_inputs: expected " +
+                std::to_string(c_->inputs().size()) + " values, got " +
+                std::to_string(vals.size()));
+  }
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    set_input(static_cast<unsigned>(i), vals[i]);
+  }
+}
+
+void GoodSim::settle() {
+  queue_.drain([this](GateId g) {
+    const Val v = evaluate(g);
+    if (v != state_out(states_[g])) commit_output(g, v);
+  });
+}
+
+void GoodSim::clock() {
+  const auto dffs = c_->dffs();
+  // Phase 1 (master): capture all D values from the settled state.
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    Val d = state_get(states_[dffs[i]], 0);
+    if (inj_gate_ == dffs[i]) {
+      if (inj_mode_ == InjMode::Stuck &&
+          (inj_pin_ == 0 || inj_pin_ == kOutPin)) {
+        d = inj_val_;  // D-pin fault or Q output fault
+      } else if (inj_mode_ == InjMode::Transition && inj_pin_ == 0 &&
+                 inj_hold_) {
+        d = transition_hold_value(inj_prev_, d, inj_val_);
+      }
+    }
+    latch_buf_[i] = d;
+  }
+  // Phase 2 (slave): drive Q outputs and settle the cone.
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    if (state_out(states_[dffs[i]]) != latch_buf_[i]) {
+      commit_output(dffs[i], latch_buf_[i]);
+    }
+  }
+  settle();
+}
+
+Val GoodSim::output(unsigned po_index) const {
+  return value(c_->outputs()[po_index]);
+}
+
+std::vector<Val> GoodSim::output_values() const {
+  std::vector<Val> out;
+  out.reserve(c_->outputs().size());
+  for (GateId g : c_->outputs()) out.push_back(value(g));
+  return out;
+}
+
+std::vector<Val> GoodSim::ff_values() const {
+  std::vector<Val> out;
+  out.reserve(c_->dffs().size());
+  for (GateId g : c_->dffs()) out.push_back(value(g));
+  return out;
+}
+
+void GoodSim::inject(GateId gate, std::uint16_t pin, Val v) {
+  inj_mode_ = InjMode::Stuck;
+  inj_gate_ = gate;
+  inj_pin_ = pin;
+  inj_val_ = v;
+  if (pin == kOutPin && !is_combinational(c_->kind(gate))) {
+    force_source(gate);
+  } else if (is_combinational(c_->kind(gate))) {
+    queue_.schedule(gate);
+  }
+  // A D-pin fault on a DFF takes effect at the next clock().
+}
+
+void GoodSim::inject_transition(GateId gate, std::uint16_t pin, Val target) {
+  if (pin == kOutPin) {
+    throw Error("transition faults must sit on input pins");
+  }
+  inj_mode_ = InjMode::Transition;
+  inj_gate_ = gate;
+  inj_pin_ = pin;
+  inj_val_ = target;
+  inj_hold_ = false;
+  inj_prev_ = Val::X;
+  if (is_combinational(c_->kind(gate))) queue_.schedule(gate);
+}
+
+void GoodSim::set_transition_hold(bool hold, Val prev) {
+  inj_hold_ = hold;
+  inj_prev_ = prev;
+  if (inj_gate_ != kNoGate && is_combinational(c_->kind(inj_gate_))) {
+    queue_.schedule(inj_gate_);
+  }
+}
+
+void GoodSim::load_ff_outputs(std::span<const Val> qvals) {
+  const auto dffs = c_->dffs();
+  if (qvals.size() != dffs.size()) {
+    throw Error("load_ff_outputs: wrong flip-flop count");
+  }
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    Val v = qvals[i];
+    if (inj_mode_ == InjMode::Stuck && inj_gate_ == dffs[i] &&
+        inj_pin_ == kOutPin) {
+      v = inj_val_;
+    }
+    if (state_out(states_[dffs[i]]) != v) commit_output(dffs[i], v);
+  }
+  settle();
+}
+
+void GoodSim::clear_injection() {
+  const bool had = inj_mode_ != InjMode::None;
+  const GateId g = inj_gate_;
+  inj_mode_ = InjMode::None;
+  inj_gate_ = kNoGate;
+  if (had && g != kNoGate && is_combinational(c_->kind(g))) {
+    queue_.schedule(g);
+  }
+}
+
+}  // namespace cfs

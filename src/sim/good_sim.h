@@ -1,0 +1,121 @@
+// Scalar three-valued zero-delay good-machine simulator.
+//
+// This is the reference semantics for the whole library: every fault
+// simulator (concurrent, serial, PROOFS-style, deductive) must agree with a
+// GoodSim carrying the corresponding fault injection.  It is levelized and
+// event-driven; per-gate state is the packed word of packed_state.h with
+// redundant input-pin copies, exactly the gate-state representation the
+// concurrent simulator uses.
+//
+// A single optional stuck-at injection turns GoodSim into one faulty
+// machine -- the serial baseline replays the test sequence through one
+// injected GoodSim per fault.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "faults/transition_model.h"
+#include "netlist/circuit.h"
+#include "sim/level_queue.h"
+#include "util/logic.h"
+#include "util/packed_state.h"
+
+namespace cfs {
+
+/// Pin index denoting a gate's output rather than an input pin.
+inline constexpr std::uint16_t kOutPin = 0xFFFF;
+
+class GoodSim {
+ public:
+  explicit GoodSim(const Circuit& c, Val ff_init = Val::X);
+
+  const Circuit& circuit() const { return *c_; }
+
+  /// Re-initialise: primary inputs X, flip-flops `ff_init`, all gates
+  /// re-evaluated.  Keeps any active injection in force.
+  void reset(Val ff_init = Val::X);
+
+  /// Drive primary input `pi_index` (position in circuit().inputs()).
+  void set_input(unsigned pi_index, Val v);
+  void set_inputs(std::span<const Val> vals);
+
+  /// Propagate all pending combinational events (zero-delay settle).
+  void settle();
+
+  /// Latch every DFF from its settled D value, then settle the fanout cone.
+  /// Call after sampling outputs: POs and FFs sample the same settled state.
+  void clock();
+
+  /// Convenience: set_inputs + settle.
+  void apply(std::span<const Val> pi_vals) {
+    set_inputs(pi_vals);
+    settle();
+  }
+
+  Val value(GateId g) const { return state_out(states_[g]); }
+  GateState state(GateId g) const { return states_[g]; }
+  Val output(unsigned po_index) const;
+  std::vector<Val> output_values() const;
+  std::vector<Val> ff_values() const;
+
+  /// Force a stuck-at value at a site: `pin == kOutPin` faults the gate
+  /// output, otherwise input pin `pin`.  Takes effect immediately (the site
+  /// is re-evaluated and the change propagates on the next settle()).
+  void inject(GateId gate, std::uint16_t pin, Val v);
+  /// Remove the injection.  Combinational sites are re-evaluated on the
+  /// next settle(); a forced PI/DFF *output* keeps its last value until the
+  /// next set_input()/clock()/reset() writes it -- call reset() for a clean
+  /// machine.
+  void clear_injection();
+  bool has_injection() const { return inj_mode_ != InjMode::None; }
+
+  /// Inject a transition fault: the transition of input pin `pin` of `gate`
+  /// towards `target` is delayed.  While the hold phase is active (see
+  /// set_transition_hold) the pin evaluates to the Table-1 FV of
+  /// (prev value, current value); in the fire phase it passes through.
+  void inject_transition(GateId gate, std::uint16_t pin, Val target);
+
+  /// Switch the transition injection between hold (pass 1) and fire
+  /// (pass 2); `prev` is the previous-frame settled value of the site pin.
+  /// Re-schedules the site gate.
+  void set_transition_hold(bool hold, Val prev);
+
+  /// Raw (unforced) value currently on input pin `pin` of gate `g`.
+  Val pin_value(GateId g, unsigned pin) const {
+    return state_get(states_[g], pin);
+  }
+
+  /// Drive every DFF output directly (bypassing clock()); used by the
+  /// serial transition engine's explicit master/slave sequencing.
+  void load_ff_outputs(std::span<const Val> qvals);
+
+  /// Gates evaluated since construction (activity metric).
+  std::uint64_t events_processed() const { return queue_.processed(); }
+
+  std::size_t bytes() const {
+    return states_.capacity() * sizeof(GateState) + queue_.bytes();
+  }
+
+ private:
+  enum class InjMode : std::uint8_t { None, Stuck, Transition };
+
+  Val evaluate(GateId g) const;
+  void commit_output(GateId g, Val v);
+  void force_source(GateId g);
+  bool inj_active() const { return inj_mode_ == InjMode::Stuck; }
+
+  const Circuit* c_;
+  std::vector<GateState> states_;
+  LevelQueue queue_;
+  InjMode inj_mode_ = InjMode::None;
+  GateId inj_gate_ = kNoGate;
+  std::uint16_t inj_pin_ = kOutPin;
+  Val inj_val_ = Val::X;   // stuck value / transition target
+  bool inj_hold_ = false;  // transition: hold phase active
+  Val inj_prev_ = Val::X;  // transition: previous settled site-pin value
+  std::vector<Val> latch_buf_;  // scratch for two-phase DFF latching
+};
+
+}  // namespace cfs

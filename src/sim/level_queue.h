@@ -1,0 +1,73 @@
+// Zero-delay event queue: per-level buckets of gate ids.
+//
+// The paper's key synchronous-circuit simplification (§2.1): "the timing
+// queue is no longer necessary and only gate identifiers are 'scheduled'
+// into the event queue when there is an event on at least one machine
+// element."  Gates are drained in level order; because a combinational
+// fanout always sits at a strictly higher level than its driver, a single
+// ascending sweep settles the network.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.h"
+
+namespace cfs {
+
+class LevelQueue {
+ public:
+  explicit LevelQueue(const Circuit& c)
+      : levels_(c.num_gates()), scheduled_(c.num_gates(), 0) {
+    for (GateId g = 0; g < c.num_gates(); ++g) levels_[g] = c.level(g);
+    buckets_.resize(c.num_levels());
+  }
+
+  /// Schedule a combinational gate for (re)evaluation.  Idempotent.
+  void schedule(GateId g) {
+    if (scheduled_[g]) return;
+    scheduled_[g] = 1;
+    buckets_[levels_[g]].push_back(g);
+    ++pending_;
+  }
+
+  bool empty() const { return pending_ == 0; }
+
+  /// Drain in ascending level order.  `process(g)` may schedule gates at
+  /// strictly higher levels (asserted in debug builds).
+  template <typename F>
+  void drain(F&& process) {
+    for (std::size_t lvl = 0; lvl < buckets_.size(); ++lvl) {
+      auto& bucket = buckets_[lvl];
+      for (std::size_t i = 0; i < bucket.size(); ++i) {
+        const GateId g = bucket[i];
+        scheduled_[g] = 0;
+        --pending_;
+        ++processed_;
+        process(g);
+      }
+      bucket.clear();
+    }
+    assert(pending_ == 0);
+  }
+
+  /// Total gates processed over the queue's lifetime (an activity metric).
+  std::uint64_t processed() const { return processed_; }
+
+  std::size_t bytes() const {
+    std::size_t b = levels_.capacity() * sizeof(std::uint32_t) +
+                    scheduled_.capacity();
+    for (const auto& v : buckets_) b += v.capacity() * sizeof(GateId);
+    return b;
+  }
+
+ private:
+  std::vector<std::uint32_t> levels_;
+  std::vector<std::uint8_t> scheduled_;
+  std::vector<std::vector<GateId>> buckets_;
+  std::size_t pending_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace cfs

@@ -1,0 +1,90 @@
+#include "sim/parallel_sim.h"
+
+#include "util/error.h"
+
+namespace cfs {
+
+ParallelSim::ParallelSim(const Circuit& c, Val ff_init) : c_(&c) {
+  vals_.resize(c.num_gates());
+  reset(ff_init);
+}
+
+void ParallelSim::reset(Val ff_init) {
+  for (GateId g = 0; g < c_->num_gates(); ++g) vals_[g] = splat64(Val::X);
+  for (GateId g : c_->dffs()) vals_[g] = splat64(ff_init);
+  settle();
+}
+
+void ParallelSim::set_inputs(std::span<const Word64> vals) {
+  if (vals.size() != c_->inputs().size()) {
+    throw Error("ParallelSim::set_inputs: wrong input count");
+  }
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    vals_[c_->inputs()[i]] = vals[i];
+  }
+}
+
+Word64 ParallelSim::evaluate(GateId g) const {
+  const auto fi = c_->fanins(g);
+  switch (c_->kind(g)) {
+    case GateKind::Input:
+    case GateKind::Dff:
+      return vals_[g];
+    case GateKind::Buf:
+      return vals_[fi[0]];
+    case GateKind::Not:
+      return w_not(vals_[fi[0]]);
+    case GateKind::And:
+    case GateKind::Nand: {
+      Word64 r = splat64(Val::One);
+      for (GateId f : fi) r = w_and(r, vals_[f]);
+      return c_->kind(g) == GateKind::And ? r : w_not(r);
+    }
+    case GateKind::Or:
+    case GateKind::Nor: {
+      Word64 r = splat64(Val::Zero);
+      for (GateId f : fi) r = w_or(r, vals_[f]);
+      return c_->kind(g) == GateKind::Or ? r : w_not(r);
+    }
+    case GateKind::Xor:
+    case GateKind::Xnor: {
+      Word64 r = splat64(Val::Zero);
+      for (GateId f : fi) r = w_xor(r, vals_[f]);
+      return c_->kind(g) == GateKind::Xor ? r : w_not(r);
+    }
+    case GateKind::Macro: {
+      // Lane-by-lane table lookup; macros are rare in parallel mode.
+      const TruthTable& t = c_->table(c_->table_of(g));
+      Word64 out{};
+      for (unsigned lane = 0; lane < 64; ++lane) {
+        std::uint32_t idx = 0;
+        for (std::size_t p = 0; p < fi.size(); ++p) {
+          idx |= static_cast<std::uint32_t>(code(w_get(vals_[fi[p]], lane)))
+                 << (2 * p);
+        }
+        w_set(out, lane, t.eval(idx));
+      }
+      return out;
+    }
+  }
+  return splat64(Val::X);
+}
+
+void ParallelSim::settle() {
+  for (GateId g : c_->topo_order()) vals_[g] = evaluate(g);
+}
+
+void ParallelSim::clock() {
+  std::vector<Word64> latched;
+  latched.reserve(c_->dffs().size());
+  for (GateId g : c_->dffs()) latched.push_back(vals_[c_->fanins(g)[0]]);
+  std::size_t i = 0;
+  for (GateId g : c_->dffs()) vals_[g] = latched[i++];
+  settle();
+}
+
+Word64 ParallelSim::output(unsigned po_index) const {
+  return vals_[c_->outputs()[po_index]];
+}
+
+}  // namespace cfs

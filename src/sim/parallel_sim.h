@@ -1,0 +1,43 @@
+// 64-sequence bit-parallel good-machine simulator.
+//
+// Each of the 64 lanes carries an independent input sequence through the
+// same circuit (dual-rail three-valued words, see util/dualrail.h).  A full
+// levelized sweep per frame -- no event suppression -- which makes it a
+// simple, independent oracle for cross-checking the event-driven GoodSim,
+// and a fast engine for random-pattern experiments.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "util/dualrail.h"
+
+namespace cfs {
+
+class ParallelSim {
+ public:
+  explicit ParallelSim(const Circuit& c, Val ff_init = Val::X);
+
+  void reset(Val ff_init = Val::X);
+
+  /// One word (64 lanes) per primary input.
+  void set_inputs(std::span<const Word64> vals);
+
+  /// Full combinational sweep in topo order.
+  void settle();
+
+  /// Latch all DFFs from their settled D words.
+  void clock();
+
+  Word64 value(GateId g) const { return vals_[g]; }
+  Word64 output(unsigned po_index) const;
+
+ private:
+  Word64 evaluate(GateId g) const;
+
+  const Circuit* c_;
+  std::vector<Word64> vals_;
+};
+
+}  // namespace cfs

@@ -1,0 +1,65 @@
+#include "sim/vcd.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace cfs {
+
+VcdWriter::VcdWriter(const Circuit& c, std::string timescale)
+    : c_(&c), timescale_(std::move(timescale)) {}
+
+std::string VcdWriter::id_of(GateId g) const {
+  // Base-94 over the printable identifier alphabet '!'..'~'.
+  std::string id;
+  std::uint32_t v = g;
+  do {
+    id.push_back(static_cast<char>('!' + v % 94));
+    v /= 94;
+  } while (v != 0);
+  return id;
+}
+
+void VcdWriter::record(std::uint64_t time, GateId g, Val v) {
+  if (!changes_.empty() && time < changes_.back().time) {
+    throw Error("VcdWriter: change times must be non-decreasing");
+  }
+  changes_.push_back({time, g, v});
+}
+
+std::string VcdWriter::str() const {
+  std::ostringstream out;
+  out << "$date cfs $end\n";
+  out << "$version cfs concurrent fault simulator $end\n";
+  out << "$timescale " << timescale_ << " $end\n";
+  out << "$scope module " << c_->name() << " $end\n";
+  for (GateId g = 0; g < c_->num_gates(); ++g) {
+    out << "$var wire 1 " << id_of(g) << " " << c_->gate_name(g)
+        << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+  out << "$dumpvars\n";
+  for (GateId g = 0; g < c_->num_gates(); ++g) {
+    out << 'x' << id_of(g) << "\n";
+  }
+  out << "$end\n";
+  std::uint64_t cur = ~0ull;
+  for (const Change& ch : changes_) {
+    if (ch.time != cur) {
+      cur = ch.time;
+      out << '#' << cur << "\n";
+    }
+    out << to_char(ch.val) << id_of(ch.gate) << "\n";
+  }
+  return out.str();
+}
+
+std::string delay_history_to_vcd(const Circuit& c,
+                                 const std::vector<DelaySim::Change>& history,
+                                 std::string timescale) {
+  VcdWriter w(c, std::move(timescale));
+  for (const auto& ch : history) w.record(ch.time, ch.gate, ch.val);
+  return w.str();
+}
+
+}  // namespace cfs

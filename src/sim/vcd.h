@@ -1,0 +1,48 @@
+// Value-change-dump (VCD) export for waveform viewers.
+//
+// The arbitrary-delay simulator records (time, gate, value) changes; this
+// writer turns a circuit plus such a history into a standard VCD document
+// that GTKWave and friends can display.  Three-valued values map to
+// 0/1/x scalars.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "sim/delay_sim.h"
+#include "util/logic.h"
+
+namespace cfs {
+
+class VcdWriter {
+ public:
+  /// Declares one scalar wire per gate of `c`.
+  explicit VcdWriter(const Circuit& c, std::string timescale = "1ns");
+
+  /// Append a value change.  Times must be non-decreasing.
+  void record(std::uint64_t time, GateId g, Val v);
+
+  /// The complete VCD document (header, initial all-X dump, changes).
+  std::string str() const;
+
+ private:
+  std::string id_of(GateId g) const;
+
+  const Circuit* c_;
+  std::string timescale_;
+  struct Change {
+    std::uint64_t time;
+    GateId gate;
+    Val val;
+  };
+  std::vector<Change> changes_;
+};
+
+/// Convenience: convert a DelaySim history into a VCD document.
+std::string delay_history_to_vcd(const Circuit& c,
+                                 const std::vector<DelaySim::Change>& history,
+                                 std::string timescale = "1ns");
+
+}  // namespace cfs

@@ -1,0 +1,15 @@
+// Library-wide exception type.  Anything that rejects malformed input
+// (netlist builder, .bench parser, pattern reader) throws cfs::Error with a
+// human-readable message; internal invariants use assertions instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cfs {
+
+struct Error : std::runtime_error {
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+}  // namespace cfs

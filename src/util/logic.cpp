@@ -1,0 +1,12 @@
+#include "util/logic.h"
+
+namespace cfs {
+
+std::string vals_to_string(const Val* vals, std::size_t n) {
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(to_char(vals[i]));
+  return s;
+}
+
+}  // namespace cfs

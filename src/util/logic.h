@@ -1,0 +1,82 @@
+// Three-valued logic primitives shared by every simulator in the library.
+//
+// All engines (good-machine, concurrent, serial, PROOFS-style, deductive)
+// use the same dual-rail encoding so that their results are bit-for-bit
+// comparable:
+//
+//   code = (H << 1) | L      L = "can be 1 in the optimistic rail"
+//                            H = "can be 1 in the pessimistic rail"
+//
+//   0 -> L=0,H=0 -> code 0
+//   X -> L=0,H=1 -> code 2
+//   1 -> L=1,H=1 -> code 3
+//
+// Code 1 (L=1,H=0) is unreachable and normalised to X wherever external data
+// could produce it.  The encoding makes AND a bitwise AND of codes, OR a
+// bitwise OR, and NOT a rail swap-and-complement, both on scalar 2-bit codes
+// and on 64-bit-wide rails (see dualrail.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cfs {
+
+/// A single three-valued logic value in the dual-rail encoding above.
+enum class Val : std::uint8_t {
+  Zero = 0,
+  X = 2,
+  One = 3,
+};
+
+/// Raw 2-bit code of a value.
+constexpr std::uint8_t code(Val v) { return static_cast<std::uint8_t>(v); }
+
+/// Reconstruct a value from a 2-bit code; the invalid code 1 maps to X.
+constexpr Val from_code(std::uint8_t c) {
+  c &= 3u;
+  return c == 1u ? Val::X : static_cast<Val>(c);
+}
+
+constexpr bool is_binary(Val v) { return v == Val::Zero || v == Val::One; }
+
+/// Three-valued AND: bitwise AND of dual-rail codes.
+constexpr Val v_and(Val a, Val b) {
+  return static_cast<Val>(code(a) & code(b));
+}
+
+/// Three-valued OR: bitwise OR of dual-rail codes.
+constexpr Val v_or(Val a, Val b) { return static_cast<Val>(code(a) | code(b)); }
+
+/// Three-valued NOT: swap rails and complement, so NOT X == X.
+constexpr Val v_not(Val a) {
+  const std::uint8_t c = code(a);
+  return static_cast<Val>((((~c) & 1u) << 1) | ((~c >> 1) & 1u));
+}
+
+/// Three-valued XOR (pessimistic: any X input yields X).
+constexpr Val v_xor(Val a, Val b) {
+  return v_or(v_and(a, v_not(b)), v_and(v_not(a), b));
+}
+
+/// Parse '0' / '1' / 'x' / 'X'; anything else is X.
+constexpr Val val_from_char(char c) {
+  switch (c) {
+    case '0': return Val::Zero;
+    case '1': return Val::One;
+    default: return Val::X;
+  }
+}
+
+constexpr char to_char(Val v) {
+  switch (v) {
+    case Val::Zero: return '0';
+    case Val::One: return '1';
+    default: return 'x';
+  }
+}
+
+/// Render a vector-of-values style string ("01x1...") for diagnostics.
+std::string vals_to_string(const Val* vals, std::size_t n);
+
+}  // namespace cfs

@@ -1,0 +1,45 @@
+#include "util/memtrack.h"
+
+#include <cstdio>
+
+namespace cfs {
+
+void MemStats::sample(const std::string& category, std::size_t bytes) {
+  for (auto& [name, b] : cats_) {
+    if (name == category) {
+      b = bytes;
+      const std::size_t cur = current();
+      if (cur > peak_) peak_ = cur;
+      return;
+    }
+  }
+  cats_.emplace_back(category, bytes);
+  const std::size_t cur = current();
+  if (cur > peak_) peak_ = cur;
+}
+
+std::size_t MemStats::current() const {
+  std::size_t total = 0;
+  for (const auto& [name, b] : cats_) total += b;
+  return total;
+}
+
+void MemStats::reset() {
+  cats_.clear();
+  peak_ = 0;
+}
+
+std::string format_bytes(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024ull) {
+    std::snprintf(buf, sizeof buf, "%.2fM",
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024ull) {
+    std::snprintf(buf, sizeof buf, "%.1fK", static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zu", bytes);
+  }
+  return buf;
+}
+
+}  // namespace cfs

@@ -1,0 +1,42 @@
+// Named-category memory accounting used by the experiment harness.
+//
+// The paper reports a MEM column per run.  We cannot reproduce Sparc-2
+// process RSS meaningfully, so each simulator reports the bytes of its major
+// structures (fault-element pool, fault lists, lookup tables, circuit image)
+// into a MemStats and the harness prints current/peak totals.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cfs {
+
+class MemStats {
+ public:
+  /// Record the current byte count of a named category, replacing any
+  /// previous sample for that category.  Peak total is tracked across calls.
+  void sample(const std::string& category, std::size_t bytes);
+
+  /// Sum of the latest samples of all categories.
+  std::size_t current() const;
+
+  /// Highest value current() has reached.
+  std::size_t peak() const { return peak_; }
+
+  const std::vector<std::pair<std::string, std::size_t>>& categories() const {
+    return cats_;
+  }
+
+  void reset();
+
+ private:
+  std::vector<std::pair<std::string, std::size_t>> cats_;
+  std::size_t peak_ = 0;
+};
+
+/// Human-readable byte count ("9.24M", "412K", "96").
+std::string format_bytes(std::size_t bytes);
+
+}  // namespace cfs

@@ -1,0 +1,59 @@
+// Packed gate state: "the state of a gate is packed into a word so that the
+// output can be efficiently evaluated by table look up" (paper, §2).
+//
+// A GateState is one uint64_t holding up to kMaxPins input values (2 bits
+// each, dual-rail codes from logic.h) plus the output value in a dedicated
+// slot above the pins.  Both the good machine and every fault element carry
+// their state in this form, so divergence/convergence is a single word
+// compare.
+#pragma once
+
+#include <cstdint>
+
+#include "util/logic.h"
+
+namespace cfs {
+
+/// Maximum gate fanin supported by the packed representation.  The netlist
+/// builder decomposes wider gates into balanced trees (see decompose.h).
+inline constexpr unsigned kMaxPins = 16;
+
+/// Slot index used for the gate output.
+inline constexpr unsigned kOutSlot = kMaxPins;
+
+using GateState = std::uint64_t;
+
+constexpr GateState state_set(GateState s, unsigned slot, Val v) {
+  const unsigned sh = slot * 2;
+  return (s & ~(GateState{3} << sh)) | (GateState{code(v)} << sh);
+}
+
+constexpr Val state_get(GateState s, unsigned slot) {
+  return from_code(static_cast<std::uint8_t>((s >> (slot * 2)) & 3u));
+}
+
+constexpr GateState state_set_out(GateState s, Val v) {
+  return state_set(s, kOutSlot, v);
+}
+
+constexpr Val state_out(GateState s) { return state_get(s, kOutSlot); }
+
+/// State with all `npins` pins and the output set to X.
+constexpr GateState state_all_x(unsigned npins) {
+  GateState s = 0;
+  for (unsigned i = 0; i < npins; ++i) s = state_set(s, i, Val::X);
+  return state_set_out(s, Val::X);
+}
+
+/// Low 2*npins bits: the table-lookup index for this gate's inputs.
+constexpr std::uint32_t state_input_index(GateState s, unsigned npins) {
+  return static_cast<std::uint32_t>(s & ((GateState{1} << (2 * npins)) - 1));
+}
+
+/// Mask covering the input slots only (used to compare inputs ignoring the
+/// output slot).
+constexpr GateState input_mask(unsigned npins) {
+  return (GateState{1} << (2 * npins)) - 1;
+}
+
+}  // namespace cfs

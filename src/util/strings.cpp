@@ -1,0 +1,40 @@
+#include "util/strings.h"
+
+#include <cctype>
+
+namespace cfs {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(delim, pos);
+    const std::string_view piece =
+        trim(s.substr(pos, next == std::string_view::npos ? s.size() - pos
+                                                          : next - pos));
+    if (!piece.empty()) out.emplace_back(piece);
+    if (next == std::string_view::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace cfs

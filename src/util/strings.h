@@ -1,0 +1,23 @@
+// Small string helpers used by the .bench parser and the table printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cfs {
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character, trimming each piece; empty pieces are
+/// dropped.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// ASCII upper-case copy.
+std::string upper(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace cfs

@@ -1,0 +1,94 @@
+// .bench parser/writer: grammar acceptance, error reporting, round-trip.
+#include <gtest/gtest.h>
+
+#include "gen/known_circuits.h"
+#include "netlist/bench_parser.h"
+#include "netlist/bench_writer.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+TEST(BenchParser, ParsesS27Shape) {
+  const Circuit c = make_s27();
+  EXPECT_EQ(c.inputs().size(), 4u);
+  EXPECT_EQ(c.outputs().size(), 1u);
+  EXPECT_EQ(c.dffs().size(), 3u);
+  EXPECT_EQ(c.topo_order().size(), 10u);
+  EXPECT_EQ(c.name(), "s27");
+}
+
+TEST(BenchParser, ParsesC17Shape) {
+  const Circuit c = make_c17();
+  EXPECT_EQ(c.inputs().size(), 5u);
+  EXPECT_EQ(c.outputs().size(), 2u);
+  EXPECT_EQ(c.dffs().size(), 0u);
+  EXPECT_EQ(c.topo_order().size(), 6u);
+}
+
+TEST(BenchParser, CommentsAndBlankLines) {
+  const Circuit c = parse_bench(R"(
+# full comment line
+INPUT(a)   # trailing comment
+
+OUTPUT(n)
+n = NOT(a)
+)",
+                                "t");
+  EXPECT_EQ(c.num_gates(), 2u);
+}
+
+TEST(BenchParser, OutputBeforeDefinition) {
+  const Circuit c = parse_bench("OUTPUT(n)\nINPUT(a)\nn = BUF(a)\n", "t");
+  EXPECT_TRUE(c.is_po(c.find("n")));
+}
+
+TEST(BenchParser, CaseInsensitiveKinds) {
+  const Circuit c =
+      parse_bench("INPUT(a)\nINPUT(b)\nn = nAnD(a, b)\nOUTPUT(n)\n", "t");
+  EXPECT_EQ(c.kind(c.find("n")), GateKind::Nand);
+}
+
+TEST(BenchParser, DffArityError) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nINPUT(b)\nq = DFF(a, b)\n", "t"), Error);
+}
+
+TEST(BenchParser, UnknownKindReportsLine) {
+  try {
+    parse_bench("INPUT(a)\nn = FROB(a)\n", "t");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchParser, MalformedDirectiveThrows) {
+  EXPECT_THROW(parse_bench("INPUT a\n", "t"), Error);
+  EXPECT_THROW(parse_bench("WIBBLE(a)\n", "t"), Error);
+  EXPECT_THROW(parse_bench("n = (a)\n", "t"), Error);
+}
+
+TEST(BenchParser, EmptyInputRejected) {
+  EXPECT_THROW(parse_bench("", "t"), Error);
+  EXPECT_THROW(parse_bench("# only comments\n\n", "t"), Error);
+}
+
+TEST(BenchWriter, RoundTripPreservesSemantics) {
+  const Circuit c = make_s27();
+  const std::string text = write_bench(c);
+  const Circuit c2 = parse_bench(text, "s27rt");
+  EXPECT_EQ(c2.num_gates(), c.num_gates());
+  EXPECT_EQ(c2.inputs().size(), c.inputs().size());
+  EXPECT_EQ(c2.outputs().size(), c.outputs().size());
+  EXPECT_EQ(c2.dffs().size(), c.dffs().size());
+  // Same gate kinds per name.
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    const GateId g2 = c2.find(c.gate_name(g));
+    ASSERT_NE(g2, kNoGate) << c.gate_name(g);
+    EXPECT_EQ(c2.kind(g2), c.kind(g));
+    EXPECT_EQ(c2.num_fanins(g2), c.num_fanins(g));
+  }
+}
+
+}  // namespace
+}  // namespace cfs

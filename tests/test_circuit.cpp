@@ -1,0 +1,193 @@
+// Netlist builder / circuit invariants: arity checks, name resolution,
+// levelization, fanout construction, wide-gate decomposition, gate
+// evaluation paths.
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "netlist/circuit.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+Circuit small() {
+  Builder b("small");
+  b.add_input("a");
+  b.add_input("b");
+  b.add_gate(GateKind::And, "n1", {"a", "b"});
+  b.add_gate(GateKind::Not, "n2", {"n1"});
+  b.add_dff("q", "n2");
+  b.add_gate(GateKind::Or, "n3", {"q", "a"});
+  b.mark_output("n3");
+  return b.build();
+}
+
+TEST(Circuit, BasicShape) {
+  const Circuit c = small();
+  EXPECT_EQ(c.num_gates(), 6u);
+  EXPECT_EQ(c.inputs().size(), 2u);
+  EXPECT_EQ(c.outputs().size(), 1u);
+  EXPECT_EQ(c.dffs().size(), 1u);
+  EXPECT_EQ(c.topo_order().size(), 3u);  // n1, n2, n3
+}
+
+TEST(Circuit, LevelsAscendFromSources) {
+  const Circuit c = small();
+  const GateId a = c.find("a"), n1 = c.find("n1"), n2 = c.find("n2"),
+               q = c.find("q"), n3 = c.find("n3");
+  EXPECT_EQ(c.level(a), 0u);
+  EXPECT_EQ(c.level(q), 0u);
+  EXPECT_EQ(c.level(n1), 1u);
+  EXPECT_EQ(c.level(n2), 2u);
+  EXPECT_EQ(c.level(n3), 1u);
+}
+
+TEST(Circuit, TopoOrderRespectsLevels) {
+  const Circuit c = small();
+  unsigned prev = 0;
+  for (GateId g : c.topo_order()) {
+    EXPECT_GE(c.level(g), prev);
+    prev = c.level(g);
+  }
+}
+
+TEST(Circuit, FanoutsMatchFanins) {
+  const Circuit c = small();
+  const GateId a = c.find("a");
+  // a feeds n1 pin 0 and n3 pin 1.
+  ASSERT_EQ(c.num_fanouts(a), 2u);
+  for (const Fanout& fo : c.fanouts(a)) {
+    EXPECT_EQ(c.fanins(fo.gate)[fo.pin], a);
+  }
+}
+
+TEST(Circuit, FindUnknownReturnsNoGate) {
+  const Circuit c = small();
+  EXPECT_EQ(c.find("zzz"), kNoGate);
+}
+
+TEST(Circuit, DuplicateDefinitionThrows) {
+  Builder b("dup");
+  b.add_input("a");
+  b.add_gate(GateKind::Buf, "a", {"a"});
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Circuit, UndefinedSignalThrows) {
+  Builder b("undef");
+  b.add_input("a");
+  b.add_gate(GateKind::And, "n", {"a", "ghost"});
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Circuit, UndefinedOutputThrows) {
+  Builder b("po");
+  b.add_input("a");
+  b.mark_output("ghost");
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Circuit, CombinationalCycleThrows) {
+  Builder b("cyc");
+  b.add_input("a");
+  b.add_gate(GateKind::And, "x", {"a", "y"});
+  b.add_gate(GateKind::And, "y", {"a", "x"});
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Circuit, SequentialLoopIsFine) {
+  Builder b("seqloop");
+  b.add_input("a");
+  b.add_gate(GateKind::Xor, "d", {"a", "q"});
+  b.add_dff("q", "d");
+  b.mark_output("d");
+  EXPECT_NO_THROW(b.build());
+}
+
+TEST(Circuit, NotWithTwoInputsThrows) {
+  Builder b("arity");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_gate(GateKind::Not, "n", {"a", "c"});
+  EXPECT_THROW(b.build(), Error);
+}
+
+TEST(Circuit, WideGateDecomposes) {
+  Builder b("wide");
+  std::vector<std::string> ins;
+  for (int i = 0; i < 40; ++i) {
+    ins.push_back("i" + std::to_string(i));
+    b.add_input(ins.back());
+  }
+  b.add_gate(GateKind::Nand, "w", ins);
+  b.mark_output("w");
+  const Circuit c = b.build();
+  // The root survives under its own name with <= kMaxPins fanins.
+  const GateId w = c.find("w");
+  ASSERT_NE(w, kNoGate);
+  EXPECT_LE(c.num_fanins(w), kMaxPins);
+  EXPECT_EQ(c.kind(w), GateKind::Nand);
+  // Synthesized internal nodes exist and are plain ANDs.
+  EXPECT_GT(c.num_gates(), 41u);
+}
+
+TEST(Circuit, EvalFoldAndFastTableAgree) {
+  // 3-input NAND evaluated through both paths must agree on all 27 combos.
+  Builder b("nand3");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_input("d");
+  b.add_gate(GateKind::Nand, "n", {"a", "c", "d"});
+  b.mark_output("n");
+  const Circuit c = b.build();
+  const GateId n = c.find("n");
+  const Val all[] = {Val::Zero, Val::One, Val::X};
+  for (Val x : all) {
+    for (Val y : all) {
+      for (Val z : all) {
+        GateState s = 0;
+        s = state_set(s, 0, x);
+        s = state_set(s, 1, y);
+        s = state_set(s, 2, z);
+        EXPECT_EQ(c.eval(n, s), eval_kind(GateKind::Nand, s, 3));
+      }
+    }
+  }
+}
+
+TEST(Circuit, StatsReportShape) {
+  const Circuit c = small();
+  const auto st = c.stats();
+  EXPECT_EQ(st.num_pis, 2u);
+  EXPECT_EQ(st.num_pos, 1u);
+  EXPECT_EQ(st.num_dffs, 1u);
+  EXPECT_EQ(st.num_comb_gates, 3u);
+  EXPECT_GE(st.max_fanout, 2u);
+}
+
+TEST(Circuit, BytesNonZero) { EXPECT_GT(small().bytes(), 0u); }
+
+TEST(GateKindNames, RoundTrip) {
+  EXPECT_EQ(kind_from_name("nand"), GateKind::Nand);
+  EXPECT_EQ(kind_from_name("BUFF"), GateKind::Buf);
+  EXPECT_EQ(kind_from_name("inv"), GateKind::Not);
+  EXPECT_THROW(kind_from_name("bogus"), Error);
+  EXPECT_EQ(kind_name(GateKind::Xnor), "XNOR");
+}
+
+TEST(GateEval, AllKindsOnBinary) {
+  GateState s = 0;
+  s = state_set(s, 0, Val::One);
+  s = state_set(s, 1, Val::Zero);
+  EXPECT_EQ(eval_kind(GateKind::And, s, 2), Val::Zero);
+  EXPECT_EQ(eval_kind(GateKind::Nand, s, 2), Val::One);
+  EXPECT_EQ(eval_kind(GateKind::Or, s, 2), Val::One);
+  EXPECT_EQ(eval_kind(GateKind::Nor, s, 2), Val::Zero);
+  EXPECT_EQ(eval_kind(GateKind::Xor, s, 2), Val::One);
+  EXPECT_EQ(eval_kind(GateKind::Xnor, s, 2), Val::Zero);
+  EXPECT_EQ(eval_kind(GateKind::Buf, s, 1), Val::One);
+  EXPECT_EQ(eval_kind(GateKind::Not, s, 1), Val::Zero);
+}
+
+}  // namespace
+}  // namespace cfs

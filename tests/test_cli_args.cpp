@@ -1,0 +1,60 @@
+// Argument parser of the cfs command-line tool.
+#include <gtest/gtest.h>
+
+#include "args.h"
+#include "util/error.h"
+
+namespace cfs::cli {
+namespace {
+
+Args make(std::vector<std::string> argv) {
+  static std::vector<std::string> storage;
+  storage = std::move(argv);
+  static std::vector<char*> ptrs;
+  ptrs.clear();
+  for (auto& s : storage) ptrs.push_back(s.data());
+  return Args(static_cast<int>(ptrs.size()), ptrs.data(), 0);
+}
+
+TEST(CliArgs, PositionalAndOptions) {
+  const Args a = make({"s298", "--engine=proofs", "--verbose", "extra"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "s298");
+  EXPECT_EQ(a.positional()[1], "extra");
+  EXPECT_EQ(a.get("engine"), "proofs");
+  EXPECT_TRUE(a.has("verbose"));
+  EXPECT_FALSE(a.has("quiet"));
+}
+
+TEST(CliArgs, DefaultsApply) {
+  const Args a = make({"s27"});
+  EXPECT_EQ(a.get("engine", "csim-mv"), "csim-mv");
+  EXPECT_EQ(a.get_u64("random", 256), 256u);
+}
+
+TEST(CliArgs, NumericParsing) {
+  const Args a = make({"x", "--random=512", "--seed=42"});
+  EXPECT_EQ(a.get_u64("random", 1), 512u);
+  EXPECT_EQ(a.get_u64("seed", 1), 42u);
+}
+
+TEST(CliArgs, BadNumberThrows) {
+  const Args a = make({"x", "--random=lots"});
+  EXPECT_THROW(a.get_u64("random", 1), Error);
+}
+
+TEST(CliArgs, AllowOnlyCatchesTypos) {
+  const Args a = make({"x", "--engin=proofs"});
+  EXPECT_THROW(a.allow_only({"engine", "seed"}), Error);
+  const Args b = make({"x", "--engine=proofs"});
+  EXPECT_NO_THROW(b.allow_only({"engine", "seed"}));
+}
+
+TEST(CliArgs, EmptyValueOption) {
+  const Args a = make({"x", "--out="});
+  EXPECT_TRUE(a.has("out"));
+  EXPECT_EQ(a.get("out", "def"), "");
+}
+
+}  // namespace
+}  // namespace cfs::cli

@@ -1,0 +1,209 @@
+// Concurrent fault simulator: behavioural unit tests on small circuits
+// where detections can be reasoned about by hand, plus consistency between
+// the four paper variants.
+#include <gtest/gtest.h>
+
+#include "baseline/serial_sim.h"
+#include "core/concurrent_sim.h"
+#include "faults/macro_map.h"
+#include "gen/known_circuits.h"
+#include "netlist/builder.h"
+#include "netlist/macro_extract.h"
+#include "patterns/pattern.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+std::vector<Val> bits(std::initializer_list<int> v) {
+  std::vector<Val> out;
+  for (int b : v) out.push_back(b ? Val::One : Val::Zero);
+  return out;
+}
+
+std::uint32_t fault_id(const Circuit& c, const FaultUniverse& u,
+                       const std::string& gate, std::uint16_t pin, Val v) {
+  const GateId g = c.find(gate);
+  for (std::uint32_t i = 0; i < u.size(); ++i) {
+    if (u[i].gate == g && u[i].pin == pin && u[i].value == v) return i;
+  }
+  ADD_FAILURE() << "no such fault " << gate;
+  return 0;
+}
+
+TEST(Concurrent, DetectsOutputStuckOnBuffer) {
+  Builder b("wire");
+  b.add_input("a");
+  b.add_gate(GateKind::Buf, "y", {"a"});
+  b.mark_output("y");
+  const Circuit c = b.build();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  ConcurrentSim sim(c, u);
+  sim.apply_vector(bits({1}));  // detects all s-a-0 on the path
+  const auto sa0 = fault_id(c, u, "y", kFaultOutPin, Val::Zero);
+  const auto sa1 = fault_id(c, u, "y", kFaultOutPin, Val::One);
+  EXPECT_EQ(sim.status()[sa0], Detect::Hard);
+  EXPECT_EQ(sim.status()[sa1], Detect::None);
+  sim.apply_vector(bits({0}));
+  EXPECT_EQ(sim.status()[sa1], Detect::Hard);
+}
+
+TEST(Concurrent, VisibleListTracksDivergence) {
+  Builder b("and2");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_gate(GateKind::And, "y", {"a", "c"});
+  b.mark_output("y");
+  const Circuit c = b.build();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  ConcurrentSim sim(c, u);
+  sim.set_inputs(bits({1, 1}));
+  sim.settle();
+  // good y = 1; y s-a-0 and a s-a-0 (which kills y) must be visible at y.
+  const auto vis = sim.visible_at(c.find("y"));
+  const auto y_sa0 = fault_id(c, u, "y", kFaultOutPin, Val::Zero);
+  bool found = false;
+  for (const auto& [id, v] : vis) {
+    if (id == y_sa0) {
+      found = true;
+      EXPECT_EQ(v, Val::Zero);
+    }
+    EXPECT_NE(v, sim.good_value(c.find("y")));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Concurrent, ConvergenceRemovesElements) {
+  Builder b("conv");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_gate(GateKind::And, "y", {"a", "c"});
+  b.mark_output("y");
+  const Circuit c = b.build();
+  // Only the input-a stem fault matters here: use a custom 1-fault universe.
+  FaultUniverse u;
+  u.add({FaultType::StuckAt, c.find("a"), kFaultOutPin, Val::Zero});
+  CsimOptions opt;
+  opt.drop_detected = false;  // keep elements alive to observe convergence
+  ConcurrentSim sim(c, u, opt);
+  sim.set_inputs(bits({1, 1}));
+  sim.settle();
+  EXPECT_EQ(sim.visible_at(c.find("y")).size(), 1u);  // a s-a-0 -> y=0
+  sim.set_inputs(bits({1, 0}));
+  sim.settle();
+  // Now good y = 0 too: the fault converges at y.
+  EXPECT_TRUE(sim.visible_at(c.find("y")).empty());
+}
+
+TEST(Concurrent, DroppedFaultsStopConsumingElements) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  ConcurrentSim dropping(c, u, CsimOptions{.split_lists = true,
+                                           .drop_detected = true});
+  ConcurrentSim keeping(c, u, CsimOptions{.split_lists = true,
+                                          .drop_detected = false});
+  const PatternSet p = PatternSet::random(4, 50, 99);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    dropping.apply_vector(p[i]);
+    keeping.apply_vector(p[i]);
+  }
+  // Same coverage either way; fewer live elements with dropping.
+  EXPECT_EQ(summarize(dropping.status()).hard,
+            summarize(keeping.status()).hard);
+  EXPECT_LT(dropping.live_elements(), keeping.live_elements());
+}
+
+TEST(Concurrent, SplitAndCombinedListsAgree) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  ConcurrentSim split(c, u, CsimOptions{.split_lists = true});
+  ConcurrentSim combined(c, u, CsimOptions{.split_lists = false});
+  const PatternSet p = PatternSet::random(4, 80, 5, /*x_permille=*/100);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    split.apply_vector(p[i]);
+    combined.apply_vector(p[i]);
+  }
+  EXPECT_EQ(split.status(), combined.status());
+}
+
+TEST(Concurrent, MacroModeAgreesWithPlain) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const MacroExtraction ext = extract_macros(c);
+  const MacroFaultMap mm = map_faults_to_macros(c, ext, u);
+  ConcurrentSim plain(c, u);
+  ConcurrentSim macro(ext.circuit, u, CsimOptions{}, &mm);
+  const PatternSet p = PatternSet::random(4, 80, 6, /*x_permille=*/100);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    plain.apply_vector(p[i]);
+    macro.apply_vector(p[i]);
+  }
+  EXPECT_EQ(plain.status(), macro.status());
+}
+
+TEST(Concurrent, MatchesSerialOnS27) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(4, 60, 12);
+  ConcurrentSim sim(c, u);
+  for (std::size_t i = 0; i < p.size(); ++i) sim.apply_vector(p[i]);
+  const SerialResult sr = serial_fault_sim(c, u, p.vectors());
+  EXPECT_EQ(sim.status(), sr.status);
+}
+
+TEST(Concurrent, ResetClearsStateButKeepsStatus) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  ConcurrentSim sim(c, u);
+  const PatternSet p = PatternSet::random(4, 30, 3);
+  for (std::size_t i = 0; i < p.size(); ++i) sim.apply_vector(p[i]);
+  const auto cov = sim.coverage();
+  ASSERT_GT(cov.hard, 0u);
+  sim.reset();
+  EXPECT_EQ(sim.coverage().hard, cov.hard);  // status preserved
+  sim.reset(Val::X, /*clear_status=*/true);
+  EXPECT_EQ(sim.coverage().hard, 0u);
+}
+
+TEST(Concurrent, PotentialDetectionFromXState) {
+  // With FFs at X, a fault observable only through an X-state path reports
+  // Potential, not Hard.
+  const Circuit c = make_shift_register(2);
+  FaultUniverse u;
+  u.add({FaultType::StuckAt, c.dffs()[1], kFaultOutPin, Val::One});
+  ConcurrentSim sim(c, u);  // FFs X
+  sim.apply_vector(bits({0}));
+  // good q1 = X, faulty = 1 -> PO good is X: no detection at all yet.
+  // After two clocks of 0s the good q1 becomes 0 and the fault is hard.
+  sim.apply_vector(bits({0}));
+  sim.apply_vector(bits({0}));
+  EXPECT_EQ(sim.status()[0], Detect::Hard);
+}
+
+TEST(Concurrent, WrongVectorWidthThrows) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  ConcurrentSim sim(c, u);
+  EXPECT_THROW(sim.apply_vector(bits({0, 1})), Error);
+}
+
+TEST(Concurrent, MixedUniverseRejected) {
+  const Circuit c = make_s27();
+  FaultUniverse u;
+  u.add({FaultType::Transition, c.find("G8"), 0, Val::One});
+  u.add({FaultType::StuckAt, c.find("G8"), kFaultOutPin, Val::One});
+  EXPECT_THROW(ConcurrentSim(c, u), Error);
+}
+
+TEST(Concurrent, ApplyVectorReturnsNewDetections) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  ConcurrentSim sim(c, u);
+  const PatternSet p = PatternSet::random(4, 40, 21);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) total += sim.apply_vector(p[i]);
+  EXPECT_EQ(total, sim.coverage().hard);
+}
+
+}  // namespace
+}  // namespace cfs

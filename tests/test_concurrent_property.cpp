@@ -1,0 +1,136 @@
+// The library's central property: under the shared three-valued semantics,
+// every engine computes the *identical* per-fault detection status.  This
+// sweeps random circuits x seeds x engine variants against the serial
+// ground truth, including from the all-X initial state.
+#include <gtest/gtest.h>
+
+#include "baseline/proofs_sim.h"
+#include "baseline/serial_sim.h"
+#include "core/concurrent_sim.h"
+#include "faults/macro_map.h"
+#include "gen/circuit_gen.h"
+#include "netlist/macro_extract.h"
+#include "patterns/pattern.h"
+
+namespace cfs {
+namespace {
+
+struct Scenario {
+  std::uint64_t circuit_seed;
+  unsigned pis, pos, dffs, gates;
+  unsigned vectors;
+  unsigned x_permille;  // X density in the input patterns
+  Val ff_init;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(EngineEquivalence, AllEnginesMatchSerial) {
+  const Scenario s = GetParam();
+  GenProfile gp;
+  gp.name = "prop" + std::to_string(s.circuit_seed);
+  gp.num_pis = s.pis;
+  gp.num_pos = s.pos;
+  gp.num_dffs = s.dffs;
+  gp.num_gates = s.gates;
+  gp.seed = s.circuit_seed;
+  const Circuit c = generate_circuit(gp);
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p =
+      PatternSet::random(c.inputs().size(), s.vectors,
+                         s.circuit_seed * 31 + 7, s.x_permille);
+
+  SerialOptions so;
+  so.ff_init = s.ff_init;
+  const SerialResult ground = serial_fault_sim(c, u, p.vectors(), so);
+
+  // csim plain / V / M / MV.
+  const MacroExtraction ext = extract_macros(c);
+  const MacroFaultMap mm = map_faults_to_macros(c, ext, u);
+  struct Variant {
+    const char* name;
+    bool split;
+    bool macro;
+  };
+  for (const Variant v : {Variant{"csim", false, false},
+                          Variant{"csim-V", true, false},
+                          Variant{"csim-M", false, true},
+                          Variant{"csim-MV", true, true}}) {
+    CsimOptions opt;
+    opt.split_lists = v.split;
+    ConcurrentSim sim(v.macro ? ext.circuit : c, u, opt,
+                      v.macro ? &mm : nullptr);
+    sim.reset(s.ff_init);
+    for (std::size_t i = 0; i < p.size(); ++i) sim.apply_vector(p[i]);
+    ASSERT_EQ(sim.status(), ground.status) << v.name;
+  }
+
+  // PROOFS-style baseline.
+  ProofsSim proofs(c, u, s.ff_init);
+  for (std::size_t i = 0; i < p.size(); ++i) proofs.apply_vector(p[i]);
+  ASSERT_EQ(proofs.status(), ground.status) << "PROOFS";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCircuits, EngineEquivalence,
+    ::testing::Values(
+        // Fully binary, reset state: exact arithmetic everywhere.
+        Scenario{101, 4, 3, 5, 60, 40, 0, Val::Zero},
+        Scenario{102, 6, 4, 8, 120, 30, 0, Val::Zero},
+        Scenario{103, 3, 2, 12, 90, 50, 0, Val::Zero},
+        // All-X initial state (the hard case for X-convergence).
+        Scenario{104, 4, 3, 5, 60, 40, 0, Val::X},
+        Scenario{105, 6, 4, 8, 120, 30, 0, Val::X},
+        Scenario{106, 5, 5, 10, 150, 30, 0, Val::X},
+        // X values in the patterns themselves.
+        Scenario{107, 4, 3, 6, 80, 40, 150, Val::X},
+        Scenario{108, 6, 4, 10, 140, 30, 100, Val::Zero},
+        // Wider / deeper circuits.
+        Scenario{109, 8, 6, 16, 300, 25, 50, Val::X},
+        Scenario{110, 10, 8, 24, 400, 20, 0, Val::Zero},
+        // Tiny degenerate circuits.
+        Scenario{111, 2, 1, 1, 8, 30, 100, Val::X},
+        Scenario{112, 1, 1, 2, 5, 30, 0, Val::Zero}));
+
+// Transition engines: concurrent vs serial two-pass reference.
+class TransitionEquivalence : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(TransitionEquivalence, ConcurrentMatchesSerial) {
+  const Scenario s = GetParam();
+  GenProfile gp;
+  gp.name = "tprop" + std::to_string(s.circuit_seed);
+  gp.num_pis = s.pis;
+  gp.num_pos = s.pos;
+  gp.num_dffs = s.dffs;
+  gp.num_gates = s.gates;
+  gp.seed = s.circuit_seed;
+  const Circuit c = generate_circuit(gp);
+  const FaultUniverse u = FaultUniverse::all_transition(c);
+  const PatternSet p =
+      PatternSet::random(c.inputs().size(), s.vectors,
+                         s.circuit_seed * 17 + 3, s.x_permille);
+
+  SerialOptions so;
+  so.ff_init = s.ff_init;
+  const SerialResult ground = serial_transition_sim(c, u, p.vectors(), so);
+
+  for (bool split : {false, true}) {
+    CsimOptions opt;
+    opt.split_lists = split;
+    ConcurrentSim sim(c, u, opt);
+    sim.reset(s.ff_init);
+    for (std::size_t i = 0; i < p.size(); ++i) sim.apply_vector(p[i]);
+    ASSERT_EQ(sim.status(), ground.status) << "split=" << split;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCircuits, TransitionEquivalence,
+    ::testing::Values(Scenario{201, 4, 3, 5, 50, 40, 0, Val::Zero},
+                      Scenario{202, 5, 4, 8, 100, 30, 0, Val::Zero},
+                      Scenario{203, 4, 3, 6, 60, 40, 0, Val::X},
+                      Scenario{204, 6, 4, 10, 120, 25, 100, Val::X},
+                      Scenario{205, 3, 2, 4, 40, 50, 0, Val::X}));
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,175 @@
+// Deductive baseline: fault-set algebra unit tests and engine equivalence
+// with serial / concurrent in the binary domain.
+#include <gtest/gtest.h>
+
+#include "baseline/deductive_sim.h"
+#include "baseline/serial_sim.h"
+#include "core/concurrent_sim.h"
+#include "netlist/builder.h"
+#include "gen/circuit_gen.h"
+#include "gen/known_circuits.h"
+#include "netlist/macro_extract.h"
+#include "patterns/pattern.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+TEST(FaultSet, UnionIntersectSubtract) {
+  const FaultSet a = {1, 3, 5, 7};
+  const FaultSet b = {3, 4, 5, 9};
+  EXPECT_EQ(fs_union(a, b), (FaultSet{1, 3, 4, 5, 7, 9}));
+  EXPECT_EQ(fs_intersect(a, b), (FaultSet{3, 5}));
+  EXPECT_EQ(fs_subtract(a, b), (FaultSet{1, 7}));
+  EXPECT_EQ(fs_subtract(b, a), (FaultSet{4, 9}));
+}
+
+TEST(FaultSet, EmptyOperands) {
+  const FaultSet a = {2, 4};
+  const FaultSet e;
+  EXPECT_EQ(fs_union(a, e), a);
+  EXPECT_EQ(fs_intersect(a, e), e);
+  EXPECT_EQ(fs_subtract(a, e), a);
+  EXPECT_EQ(fs_subtract(e, a), e);
+}
+
+TEST(FaultSet, InsertEraseContains) {
+  FaultSet s;
+  fs_insert(s, 5);
+  fs_insert(s, 1);
+  fs_insert(s, 3);
+  fs_insert(s, 3);  // duplicate no-op
+  EXPECT_EQ(s, (FaultSet{1, 3, 5}));
+  EXPECT_TRUE(fs_contains(s, 3));
+  fs_erase(s, 3);
+  fs_erase(s, 99);  // absent no-op
+  EXPECT_EQ(s, (FaultSet{1, 5}));
+  EXPECT_FALSE(fs_contains(s, 3));
+}
+
+TEST(FaultSet, OddParity) {
+  const FaultSet a = {1, 2, 3};
+  const FaultSet b = {2, 3, 4};
+  const FaultSet c = {3, 5};
+  // multiplicities: 1:1, 2:2, 3:3, 4:1, 5:1 -> odd: 1,3,4,5
+  EXPECT_EQ(fs_odd_parity({&a, &b, &c}), (FaultSet{1, 3, 4, 5}));
+  EXPECT_EQ(fs_odd_parity({&a, &a}), FaultSet{});
+}
+
+TEST(FaultSet, ControllingRule) {
+  const FaultSet c1 = {1, 2, 5};
+  const FaultSet c2 = {2, 5, 9};
+  const FaultSet nc = {5};
+  // (c1 ∩ c2) \ nc = {2, 5} \ {5} = {2}
+  EXPECT_EQ(fs_controlling_rule({&c1, &c2}, {&nc}), FaultSet{2});
+}
+
+// --- engine ---------------------------------------------------------------
+
+std::vector<Val> bits(std::initializer_list<int> v) {
+  std::vector<Val> out;
+  for (int b : v) out.push_back(b ? Val::One : Val::Zero);
+  return out;
+}
+
+TEST(Deductive, SingleAndGateRules) {
+  // y = AND(a, b): with a=1,b=1 all faults flipping any input flip y;
+  // with a=0 only faults flipping a (and not b... b noncontrolling) flip y.
+  Builder b("and2");
+  b.add_input("a");
+  b.add_input("c");
+  b.add_gate(GateKind::And, "y", {"a", "c"});
+  b.mark_output("y");
+  const Circuit ckt = b.build();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(ckt);
+  DeductiveSim sim(ckt, u);
+  sim.apply_vector(bits({1, 1}));
+  // a s-a-0, c s-a-0, y s-a-0 all detected at y=1.
+  std::size_t hard = sim.coverage().hard;
+  EXPECT_EQ(hard, 3u);
+  sim.apply_vector(bits({0, 1}));
+  // y=0: y s-a-1 detected, a s-a-1 detected (flips a -> y=1).
+  EXPECT_EQ(sim.coverage().hard, 5u);
+}
+
+TEST(Deductive, RejectsXInputs) {
+  const Circuit c = make_c17();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  DeductiveSim sim(c, u);
+  std::vector<Val> v(5, Val::Zero);
+  v[2] = Val::X;
+  EXPECT_THROW(sim.apply_vector(v), Error);
+}
+
+TEST(Deductive, RejectsXInit) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  EXPECT_THROW(DeductiveSim(c, u, Val::X), Error);
+}
+
+TEST(Deductive, RejectsMacroCircuits) {
+  const Circuit c = make_s27();
+  const MacroExtraction ext = extract_macros(c);
+  const FaultUniverse u = FaultUniverse::all_stuck_at(ext.circuit);
+  EXPECT_THROW(DeductiveSim(ext.circuit, u), Error);
+}
+
+TEST(Deductive, MatchesSerialOnS27) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(4, 120, 55);
+  DeductiveSim sim(c, u, Val::Zero);
+  for (std::size_t i = 0; i < p.size(); ++i) sim.apply_vector(p[i]);
+  SerialOptions so;
+  so.ff_init = Val::Zero;
+  const SerialResult sr = serial_fault_sim(c, u, p.vectors(), so);
+  EXPECT_EQ(sim.status(), sr.status);
+}
+
+TEST(Deductive, MatchesConcurrentOnRandomCircuits) {
+  for (std::uint64_t seed : {301u, 302u, 303u, 304u}) {
+    GenProfile gp;
+    gp.name = "ded" + std::to_string(seed);
+    gp.num_pis = 5;
+    gp.num_pos = 4;
+    gp.num_dffs = 7;
+    gp.num_gates = 130;
+    gp.seed = seed;
+    const Circuit c = generate_circuit(gp);
+    const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+    const PatternSet p = PatternSet::random(5, 40, seed + 1);
+    DeductiveSim ded(c, u, Val::Zero);
+    ConcurrentSim con(c, u);
+    con.reset(Val::Zero);
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      ded.apply_vector(p[i]);
+      con.apply_vector(p[i]);
+    }
+    ASSERT_EQ(ded.status(), con.status()) << "seed " << seed;
+  }
+}
+
+TEST(Deductive, XorParityPropagation) {
+  // y = XOR(a, b): any single-input inversion flips y; a fault flipping
+  // both inputs cancels.  Build a circuit where one stem feeds both pins
+  // through buffers so its stem fault hits both XOR inputs.
+  Builder b("xorc");
+  b.add_input("a");
+  b.add_gate(GateKind::Buf, "p", {"a"});
+  b.add_gate(GateKind::Buf, "q", {"a"});
+  b.add_gate(GateKind::Xor, "y", {"p", "q"});
+  b.mark_output("y");
+  const Circuit c = b.build();
+  // Custom universe: just the stem fault a s-a-1.
+  FaultUniverse u;
+  u.add({FaultType::StuckAt, c.find("a"), kFaultOutPin, Val::One});
+  DeductiveSim sim(c, u);
+  sim.apply_vector(bits({0}));
+  // a flips both XOR pins -> cancels -> y unaffected -> undetected.
+  EXPECT_EQ(sim.coverage().hard, 0u);
+  EXPECT_TRUE(sim.line_set(c.find("y")).empty());
+  EXPECT_FALSE(sim.line_set(c.find("p")).empty());
+}
+
+}  // namespace
+}  // namespace cfs

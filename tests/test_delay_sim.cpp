@@ -1,0 +1,128 @@
+// Arbitrary-delay two-phase timing-wheel simulator: final values must match
+// the zero-delay simulator, and glitch timing must follow the gate delays.
+#include <gtest/gtest.h>
+
+#include "gen/known_circuits.h"
+#include "netlist/builder.h"
+#include "sim/delay_sim.h"
+#include "sim/good_sim.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+TEST(DelaySim, RejectsSequentialCircuits) {
+  const Circuit c = make_counter(2);
+  EXPECT_THROW(DelaySim(c, 1u), Error);
+}
+
+TEST(DelaySim, RejectsZeroDelay) {
+  const Circuit c = make_c17();
+  EXPECT_THROW(DelaySim(c, std::vector<std::uint32_t>(c.num_gates(), 0)),
+               Error);
+}
+
+TEST(DelaySim, FinalValuesMatchZeroDelaySim) {
+  const Circuit c = make_c17();
+  DelaySim dsim(c, 2u);
+  GoodSim gsim(c);
+  const Val vecs[][5] = {
+      {Val::Zero, Val::Zero, Val::Zero, Val::Zero, Val::Zero},
+      {Val::One, Val::Zero, Val::One, Val::One, Val::Zero},
+      {Val::One, Val::One, Val::One, Val::One, Val::One},
+      {Val::Zero, Val::One, Val::X, Val::One, Val::Zero},
+  };
+  for (const auto& v : vecs) {
+    for (unsigned i = 0; i < 5; ++i) dsim.set_input(i, v[i]);
+    dsim.run();
+    gsim.apply(std::span<const Val>(v, 5));
+    for (GateId g = 0; g < c.num_gates(); ++g) {
+      EXPECT_EQ(dsim.value(g), gsim.value(g)) << c.gate_name(g);
+    }
+  }
+}
+
+TEST(DelaySim, PropagationTakesPathDelay) {
+  // chain: a -> n1 (NOT, d=3) -> n2 (NOT, d=5); change arrives at t+3, t+8.
+  Builder b("chain");
+  b.add_input("a");
+  b.add_gate(GateKind::Not, "n1", {"a"});
+  b.add_gate(GateKind::Not, "n2", {"n1"});
+  b.mark_output("n2");
+  const Circuit c = b.build();
+  std::vector<std::uint32_t> delays(c.num_gates(), 1);
+  delays[c.find("n1")] = 3;
+  delays[c.find("n2")] = 5;
+  DelaySim sim(c, delays);
+  sim.set_input(0, Val::Zero);
+  sim.run();
+  sim.clear_history();
+  sim.set_input(0, Val::One);
+  sim.run();
+  // Find the change records for n1 and n2.
+  std::uint64_t t_n1 = 0, t_n2 = 0, t_a = 0;
+  for (const auto& ch : sim.history()) {
+    if (ch.gate == c.find("a")) t_a = ch.time;
+    if (ch.gate == c.find("n1")) t_n1 = ch.time;
+    if (ch.gate == c.find("n2")) t_n2 = ch.time;
+  }
+  EXPECT_EQ(t_n1 - t_a, 3u);
+  EXPECT_EQ(t_n2 - t_n1, 5u);
+}
+
+TEST(DelaySim, StaticHazardProducesGlitch) {
+  // y = a OR NOT(a) with a slow inverter: a 1->0 change makes y glitch to 0
+  // before returning to 1 (transport delay model).
+  Builder b("hazard");
+  b.add_input("a");
+  b.add_gate(GateKind::Not, "na", {"a"});
+  b.add_gate(GateKind::Or, "y", {"a", "na"});
+  b.mark_output("y");
+  const Circuit c = b.build();
+  std::vector<std::uint32_t> delays(c.num_gates(), 1);
+  delays[c.find("na")] = 4;  // slow inverter
+  delays[c.find("y")] = 1;
+  DelaySim sim(c, delays);
+  sim.set_input(0, Val::One);
+  sim.run();
+  ASSERT_EQ(sim.value(c.find("y")), Val::One);
+  sim.clear_history();
+  sim.set_input(0, Val::Zero);
+  sim.run();
+  // y must dip to 0 and recover to 1.
+  std::vector<Val> ys;
+  for (const auto& ch : sim.history()) {
+    if (ch.gate == c.find("y")) ys.push_back(ch.val);
+  }
+  ASSERT_EQ(ys.size(), 2u);
+  EXPECT_EQ(ys[0], Val::Zero);
+  EXPECT_EQ(ys[1], Val::One);
+  EXPECT_EQ(sim.value(c.find("y")), Val::One);
+}
+
+TEST(DelaySim, LongDelaysGoThroughOverflow) {
+  Builder b("long");
+  b.add_input("a");
+  b.add_gate(GateKind::Buf, "y", {"a"});
+  b.mark_output("y");
+  const Circuit c = b.build();
+  std::vector<std::uint32_t> delays(c.num_gates(), 1);
+  delays[c.find("y")] = 1000;  // beyond the wheel size
+  DelaySim sim(c, delays);
+  sim.set_input(0, Val::One);
+  const auto t = sim.run();
+  EXPECT_EQ(sim.value(c.find("y")), Val::One);
+  EXPECT_GE(t, 1000u);
+}
+
+TEST(DelaySim, QuietCircuitProcessesNothing) {
+  const Circuit c = make_c17();
+  DelaySim sim(c, 1u);
+  sim.run();
+  const auto before = sim.events_processed();
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), before);
+}
+
+}  // namespace
+}  // namespace cfs

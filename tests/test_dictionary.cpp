@@ -1,0 +1,133 @@
+// Fault dictionary: completeness against the serial reference and
+// diagnosis behaviour.
+#include <gtest/gtest.h>
+
+#include "baseline/serial_sim.h"
+#include "core/dictionary.h"
+#include "gen/circuit_gen.h"
+#include "gen/known_circuits.h"
+#include "patterns/pattern.h"
+#include "sim/good_sim.h"
+
+namespace cfs {
+namespace {
+
+// Serial reference syndrome of one fault.
+std::vector<Syndrome> serial_syndrome(const Circuit& c, const Fault& f,
+                                      const PatternSet& p, Val ff_init) {
+  GoodSim good(c, ff_init);
+  GoodSim faulty(c, ff_init);
+  faulty.inject(f.gate, f.pin, f.value);
+  faulty.reset(ff_init);
+  std::vector<Syndrome> out;
+  for (std::size_t t = 0; t < p.size(); ++t) {
+    good.apply(p[t]);
+    faulty.apply(p[t]);
+    for (std::size_t k = 0; k < c.outputs().size(); ++k) {
+      const Val gv = good.value(c.outputs()[k]);
+      const Val fv = faulty.value(c.outputs()[k]);
+      if (is_binary(gv) && is_binary(fv) && gv != fv) {
+        out.push_back({static_cast<std::uint32_t>(t),
+                       static_cast<std::uint32_t>(k)});
+      }
+    }
+    good.clock();
+    faulty.clock();
+  }
+  return out;
+}
+
+TEST(Dictionary, MatchesSerialSyndromesOnS27) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(4, 40, 17);
+  const FaultDictionary dict = build_dictionary(c, u, p.vectors());
+  for (std::uint32_t id = 0; id < u.size(); ++id) {
+    ASSERT_EQ(dict.syndrome(id), serial_syndrome(c, u[id], p, Val::X))
+        << describe_fault(c, u[id]);
+  }
+}
+
+TEST(Dictionary, MatchesSerialSyndromesOnRandomCircuit) {
+  GenProfile gp;
+  gp.name = "dict";
+  gp.num_pis = 5;
+  gp.num_pos = 4;
+  gp.num_dffs = 6;
+  gp.num_gates = 80;
+  gp.seed = 500;
+  const Circuit c = generate_circuit(gp);
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(5, 30, 18);
+  const FaultDictionary dict = build_dictionary(c, u, p.vectors(), Val::Zero);
+  for (std::uint32_t id = 0; id < u.size(); ++id) {
+    ASSERT_EQ(dict.syndrome(id), serial_syndrome(c, u[id], p, Val::Zero))
+        << describe_fault(c, u[id]);
+  }
+}
+
+TEST(Dictionary, DiagnosisRanksTheActualFaultFirst) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(4, 60, 19);
+  const FaultDictionary dict = build_dictionary(c, u, p.vectors());
+  std::size_t diagnosed = 0, detectable = 0;
+  for (std::uint32_t id = 0; id < u.size(); ++id) {
+    const auto& syn = dict.syndrome(id);
+    if (syn.empty()) continue;  // undetected: nothing to observe
+    ++detectable;
+    const auto cands = dict.diagnose(syn, 5);
+    ASSERT_FALSE(cands.empty());
+    // The top candidate must be a perfect match -- the true fault or one
+    // indistinguishable from it (identical syndrome; equivalence classes
+    // can be larger than the top-k cut, so rank of the id itself is not
+    // guaranteed).
+    EXPECT_EQ(cands[0].missed, 0u);
+    EXPECT_EQ(cands[0].extra, 0u);
+    if (dict.syndrome(cands[0].fault) == syn) ++diagnosed;
+  }
+  EXPECT_GT(detectable, 0u);
+  EXPECT_EQ(diagnosed, detectable);
+}
+
+TEST(Dictionary, DiagnosisWithPartialSyndrome) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(4, 60, 23);
+  const FaultDictionary dict = build_dictionary(c, u, p.vectors());
+  // Find a fault with a rich syndrome and give the diagnoser only half.
+  for (std::uint32_t id = 0; id < u.size(); ++id) {
+    const auto& syn = dict.syndrome(id);
+    if (syn.size() < 6) continue;
+    std::vector<Syndrome> half(syn.begin(),
+                               syn.begin() + static_cast<long>(syn.size() / 2));
+    const auto cands = dict.diagnose(half, 10);
+    bool found = false;
+    for (const auto& cand : cands) found |= cand.fault == id;
+    EXPECT_TRUE(found) << describe_fault(c, u[id]);
+    return;
+  }
+  GTEST_SKIP() << "no fault with a rich enough syndrome";
+}
+
+TEST(Dictionary, EmptyObservationYieldsNothing) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(4, 10, 29);
+  const FaultDictionary dict = build_dictionary(c, u, p.vectors());
+  EXPECT_TRUE(dict.diagnose({}, 5).empty());
+}
+
+TEST(Dictionary, SealDeduplicates) {
+  FaultDictionary d(2);
+  d.record(0, {3, 1});
+  d.record(0, {1, 0});
+  d.record(0, {3, 1});
+  d.seal();
+  ASSERT_EQ(d.syndrome(0).size(), 2u);
+  EXPECT_EQ(d.syndrome(0)[0], (Syndrome{1, 0}));
+  EXPECT_EQ(d.syndrome(0)[1], (Syndrome{3, 1}));
+}
+
+}  // namespace
+}  // namespace cfs

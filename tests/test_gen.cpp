@@ -1,0 +1,104 @@
+// Synthetic circuit generator and ISCAS-89 profile factory.
+#include <gtest/gtest.h>
+
+#include "gen/circuit_gen.h"
+#include "gen/iscas_profiles.h"
+#include "gen/known_circuits.h"
+#include "netlist/bench_writer.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+TEST(Gen, MatchesProfileCountsExactly) {
+  GenProfile p;
+  p.name = "t";
+  p.num_pis = 7;
+  p.num_pos = 5;
+  p.num_dffs = 9;
+  p.num_gates = 120;
+  p.seed = 3;
+  const Circuit c = generate_circuit(p);
+  EXPECT_EQ(c.inputs().size(), 7u);
+  EXPECT_EQ(c.outputs().size(), 5u);
+  EXPECT_EQ(c.dffs().size(), 9u);
+  EXPECT_EQ(c.topo_order().size(), 120u);
+}
+
+TEST(Gen, DeterministicForSeed) {
+  GenProfile p;
+  p.name = "t";
+  p.num_gates = 60;
+  p.seed = 11;
+  const Circuit a = generate_circuit(p);
+  const Circuit b = generate_circuit(p);
+  EXPECT_EQ(write_bench(a), write_bench(b));
+}
+
+TEST(Gen, DifferentSeedsDiffer) {
+  GenProfile p;
+  p.name = "t";
+  p.num_gates = 60;
+  p.seed = 1;
+  const Circuit a = generate_circuit(p);
+  p.seed = 2;
+  const Circuit b = generate_circuit(p);
+  EXPECT_NE(write_bench(a), write_bench(b));
+}
+
+TEST(Gen, ProducesMultipleLevels) {
+  GenProfile p;
+  p.name = "t";
+  p.num_gates = 300;
+  p.seed = 5;
+  const Circuit c = generate_circuit(p);
+  EXPECT_GE(c.num_levels(), 5u);
+}
+
+TEST(Profiles, TableCoversPaperCircuits) {
+  for (const char* name :
+       {"s27", "s298", "s386", "s1494", "s5378", "s35932"}) {
+    EXPECT_NO_THROW(iscas89_profile(name)) << name;
+  }
+  EXPECT_THROW(iscas89_profile("s9999"), Error);
+}
+
+TEST(Profiles, MakeBenchmarkMatchesPublishedCounts) {
+  for (const char* name : {"s298", "s386", "s832"}) {
+    const IscasProfile& p = iscas89_profile(name);
+    const Circuit c = make_benchmark(name);
+    EXPECT_EQ(c.inputs().size(), p.num_pis) << name;
+    EXPECT_EQ(c.outputs().size(), p.num_pos) << name;
+    EXPECT_EQ(c.dffs().size(), p.num_dffs) << name;
+    EXPECT_EQ(c.topo_order().size(), p.num_gates) << name;
+  }
+}
+
+TEST(Profiles, S27IsTheRealNetlist) {
+  const Circuit c = make_benchmark("s27");
+  EXPECT_NE(c.find("G17"), kNoGate);
+  EXPECT_EQ(c.kind(c.find("G11")), GateKind::Nor);
+}
+
+TEST(KnownCircuits, CounterCounts) {
+  const Circuit c = make_counter(4);
+  EXPECT_EQ(c.dffs().size(), 4u);
+  EXPECT_EQ(c.inputs().size(), 1u);
+  EXPECT_EQ(c.outputs().size(), 4u);
+}
+
+TEST(KnownCircuits, ShiftRegisterShape) {
+  const Circuit c = make_shift_register(5);
+  EXPECT_EQ(c.dffs().size(), 5u);
+  EXPECT_EQ(c.outputs().size(), 2u);  // q4 + parity
+}
+
+TEST(KnownCircuits, FullAdderShape) {
+  const Circuit c = make_full_adder();
+  EXPECT_EQ(c.inputs().size(), 3u);
+  EXPECT_EQ(c.outputs().size(), 2u);
+  EXPECT_TRUE(c.dffs().empty());
+}
+
+}  // namespace
+}  // namespace cfs

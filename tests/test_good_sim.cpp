@@ -1,0 +1,186 @@
+// Good-machine simulator: functional behaviour on known circuits, event
+// counting, fault injection (the serial baseline's machinery).
+#include <gtest/gtest.h>
+
+#include "gen/known_circuits.h"
+#include "sim/good_sim.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+std::vector<Val> bits(std::initializer_list<int> v) {
+  std::vector<Val> out;
+  for (int b : v) out.push_back(b ? Val::One : Val::Zero);
+  return out;
+}
+
+TEST(GoodSim, FullAdderTruthTable) {
+  const Circuit c = make_full_adder();
+  GoodSim sim(c);
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      for (int ci = 0; ci <= 1; ++ci) {
+        sim.apply(bits({a, b, ci}));
+        const int sum = a ^ b ^ ci;
+        const int cout = (a & b) | (ci & (a ^ b));
+        EXPECT_EQ(sim.output(0), sum ? Val::One : Val::Zero);
+        EXPECT_EQ(sim.output(1), cout ? Val::One : Val::Zero);
+      }
+    }
+  }
+}
+
+TEST(GoodSim, CounterCountsModulo8) {
+  const Circuit c = make_counter(3);
+  GoodSim sim(c, Val::Zero);
+  for (int step = 1; step <= 10; ++step) {
+    sim.apply(bits({1}));
+    sim.clock();
+    const int expect = step % 8;
+    int got = 0;
+    const auto q = sim.ff_values();
+    for (int i = 0; i < 3; ++i) got |= (q[i] == Val::One ? 1 : 0) << i;
+    EXPECT_EQ(got, expect) << "after " << step << " clocks";
+  }
+}
+
+TEST(GoodSim, CounterHoldsWithoutEnable) {
+  const Circuit c = make_counter(3);
+  GoodSim sim(c, Val::Zero);
+  sim.apply(bits({1}));
+  sim.clock();
+  sim.apply(bits({0}));
+  sim.clock();
+  const auto q = sim.ff_values();
+  EXPECT_EQ(q[0], Val::One);
+  EXPECT_EQ(q[1], Val::Zero);
+}
+
+TEST(GoodSim, ShiftRegisterShifts) {
+  const Circuit c = make_shift_register(4);
+  GoodSim sim(c, Val::Zero);
+  const int pattern[] = {1, 0, 1, 1};
+  for (int b : pattern) {
+    sim.apply(bits({b}));
+    sim.clock();
+  }
+  const auto q = sim.ff_values();
+  // q0 holds the most recent bit, q3 the oldest.
+  EXPECT_EQ(q[0], Val::One);
+  EXPECT_EQ(q[1], Val::One);
+  EXPECT_EQ(q[2], Val::Zero);
+  EXPECT_EQ(q[3], Val::One);
+}
+
+TEST(GoodSim, XPropagatesUntilInitialised) {
+  const Circuit c = make_counter(2);
+  GoodSim sim(c);  // FFs start X
+  sim.apply(bits({1}));
+  const auto q = sim.ff_values();
+  EXPECT_EQ(q[0], Val::X);
+}
+
+TEST(GoodSim, SeqDetectorDetects11) {
+  const Circuit c = make_seq_detector();
+  GoodSim sim(c, Val::Zero);
+  const int in[] = {1, 1, 0, 1, 1};
+  const int expect[] = {0, 1, 0, 0, 1};
+  for (int i = 0; i < 5; ++i) {
+    sim.apply(bits({in[i]}));
+    EXPECT_EQ(sim.output(0), expect[i] ? Val::One : Val::Zero) << "step " << i;
+    sim.clock();
+  }
+}
+
+TEST(GoodSim, EventDrivenDoesNotRecomputeQuietLogic) {
+  const Circuit c = make_counter(8);
+  GoodSim sim(c, Val::Zero);
+  sim.apply(bits({0}));
+  const auto before = sim.events_processed();
+  sim.apply(bits({0}));  // identical vector: no events
+  EXPECT_EQ(sim.events_processed(), before);
+}
+
+TEST(GoodSim, WrongInputWidthThrows) {
+  const Circuit c = make_full_adder();
+  GoodSim sim(c);
+  std::vector<Val> two(2, Val::Zero);
+  EXPECT_THROW(sim.set_inputs(two), Error);
+}
+
+TEST(GoodSim, StuckOutputInjectionForcesValue) {
+  const Circuit c = make_full_adder();
+  GoodSim sim(c);
+  const GateId sum = c.find("sum");
+  sim.inject(sum, kOutPin, Val::One);
+  sim.settle();
+  sim.apply(bits({0, 0, 0}));
+  EXPECT_EQ(sim.output(0), Val::One);  // sum forced
+  EXPECT_EQ(sim.output(1), Val::Zero); // cout unaffected
+}
+
+TEST(GoodSim, StuckPinInjectionChangesFunction) {
+  const Circuit c = make_full_adder();
+  GoodSim sim(c);
+  // Force pin 0 of gate g1 = AND(a, b) to 1: cout = b | (ab ^ cin)cin...
+  const GateId g1 = c.find("g1");
+  sim.inject(g1, 0, Val::One);
+  sim.apply(bits({0, 1, 0}));
+  // With the fault, g1 = 1&b = 1 -> cout = 1; fault-free cout would be 0.
+  EXPECT_EQ(sim.output(1), Val::One);
+}
+
+TEST(GoodSim, ClearInjectionRestoresGoodBehaviour) {
+  const Circuit c = make_full_adder();
+  GoodSim sim(c);
+  sim.inject(c.find("sum"), kOutPin, Val::One);
+  sim.apply(bits({0, 0, 0}));
+  ASSERT_EQ(sim.output(0), Val::One);
+  sim.clear_injection();
+  sim.reset();
+  sim.apply(bits({0, 0, 0}));
+  EXPECT_EQ(sim.output(0), Val::Zero);
+}
+
+TEST(GoodSim, DffOutputInjectionHoldsAcrossClocks) {
+  const Circuit c = make_shift_register(3);
+  GoodSim sim(c, Val::Zero);
+  sim.inject(c.dffs()[1], kOutPin, Val::One);
+  sim.reset(Val::Zero);
+  for (int i = 0; i < 3; ++i) {
+    sim.apply(bits({0}));
+    sim.clock();
+  }
+  EXPECT_EQ(sim.ff_values()[1], Val::One);
+  // The forced 1 shifts onward into stage 2.
+  EXPECT_EQ(sim.ff_values()[2], Val::One);
+}
+
+TEST(GoodSim, DffDPinInjectionTakesEffectAtClock) {
+  const Circuit c = make_shift_register(3);
+  GoodSim sim(c, Val::Zero);
+  sim.inject(c.dffs()[0], 0, Val::One);  // D pin of stage 0 stuck at 1
+  sim.reset(Val::Zero);
+  EXPECT_EQ(sim.ff_values()[0], Val::Zero);  // not yet clocked
+  sim.apply(bits({0}));
+  sim.clock();
+  EXPECT_EQ(sim.ff_values()[0], Val::One);
+}
+
+TEST(GoodSim, S27MatchesHandComputedSequence) {
+  // s27 from the all-zero state with inputs (G0,G1,G2,G3) = 0,0,0,0:
+  // G14=1, G12=1, G8 = G14&G6 = 0, G15 = G12|G8 = 1, G16 = 0|0 = 0,
+  // G9 = NAND(G16,G15) = 1, G11 = NOR(G5,G9) = 0, G17 = NOT(G11) = 1.
+  const Circuit c = make_s27();
+  GoodSim sim(c, Val::Zero);
+  sim.apply(bits({0, 0, 0, 0}));
+  EXPECT_EQ(sim.value(c.find("G14")), Val::One);
+  EXPECT_EQ(sim.value(c.find("G8")), Val::Zero);
+  EXPECT_EQ(sim.value(c.find("G9")), Val::One);
+  EXPECT_EQ(sim.value(c.find("G11")), Val::Zero);
+  EXPECT_EQ(sim.output(0), Val::One);  // G17
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,63 @@
+// Experiment harness: runner smoke tests and table formatting.
+#include <gtest/gtest.h>
+
+#include "gen/known_circuits.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "patterns/pattern.h"
+
+namespace cfs {
+namespace {
+
+TEST(Harness, TableAligns) {
+  Table t({"ckt", "CPU", "MEM"});
+  t.row({"s27", "0.01", "1.2K"});
+  t.row({"s35932", "12.50", "9.24M"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("s27"), std::string::npos);
+  EXPECT_NE(s.find("9.24M"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Harness, FmtHelpers) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_count(42), "42");
+}
+
+TEST(Harness, AllVariantsProduceIdenticalCoverage) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(4, 60, 2);
+  const RunResult plain = run_csim(c, u, p, CsimVariant::Plain);
+  const RunResult v = run_csim(c, u, p, CsimVariant::V);
+  const RunResult m = run_csim(c, u, p, CsimVariant::M);
+  const RunResult mv = run_csim(c, u, p, CsimVariant::MV);
+  const RunResult proofs = run_proofs(c, u, p);
+  const RunResult serial = run_serial(c, u, p);
+  EXPECT_EQ(plain.cov.hard, serial.cov.hard);
+  EXPECT_EQ(v.cov.hard, serial.cov.hard);
+  EXPECT_EQ(m.cov.hard, serial.cov.hard);
+  EXPECT_EQ(mv.cov.hard, serial.cov.hard);
+  EXPECT_EQ(proofs.cov.hard, serial.cov.hard);
+  EXPECT_GT(plain.mem_bytes, 0u);
+  EXPECT_GT(plain.activity, 0u);
+}
+
+TEST(Harness, VariantNames) {
+  EXPECT_EQ(variant_name(CsimVariant::Plain), "csim");
+  EXPECT_EQ(variant_name(CsimVariant::V), "csim-V");
+  EXPECT_EQ(variant_name(CsimVariant::M), "csim-M");
+  EXPECT_EQ(variant_name(CsimVariant::MV), "csim-MV");
+}
+
+TEST(Harness, TransitionRunnerSmoke) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_transition(c);
+  const PatternSet p = PatternSet::random(4, 40, 8);
+  const RunResult r = run_csim_transition(c, u, p);
+  EXPECT_EQ(r.cov.total, u.size());
+  EXPECT_GT(r.activity, 0u);
+}
+
+}  // namespace
+}  // namespace cfs

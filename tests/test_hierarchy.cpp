@@ -1,0 +1,170 @@
+// Hierarchical composition: flattening instances must reproduce the flat
+// design's behaviour, including nested and sequential modules.
+#include <gtest/gtest.h>
+
+#include "gen/circuit_gen.h"
+#include "gen/known_circuits.h"
+#include "netlist/hierarchy.h"
+#include "sim/good_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+// 4-bit ripple adder assembled from full_adder modules.
+Circuit hierarchical_adder4() {
+  const Circuit fa = make_full_adder();
+  Builder b("hrca4");
+  for (int i = 0; i < 4; ++i) b.add_input("a" + std::to_string(i));
+  for (int i = 0; i < 4; ++i) b.add_input("b" + std::to_string(i));
+  b.add_input("cin");
+  std::string carry = "cin";
+  for (int i = 0; i < 4; ++i) {
+    const auto outs = instantiate(
+        b, fa, "fa" + std::to_string(i),
+        {"a" + std::to_string(i), "b" + std::to_string(i), carry});
+    // fa outputs: sum, cout.
+    b.mark_output(outs[0]);
+    carry = outs[1];
+  }
+  b.add_gate(GateKind::Buf, "cout", {carry});
+  b.mark_output("cout");
+  return b.build();
+}
+
+TEST(Hierarchy, AdderFromModulesMatchesFlatAdder) {
+  const Circuit hier = hierarchical_adder4();
+  const Circuit flat = make_ripple_adder(4);
+  ASSERT_EQ(hier.inputs().size(), flat.inputs().size());
+  ASSERT_EQ(hier.outputs().size(), flat.outputs().size());
+  GoodSim hs(hier), fs(flat);
+  Rng rng(33);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<Val> in(9);
+    for (auto& x : in) {
+      x = rng.chance(1, 10) ? Val::X
+                            : (rng.chance(1, 2) ? Val::One : Val::Zero);
+    }
+    hs.apply(in);
+    fs.apply(in);
+    for (unsigned k = 0; k < 5; ++k) {
+      ASSERT_EQ(hs.output(k), fs.output(k)) << "trial " << t;
+    }
+  }
+}
+
+TEST(Hierarchy, NestedInstancesFlatten) {
+  // 2-bit adder module built from FA instances, then two of those stacked.
+  const Circuit fa = make_full_adder();
+  Builder m2("add2");
+  m2.add_input("a0");
+  m2.add_input("a1");
+  m2.add_input("b0");
+  m2.add_input("b1");
+  m2.add_input("ci");
+  const auto lo = instantiate(m2, fa, "lo", {"a0", "b0", "ci"});
+  const auto hi = instantiate(m2, fa, "hi", {"a1", "b1", lo[1]});
+  m2.mark_output(lo[0]);
+  m2.mark_output(hi[0]);
+  m2.mark_output(hi[1]);
+  const Circuit add2 = m2.build();
+
+  Builder top("add4n");
+  for (const char* n : {"a0", "a1", "a2", "a3", "b0", "b1", "b2", "b3"}) {
+    top.add_input(n);
+  }
+  top.add_input("cin");
+  const auto low = instantiate(top, add2, "L", {"a0", "a1", "b0", "b1", "cin"});
+  const auto high =
+      instantiate(top, add2, "H", {"a2", "a3", "b2", "b3", low[2]});
+  for (const auto& s : {low[0], low[1], high[0], high[1], high[2]}) {
+    top.mark_output(s);
+  }
+  const Circuit c = top.build();
+
+  // Exhaustive 4-bit + 4-bit + carry check.
+  GoodSim sim(c);
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      std::vector<Val> in;
+      for (int i = 0; i < 4; ++i) {
+        in.push_back((a >> i) & 1 ? Val::One : Val::Zero);
+      }
+      for (int i = 0; i < 4; ++i) {
+        in.push_back((b >> i) & 1 ? Val::One : Val::Zero);
+      }
+      in.push_back(Val::Zero);
+      sim.apply(in);
+      int got = 0;
+      for (int i = 0; i < 5; ++i) {
+        if (sim.output(i) == Val::One) got |= 1 << i;
+      }
+      ASSERT_EQ(got, a + b);
+    }
+  }
+}
+
+TEST(Hierarchy, SequentialModulesCarryTheirState) {
+  // Two 2-bit counters cascaded: the second counts when the first wraps
+  // (enable = q0 AND q1 of the first).
+  const Circuit ctr = make_counter(2);
+  Builder b("ctr4");
+  b.add_input("en");
+  const auto lo = instantiate(b, ctr, "lo", {"en"});
+  b.add_gate(GateKind::And, "wrap", {lo[0], lo[1]});
+  b.add_gate(GateKind::And, "hi_en", {"en", "wrap"});
+  const auto hi = instantiate(b, ctr, "hi", {"hi_en"});
+  for (const auto& s : {lo[0], lo[1], hi[0], hi[1]}) b.mark_output(s);
+  const Circuit c = b.build();
+  EXPECT_EQ(c.dffs().size(), 4u);
+
+  GoodSim sim(c, Val::Zero);
+  std::vector<Val> en = {Val::One};
+  for (int step = 1; step <= 12; ++step) {
+    sim.apply(en);
+    sim.clock();
+    sim.apply(en);
+    int got = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (sim.output(i) == Val::One) got |= 1 << i;
+    }
+    EXPECT_EQ(got, step % 16) << "step " << step;
+  }
+}
+
+TEST(Hierarchy, InstanceNamesAreQualified) {
+  const Circuit fa = make_full_adder();
+  Builder b("q");
+  b.add_input("x");
+  b.add_input("y");
+  b.add_input("z");
+  const auto outs = instantiate(b, fa, "u1", {"x", "y", "z"});
+  b.mark_output(outs[0]);
+  const Circuit c = b.build();
+  EXPECT_NE(c.find("u1/sum"), kNoGate);
+  EXPECT_NE(c.find("u1/cout"), kNoGate);
+  EXPECT_EQ(c.find("sum"), kNoGate);
+  EXPECT_EQ(outs[0], "u1/sum");
+}
+
+TEST(Hierarchy, WrongArityThrows) {
+  const Circuit fa = make_full_adder();
+  Builder b("bad");
+  b.add_input("x");
+  EXPECT_THROW(instantiate(b, fa, "u", {"x"}), Error);
+}
+
+TEST(Hierarchy, DuplicateInstanceNameThrowsAtBuild) {
+  const Circuit fa = make_full_adder();
+  Builder b("dup");
+  b.add_input("x");
+  b.add_input("y");
+  b.add_input("z");
+  instantiate(b, fa, "u", {"x", "y", "z"});
+  instantiate(b, fa, "u", {"x", "y", "z"});  // same prefix: name clash
+  EXPECT_THROW(b.build(), Error);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,82 @@
+// End-to-end integration sweep: for every small benchmark profile, run the
+// tgen -> simulate flow and require all engines to agree on the resulting
+// deterministic test set.  This is the full Table-3 pipeline as a test.
+#include <gtest/gtest.h>
+
+#include "baseline/proofs_sim.h"
+#include "baseline/serial_sim.h"
+#include "core/concurrent_sim.h"
+#include "faults/macro_map.h"
+#include "gen/iscas_profiles.h"
+#include "netlist/macro_extract.h"
+#include "patterns/tgen.h"
+
+namespace cfs {
+namespace {
+
+class BenchmarkPipeline : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchmarkPipeline, AllEnginesAgreeOnGeneratedTests) {
+  const Circuit c = make_benchmark(GetParam());
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+
+  TgenOptions opt;
+  opt.seed = 2024;
+  opt.max_vectors = 192;
+  opt.stale_limit = 4;
+  opt.ff_init = Val::Zero;
+  const TgenResult tg = generate_tests(c, u, opt);
+  ASSERT_FALSE(tg.suite.empty()) << "tgen produced nothing";
+
+  const MacroExtraction ext = extract_macros(c);
+  const MacroFaultMap mm = map_faults_to_macros(c, ext, u);
+  ConcurrentSim mv(ext.circuit, u, CsimOptions{}, &mm);
+  ProofsSim proofs(c, u, Val::Zero);
+  for (const PatternSet& seq : tg.suite.sequences()) {
+    mv.reset(Val::Zero);
+    proofs.reset(Val::Zero);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+      mv.apply_vector(seq[i]);
+      proofs.apply_vector(seq[i]);
+    }
+  }
+  // tgen itself ran csim-V; MV and PROOFS must reproduce its coverage and
+  // agree with each other exactly.
+  EXPECT_EQ(mv.coverage().hard, tg.coverage.hard);
+  EXPECT_EQ(mv.status(), proofs.status());
+}
+
+INSTANTIATE_TEST_SUITE_P(TinySuite, BenchmarkPipeline,
+                         ::testing::Values("s27", "s298", "s344", "s386",
+                                           "s444", "s526"));
+
+TEST(Integration, TransitionPipelineOnSuite) {
+  for (const char* name : {"s27", "s298", "s386"}) {
+    const Circuit c = make_benchmark(name);
+    const FaultUniverse stuck = FaultUniverse::all_stuck_at(c);
+    TgenOptions opt;
+    opt.seed = 77;
+    opt.max_vectors = 128;
+    opt.stale_limit = 3;
+    opt.ff_init = Val::Zero;
+    const TgenResult tg = generate_tests(c, stuck, opt);
+
+    const FaultUniverse trans = FaultUniverse::all_transition(c);
+    ConcurrentSim tsim(c, trans);
+    for (const PatternSet& seq : tg.suite.sequences()) {
+      tsim.reset(Val::Zero);
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        tsim.apply_vector(seq[i]);
+      }
+    }
+    const SerialResult ref = serial_transition_sim(
+        c, trans, tg.suite, SerialOptions{.ff_init = Val::Zero});
+    ASSERT_EQ(tsim.status(), ref.status) << name;
+    // The paper's Table 6 shape: transition coverage below the stuck-at
+    // coverage of the same tests.
+    EXPECT_LE(tsim.coverage().pct(), tg.coverage.pct() + 1e-9) << name;
+  }
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,199 @@
+// Exhaustive checks of the three-valued primitives: scalar ops, dual-rail
+// words, and the packed gate state.
+#include <gtest/gtest.h>
+
+#include "util/dualrail.h"
+#include "util/logic.h"
+#include "util/packed_state.h"
+
+namespace cfs {
+namespace {
+
+const Val kAll[] = {Val::Zero, Val::One, Val::X};
+
+// Reference semantics on {0,1,X} treated as sets of possible binary values.
+int lo(Val v) { return v == Val::One ? 1 : 0; }
+int hi(Val v) { return v == Val::Zero ? 0 : 1; }
+Val from_range(int l, int h) {
+  if (l == h) return l ? Val::One : Val::Zero;
+  return Val::X;
+}
+
+TEST(Logic, AndMatchesIntervalSemantics) {
+  for (Val a : kAll) {
+    for (Val b : kAll) {
+      EXPECT_EQ(v_and(a, b), from_range(lo(a) & lo(b), hi(a) & hi(b)))
+          << to_char(a) << " & " << to_char(b);
+    }
+  }
+}
+
+TEST(Logic, OrMatchesIntervalSemantics) {
+  for (Val a : kAll) {
+    for (Val b : kAll) {
+      EXPECT_EQ(v_or(a, b), from_range(lo(a) | lo(b), hi(a) | hi(b)));
+    }
+  }
+}
+
+TEST(Logic, NotInvertsAndPreservesX) {
+  EXPECT_EQ(v_not(Val::Zero), Val::One);
+  EXPECT_EQ(v_not(Val::One), Val::Zero);
+  EXPECT_EQ(v_not(Val::X), Val::X);
+}
+
+TEST(Logic, DoubleNotIsIdentity) {
+  for (Val a : kAll) EXPECT_EQ(v_not(v_not(a)), a);
+}
+
+TEST(Logic, XorTable) {
+  EXPECT_EQ(v_xor(Val::Zero, Val::Zero), Val::Zero);
+  EXPECT_EQ(v_xor(Val::Zero, Val::One), Val::One);
+  EXPECT_EQ(v_xor(Val::One, Val::Zero), Val::One);
+  EXPECT_EQ(v_xor(Val::One, Val::One), Val::Zero);
+  for (Val a : kAll) {
+    EXPECT_EQ(v_xor(a, Val::X), Val::X);
+    EXPECT_EQ(v_xor(Val::X, a), Val::X);
+  }
+}
+
+TEST(Logic, ControllingValuesDominateX) {
+  EXPECT_EQ(v_and(Val::X, Val::Zero), Val::Zero);
+  EXPECT_EQ(v_or(Val::X, Val::One), Val::One);
+}
+
+TEST(Logic, CodeRoundTrip) {
+  for (Val a : kAll) EXPECT_EQ(from_code(code(a)), a);
+  EXPECT_EQ(from_code(1), Val::X);  // the invalid code normalises to X
+}
+
+TEST(Logic, CharConversions) {
+  EXPECT_EQ(val_from_char('0'), Val::Zero);
+  EXPECT_EQ(val_from_char('1'), Val::One);
+  EXPECT_EQ(val_from_char('x'), Val::X);
+  EXPECT_EQ(val_from_char('?'), Val::X);
+  EXPECT_EQ(to_char(Val::Zero), '0');
+  EXPECT_EQ(to_char(Val::One), '1');
+  EXPECT_EQ(to_char(Val::X), 'x');
+}
+
+TEST(Logic, ValsToString) {
+  const Val v[] = {Val::Zero, Val::One, Val::X};
+  EXPECT_EQ(vals_to_string(v, 3), "01x");
+}
+
+// --- dual-rail words -------------------------------------------------------
+
+TEST(DualRail, SplatAndGet) {
+  for (Val a : kAll) {
+    const Word64 w = splat64(a);
+    for (unsigned i : {0u, 1u, 31u, 63u}) EXPECT_EQ(w_get(w, i), a);
+  }
+}
+
+TEST(DualRail, SetGetRoundTripAllLanes) {
+  Word64 w = splat64(Val::X);
+  for (unsigned i = 0; i < 64; ++i) {
+    const Val v = kAll[i % 3];
+    w_set(w, i, v);
+  }
+  for (unsigned i = 0; i < 64; ++i) EXPECT_EQ(w_get(w, i), kAll[i % 3]);
+}
+
+TEST(DualRail, OpsMatchScalarPerLane) {
+  Word64 a{}, b{};
+  for (unsigned i = 0; i < 64; ++i) {
+    w_set(a, i, kAll[i % 3]);
+    w_set(b, i, kAll[(i / 3) % 3]);
+  }
+  const Word64 wa = w_and(a, b), wo = w_or(a, b), wx = w_xor(a, b),
+               wn = w_not(a);
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(w_get(wa, i), v_and(w_get(a, i), w_get(b, i)));
+    EXPECT_EQ(w_get(wo, i), v_or(w_get(a, i), w_get(b, i)));
+    EXPECT_EQ(w_get(wx, i), v_xor(w_get(a, i), w_get(b, i)));
+    EXPECT_EQ(w_get(wn, i), v_not(w_get(a, i)));
+  }
+}
+
+TEST(DualRail, EqAndHardDiff) {
+  Word64 a{}, b{};
+  // lane 0: 0 vs 0 (eq); lane 1: 0 vs 1 (hard); lane 2: X vs 0 (neither);
+  // lane 3: X vs X (eq).
+  w_set(a, 0, Val::Zero);
+  w_set(b, 0, Val::Zero);
+  w_set(a, 1, Val::Zero);
+  w_set(b, 1, Val::One);
+  w_set(a, 2, Val::X);
+  w_set(b, 2, Val::Zero);
+  w_set(a, 3, Val::X);
+  w_set(b, 3, Val::X);
+  const std::uint64_t eq = w_eq(a, b);
+  const std::uint64_t hard = w_hard_diff(a, b);
+  EXPECT_TRUE(eq & 1ull);
+  EXPECT_FALSE(eq & 2ull);
+  EXPECT_FALSE(eq & 4ull);
+  EXPECT_TRUE(eq & 8ull);
+  EXPECT_FALSE(hard & 1ull);
+  EXPECT_TRUE(hard & 2ull);
+  EXPECT_FALSE(hard & 4ull);
+  EXPECT_FALSE(hard & 8ull);
+}
+
+TEST(DualRail, IsXAndIsBinary) {
+  Word64 a{};
+  w_set(a, 0, Val::Zero);
+  w_set(a, 1, Val::One);
+  w_set(a, 2, Val::X);
+  EXPECT_FALSE(w_is_x(a) & 1ull);
+  EXPECT_FALSE(w_is_x(a) & 2ull);
+  EXPECT_TRUE(w_is_x(a) & 4ull);
+  EXPECT_TRUE(w_is_binary(a) & 1ull);
+  EXPECT_TRUE(w_is_binary(a) & 2ull);
+  EXPECT_FALSE(w_is_binary(a) & 4ull);
+}
+
+TEST(DualRail, Select) {
+  const Word64 a = splat64(Val::Zero);
+  const Word64 b = splat64(Val::One);
+  const Word64 s = w_select(0xF0ull, b, a);
+  EXPECT_EQ(w_get(s, 0), Val::Zero);
+  EXPECT_EQ(w_get(s, 4), Val::One);
+}
+
+// --- packed gate state -----------------------------------------------------
+
+TEST(PackedState, SetGetPinsAndOutput) {
+  GateState s = 0;
+  s = state_set(s, 0, Val::One);
+  s = state_set(s, 5, Val::X);
+  s = state_set(s, 15, Val::Zero);
+  s = state_set_out(s, Val::One);
+  EXPECT_EQ(state_get(s, 0), Val::One);
+  EXPECT_EQ(state_get(s, 5), Val::X);
+  EXPECT_EQ(state_get(s, 15), Val::Zero);
+  EXPECT_EQ(state_out(s), Val::One);
+}
+
+TEST(PackedState, AllXInitialisesPinsAndOutput) {
+  const GateState s = state_all_x(4);
+  for (unsigned p = 0; p < 4; ++p) EXPECT_EQ(state_get(s, p), Val::X);
+  EXPECT_EQ(state_out(s), Val::X);
+}
+
+TEST(PackedState, InputIndexMasksOutput) {
+  GateState s = 0;
+  s = state_set(s, 0, Val::One);
+  s = state_set(s, 1, Val::X);
+  s = state_set_out(s, Val::One);
+  // index = pin1 pin0 = X(10) One(11) -> 0b1011
+  EXPECT_EQ(state_input_index(s, 2), 0b1011u);
+}
+
+TEST(PackedState, InputMaskCoversOnlyPins) {
+  const GateState m = input_mask(3);
+  EXPECT_EQ(m, 0x3Full);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,155 @@
+// Macro extraction: structural invariants, functional equivalence of the
+// extracted circuit, faulty-table construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/circuit_gen.h"
+#include "gen/iscas_profiles.h"
+#include "gen/known_circuits.h"
+#include "netlist/macro_extract.h"
+#include "sim/good_sim.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cfs {
+namespace {
+
+void check_equivalent(const Circuit& orig, const Circuit& ext,
+                      std::uint64_t seed, int frames) {
+  ASSERT_EQ(orig.inputs().size(), ext.inputs().size());
+  ASSERT_EQ(orig.outputs().size(), ext.outputs().size());
+  ASSERT_EQ(orig.dffs().size(), ext.dffs().size());
+  GoodSim a(orig), b(ext);
+  Rng rng(seed);
+  for (int t = 0; t < frames; ++t) {
+    std::vector<Val> v(orig.inputs().size());
+    for (auto& x : v) {
+      x = rng.chance(1, 8) ? Val::X
+                           : (rng.chance(1, 2) ? Val::One : Val::Zero);
+    }
+    a.apply(v);
+    b.apply(v);
+    for (std::size_t i = 0; i < orig.outputs().size(); ++i) {
+      ASSERT_EQ(a.output(static_cast<unsigned>(i)),
+                b.output(static_cast<unsigned>(i)))
+          << "PO " << i << " frame " << t;
+    }
+    a.clock();
+    b.clock();
+  }
+}
+
+TEST(Macro, ExtractionShrinksGateCount) {
+  const Circuit c = make_s27();
+  const MacroExtraction ext = extract_macros(c);
+  EXPECT_LT(ext.circuit.num_gates(), c.num_gates());
+  EXPECT_FALSE(ext.macros.empty());
+}
+
+TEST(Macro, MacroGatesHaveTables) {
+  const Circuit c = make_s27();
+  const MacroExtraction ext = extract_macros(c);
+  for (const MacroInfo& m : ext.macros) {
+    ASSERT_NE(m.macro_gate, kNoGate);
+    EXPECT_EQ(ext.circuit.kind(m.macro_gate), GateKind::Macro);
+    EXPECT_NE(ext.circuit.table_of(m.macro_gate), kNoGate);
+    EXPECT_EQ(ext.circuit.num_fanins(m.macro_gate), m.ext_drivers.size());
+    EXPECT_GE(m.internal.size(), 2u);
+    EXPECT_EQ(m.internal.back(), m.root);  // root last in topo order
+  }
+}
+
+TEST(Macro, InternalGatesHaveAllFanoutsInside) {
+  const Circuit c = make_benchmark("s298");
+  const MacroExtraction ext = extract_macros(c);
+  for (const MacroInfo& m : ext.macros) {
+    for (GateId g : m.internal) {
+      if (g == m.root) continue;
+      EXPECT_FALSE(c.is_po(g));
+      for (const Fanout& fo : c.fanouts(g)) {
+        EXPECT_NE(std::find(m.internal.begin(), m.internal.end(), fo.gate),
+                  m.internal.end());
+      }
+    }
+  }
+}
+
+TEST(Macro, EquivalentOnS27) {
+  const Circuit c = make_s27();
+  check_equivalent(c, extract_macros(c).circuit, 1, 40);
+}
+
+TEST(Macro, EquivalentOnC17) {
+  const Circuit c = make_c17();
+  check_equivalent(c, extract_macros(c).circuit, 2, 30);
+}
+
+TEST(Macro, EquivalentOnRandomCircuits) {
+  for (std::uint64_t seed : {3u, 4u, 5u}) {
+    GenProfile p;
+    p.name = "m" + std::to_string(seed);
+    p.num_pis = 5;
+    p.num_pos = 4;
+    p.num_dffs = 6;
+    p.num_gates = 120;
+    p.seed = seed;
+    const Circuit c = generate_circuit(p);
+    check_equivalent(c, extract_macros(c).circuit, seed, 20);
+  }
+}
+
+TEST(Macro, WiderInputCapAllowsBiggerMacros) {
+  const Circuit c = make_benchmark("s298");
+  MacroOptions narrow, wide;
+  narrow.max_inputs = 2;
+  wide.max_inputs = 6;
+  const auto a = extract_macros(c, narrow);
+  const auto b = extract_macros(c, wide);
+  EXPECT_GE(a.circuit.num_gates(), b.circuit.num_gates());
+  check_equivalent(c, b.circuit, 9, 15);
+}
+
+TEST(Macro, FaultyTableDiffersAtInjection) {
+  const Circuit c = make_s27();
+  const MacroExtraction ext = extract_macros(c);
+  ASSERT_FALSE(ext.macros.empty());
+  const MacroInfo& m = ext.macros.front();
+  // Faulting the root's output to 1 must change at least one table entry
+  // (unless the region is constant-1, which these regions are not).
+  const TruthTable good = build_macro_table(c, m);
+  const TruthTable bad =
+      build_macro_table_faulty(c, m, m.root, kOutputPin, Val::One);
+  EXPECT_NE(good.out, bad.out);
+  // Every faulty entry is either the good value or the forced value.
+  for (std::size_t i = 0; i < bad.out.size(); ++i) {
+    EXPECT_EQ(from_code(bad.out[i]), Val::One);
+  }
+}
+
+TEST(Macro, GateMapCoversAllGates) {
+  const Circuit c = make_benchmark("s298");
+  const MacroExtraction ext = extract_macros(c);
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    const bool internal_nonroot =
+        ext.macro_of[g] != kNoGate && ext.macros[ext.macro_of[g]].root != g;
+    if (internal_nonroot) {
+      EXPECT_EQ(ext.gate_map[g], kNoGate);
+    } else {
+      ASSERT_NE(ext.gate_map[g], kNoGate);
+      EXPECT_EQ(ext.circuit.gate_name(ext.gate_map[g]), c.gate_name(g));
+    }
+  }
+}
+
+TEST(Macro, RejectsBadOptions) {
+  const Circuit c = make_c17();
+  MacroOptions opt;
+  opt.max_inputs = 1;
+  EXPECT_THROW(extract_macros(c, opt), Error);
+  opt.max_inputs = 7;
+  EXPECT_THROW(extract_macros(c, opt), Error);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,159 @@
+// Pattern sets: I/O round-trip, random generation, test generator quality.
+#include <gtest/gtest.h>
+
+#include "faults/fault.h"
+#include "gen/known_circuits.h"
+#include "patterns/pattern.h"
+#include "patterns/tgen.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+TEST(Patterns, AddEnforcesWidth) {
+  PatternSet ps(3);
+  ps.add({Val::Zero, Val::One, Val::X});
+  EXPECT_THROW(ps.add({Val::Zero, Val::One}), Error);
+  EXPECT_EQ(ps.size(), 1u);
+}
+
+TEST(Patterns, FirstAddFixesWidth) {
+  PatternSet ps;
+  ps.add({Val::Zero, Val::One});
+  EXPECT_EQ(ps.num_inputs(), 2u);
+  EXPECT_THROW(ps.add({Val::Zero}), Error);
+}
+
+TEST(Patterns, TextRoundTrip) {
+  PatternSet ps(4);
+  ps.add({Val::Zero, Val::One, Val::X, Val::One});
+  ps.add({Val::One, Val::One, Val::Zero, Val::Zero});
+  const std::string text = ps.to_text("two vectors");
+  const PatternSet back = PatternSet::parse(text);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0], ps[0]);
+  EXPECT_EQ(back[1], ps[1]);
+}
+
+TEST(Patterns, ParseRejectsGarbage) {
+  EXPECT_THROW(PatternSet::parse("01x\n012\n"), Error);
+  EXPECT_THROW(PatternSet::parse("01\n011\n"), Error);  // width change
+}
+
+TEST(Patterns, ParseSkipsCommentsAndBlanks) {
+  const PatternSet ps = PatternSet::parse("# header\n\n01\n # mid\n10\n");
+  EXPECT_EQ(ps.size(), 2u);
+}
+
+TEST(Patterns, RandomIsDeterministicAndBinaryByDefault) {
+  const PatternSet a = PatternSet::random(5, 50, 9);
+  const PatternSet b = PatternSet::random(5, 50, 9);
+  ASSERT_EQ(a.size(), 50u);
+  EXPECT_EQ(a.vectors(), b.vectors());
+  for (const auto& v : a.vectors()) {
+    for (Val x : v) EXPECT_NE(x, Val::X);
+  }
+}
+
+TEST(Patterns, RandomXDensityRoughlyHonoured) {
+  const PatternSet ps = PatternSet::random(10, 200, 3, 250);
+  std::size_t xs = 0;
+  for (const auto& v : ps.vectors()) {
+    for (Val x : v) xs += x == Val::X;
+  }
+  const double frac = static_cast<double>(xs) / 2000.0;
+  EXPECT_GT(frac, 0.15);
+  EXPECT_LT(frac, 0.35);
+}
+
+TEST(Patterns, Truncate) {
+  PatternSet ps = PatternSet::random(3, 10, 1);
+  ps.truncate(4);
+  EXPECT_EQ(ps.size(), 4u);
+  ps.truncate(100);  // no-op
+  EXPECT_EQ(ps.size(), 4u);
+}
+
+TEST(Tgen, ReachesHighCoverageOnS27) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  TgenOptions opt;
+  opt.seed = 5;
+  const TgenResult r = generate_tests(c, u, opt);
+  EXPECT_GT(r.coverage.pct(), 80.0);
+  EXPECT_FALSE(r.suite.empty());
+  EXPECT_GE(r.segments_tried, r.segments_kept);
+}
+
+TEST(Tgen, ReplayedSuiteReproducesItsCoverage) {
+  const Circuit c = make_counter(4);
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  TgenOptions opt;
+  opt.seed = 11;
+  const TgenResult r = generate_tests(c, u, opt);
+  // Re-simulate the emitted suite from scratch; coverage must match.
+  ConcurrentSim sim(c, u);
+  for (const PatternSet& seq : r.suite.sequences()) {
+    sim.reset(opt.ff_init);
+    for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
+  }
+  EXPECT_EQ(sim.coverage().hard, r.coverage.hard);
+}
+
+TEST(Tgen, RespectsVectorBudget) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  TgenOptions opt;
+  opt.max_vectors = 10;
+  const TgenResult r = generate_tests(c, u, opt);
+  EXPECT_LE(r.suite.total_vectors(), 10u);
+}
+
+TEST(Tgen, RestartsRaiseCoverageOnRestartSensitiveLogic) {
+  // A shift register with X-init: faults near the serial input need a
+  // fresh machine to excite deterministically; restarts must never hurt.
+  const Circuit c = make_shift_register(6);
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  TgenOptions one;
+  one.seed = 9;
+  one.max_restarts = 0;
+  TgenOptions many = one;
+  many.max_restarts = 6;
+  const TgenResult a = generate_tests(c, u, one);
+  const TgenResult b = generate_tests(c, u, many);
+  EXPECT_GE(b.coverage.hard, a.coverage.hard);
+  EXPECT_GE(b.suite.num_sequences(), a.suite.num_sequences());
+}
+
+TEST(TestSuite, TextRoundTripWithResets) {
+  TestSuite suite;
+  PatternSet a(3), b(3);
+  a.add({Val::Zero, Val::One, Val::X});
+  b.add({Val::One, Val::One, Val::Zero});
+  b.add({Val::Zero, Val::Zero, Val::Zero});
+  suite.sequences() = {a, b};
+  const std::string text = suite.to_text("two sequences");
+  EXPECT_NE(text.find("RESET"), std::string::npos);
+  const TestSuite back = TestSuite::parse(text);
+  ASSERT_EQ(back.num_sequences(), 2u);
+  EXPECT_EQ(back.sequences()[0].vectors(), a.vectors());
+  EXPECT_EQ(back.sequences()[1].vectors(), b.vectors());
+  EXPECT_EQ(back.total_vectors(), 3u);
+}
+
+TEST(TestSuite, ParseRejectsMixedWidths) {
+  EXPECT_THROW(TestSuite::parse("01\nRESET\n011\n"), Error);
+}
+
+TEST(TestSuite, PruneEmptyDropsEmptySequences) {
+  TestSuite suite;
+  suite.sequences().emplace_back(2);
+  PatternSet b(2);
+  b.add({Val::One, Val::Zero});
+  suite.sequences().push_back(b);
+  suite.prune_empty();
+  EXPECT_EQ(suite.num_sequences(), 1u);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "util/pool.h"
+
+namespace cfs {
+namespace {
+
+struct Item {
+  int a = 0;
+  int b = 0;
+};
+
+TEST(Pool, AllocAssignsDistinctIndices) {
+  Pool<Item> p;
+  const auto i0 = p.alloc();
+  const auto i1 = p.alloc();
+  const auto i2 = p.alloc();
+  EXPECT_NE(i0, i1);
+  EXPECT_NE(i1, i2);
+  EXPECT_EQ(p.live(), 3u);
+}
+
+TEST(Pool, FreeReusesSlots) {
+  Pool<Item> p;
+  const auto i0 = p.alloc();
+  const auto i1 = p.alloc();
+  p.free(i0);
+  EXPECT_EQ(p.live(), 1u);
+  const auto i2 = p.alloc();
+  EXPECT_EQ(i2, i0);  // LIFO free list
+  EXPECT_EQ(p.live(), 2u);
+  (void)i1;
+}
+
+TEST(Pool, PeakLiveTracksHighWater) {
+  Pool<Item> p;
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(p.alloc());
+  EXPECT_EQ(p.peak_live(), 10u);
+  for (auto id : ids) p.free(id);
+  EXPECT_EQ(p.live(), 0u);
+  p.alloc();
+  EXPECT_EQ(p.peak_live(), 10u);
+}
+
+TEST(Pool, DataSurvivesOtherAllocations) {
+  Pool<Item> p;
+  const auto i0 = p.alloc();
+  p[i0] = {7, 9};
+  for (int i = 0; i < 100; ++i) p.alloc();
+  EXPECT_EQ(p[i0].a, 7);
+  EXPECT_EQ(p[i0].b, 9);
+}
+
+TEST(Pool, BytesGrowWithCapacity) {
+  Pool<Item> p;
+  const auto before = p.bytes();
+  for (int i = 0; i < 1000; ++i) p.alloc();
+  EXPECT_GT(p.bytes(), before);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,133 @@
+// Fault sampling, collapsed-class simulation, and test-set compaction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/concurrent_sim.h"
+#include "faults/sampling.h"
+#include "gen/circuit_gen.h"
+#include "gen/known_circuits.h"
+#include "patterns/compaction.h"
+#include "patterns/pattern.h"
+#include "patterns/tgen.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+TEST(Sampling, SampleSizeAndUniqueness) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const auto ids = sample_faults(u, 20, 7);
+  EXPECT_EQ(ids.size(), 20u);
+  std::set<std::uint32_t> uniq(ids.begin(), ids.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  for (auto id : ids) EXPECT_LT(id, u.size());
+}
+
+TEST(Sampling, ClampsToUniverse) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  EXPECT_EQ(sample_faults(u, 10000, 1).size(), u.size());
+}
+
+TEST(Sampling, EstimateTracksTrueCoverage) {
+  GenProfile gp;
+  gp.name = "samp";
+  gp.num_pis = 6;
+  gp.num_pos = 5;
+  gp.num_dffs = 8;
+  gp.num_gates = 250;
+  gp.seed = 700;
+  const Circuit c = generate_circuit(gp);
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(6, 150, 9);
+
+  ConcurrentSim full(c, u);
+  full.reset(Val::Zero);
+  for (std::size_t i = 0; i < p.size(); ++i) full.apply_vector(p[i]);
+  const double truth = full.coverage().pct();
+
+  const SubUniverse sub = restrict_universe(u, sample_faults(u, 300, 11));
+  ConcurrentSim sampled(c, sub.universe);
+  sampled.reset(Val::Zero);
+  for (std::size_t i = 0; i < p.size(); ++i) sampled.apply_vector(p[i]);
+  const double estimate = sampled.coverage().pct();
+  // 300 samples: 3-sigma band is about +-8.5 points at 50% coverage.
+  EXPECT_NEAR(estimate, truth, 10.0);
+}
+
+TEST(Sampling, RestrictRejectsBadIds) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  EXPECT_THROW(restrict_universe(u, {static_cast<std::uint32_t>(u.size())}),
+               Error);
+}
+
+TEST(Collapsing, RepresentativeSimulationExpandsExactly) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const auto rep = collapse_equivalent(c, u);
+  const SubUniverse reps = representative_universe(u, rep);
+  const PatternSet p = PatternSet::random(4, 120, 13);
+
+  ConcurrentSim full(c, u);
+  ConcurrentSim collapsed(c, reps.universe);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    full.apply_vector(p[i]);
+    collapsed.apply_vector(p[i]);
+  }
+  const auto expanded = expand_to_classes(collapsed.status(), reps, rep);
+  // Hard-detection flags must match the full run exactly: equivalent
+  // faults are detected by exactly the same tests.
+  ASSERT_EQ(expanded.size(), u.size());
+  for (std::uint32_t id = 0; id < u.size(); ++id) {
+    EXPECT_EQ(expanded[id] == Detect::Hard,
+              full.status()[id] == Detect::Hard)
+        << describe_fault(c, u[id]);
+  }
+}
+
+TEST(Compaction, NeverLosesCoverageAndShrinksPaddedSets) {
+  const Circuit c = make_s27();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  // A deliberately padded set: useful prefix + long useless tail of
+  // constant vectors.
+  TgenOptions topt;
+  topt.seed = 3;
+  topt.max_restarts = 0;
+  PatternSet padded = generate_tests(c, u, topt).suite.sequences().at(0);
+  const std::size_t useful = padded.size();
+  for (int i = 0; i < 64; ++i) {
+    padded.add(std::vector<Val>(4, Val::Zero));
+  }
+
+  ConcurrentSim before(c, u);
+  for (std::size_t i = 0; i < padded.size(); ++i) {
+    before.apply_vector(padded[i]);
+  }
+
+  const CompactionResult r = compact_tests(c, u, padded);
+  EXPECT_LT(r.patterns.size(), padded.size());
+  EXPECT_GE(r.coverage.hard, before.coverage().hard);
+  EXPECT_LE(r.patterns.size(), useful + 8);  // tail gone (block granularity)
+}
+
+TEST(Compaction, ResultReplaysToReportedCoverage) {
+  const Circuit c = make_counter(4);
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const PatternSet p = PatternSet::random(1, 120, 21);
+  CompactionOptions opt;
+  opt.ff_init = Val::Zero;
+  const CompactionResult r = compact_tests(c, u, p, opt);
+  ConcurrentSim sim(c, u);
+  sim.reset(Val::Zero);
+  for (std::size_t i = 0; i < r.patterns.size(); ++i) {
+    sim.apply_vector(r.patterns[i]);
+  }
+  EXPECT_EQ(sim.coverage().hard, r.coverage.hard);
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,26 @@
+// The umbrella header must compile standalone and expose the documented
+// quickstart flow.
+#include "cfs.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, QuickstartFlowCompilesAndRuns) {
+  using namespace cfs;
+  const Circuit c = make_s27();
+  const FaultUniverse faults = FaultUniverse::all_stuck_at(c);
+  TgenOptions opt;
+  opt.seed = 1;
+  opt.max_vectors = 64;
+  const TgenResult tests = generate_tests(c, faults, opt);
+
+  ConcurrentSim sim(c, faults);
+  for (const PatternSet& seq : tests.suite.sequences()) {
+    sim.reset();
+    for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
+  }
+  EXPECT_EQ(sim.coverage().hard, tests.coverage.hard);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/memtrack.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace cfs {
+namespace {
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(Strings, SplitDropsEmptyPieces) {
+  const auto v = split("a, b,, c ,", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(Strings, SplitSingleToken) {
+  const auto v = split("hello", ',');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "hello");
+}
+
+TEST(Strings, Upper) {
+  EXPECT_EQ(upper("NaNd"), "NAND");
+  EXPECT_EQ(upper("g17"), "G17");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("INPUT(x)", "INPUT"));
+  EXPECT_FALSE(starts_with("IN", "INPUT"));
+}
+
+TEST(MemStats, SamplesReplaceAndPeakPersists) {
+  MemStats ms;
+  ms.sample("pool", 1000);
+  ms.sample("lists", 500);
+  EXPECT_EQ(ms.current(), 1500u);
+  EXPECT_EQ(ms.peak(), 1500u);
+  ms.sample("pool", 100);
+  EXPECT_EQ(ms.current(), 600u);
+  EXPECT_EQ(ms.peak(), 1500u);
+}
+
+TEST(MemStats, FormatBytes) {
+  EXPECT_EQ(format_bytes(100), "100");
+  EXPECT_EQ(format_bytes(2048), "2.0K");
+  EXPECT_EQ(format_bytes(9ull * 1024 * 1024), "9.00M");
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.range(3, 5));
+  EXPECT_EQ(seen.size(), 3u);
+  EXPECT_TRUE(seen.count(3));
+  EXPECT_TRUE(seen.count(5));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Stopwatch, MonotoneNonNegative) {
+  Stopwatch sw;
+  const double a = sw.seconds();
+  const double b = sw.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  sw.restart();
+  EXPECT_GE(sw.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace cfs

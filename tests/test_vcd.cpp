@@ -1,0 +1,60 @@
+// VCD export: document structure and agreement with the recorded history.
+#include <gtest/gtest.h>
+
+#include "gen/known_circuits.h"
+#include "sim/delay_sim.h"
+#include "sim/vcd.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+TEST(Vcd, DocumentStructure) {
+  const Circuit c = make_c17();
+  VcdWriter w(c);
+  w.record(0, c.find("10"), Val::One);
+  w.record(3, c.find("22"), Val::Zero);
+  const std::string doc = w.str();
+  EXPECT_NE(doc.find("$timescale 1ns $end"), std::string::npos);
+  EXPECT_NE(doc.find("$scope module c17 $end"), std::string::npos);
+  EXPECT_NE(doc.find("$enddefinitions $end"), std::string::npos);
+  // One $var per gate.
+  std::size_t vars = 0, pos = 0;
+  while ((pos = doc.find("$var wire 1 ", pos)) != std::string::npos) {
+    ++vars;
+    ++pos;
+  }
+  EXPECT_EQ(vars, c.num_gates());
+  EXPECT_NE(doc.find("#0"), std::string::npos);
+  EXPECT_NE(doc.find("#3"), std::string::npos);
+}
+
+TEST(Vcd, RejectsTimeRegression) {
+  const Circuit c = make_c17();
+  VcdWriter w(c);
+  w.record(5, 0, Val::One);
+  EXPECT_THROW(w.record(4, 0, Val::Zero), Error);
+}
+
+TEST(Vcd, FromDelaySimHistory) {
+  const Circuit c = make_c17();
+  DelaySim sim(c, 2u);
+  for (unsigned i = 0; i < 5; ++i) sim.set_input(i, Val::One);
+  sim.run();
+  const std::string doc = delay_history_to_vcd(c, sim.history());
+  // Every recorded change appears: count value-change lines after the
+  // header (lines starting with 0/1/x past $end of dumpvars).
+  const std::size_t end = doc.find("$end\n", doc.find("$dumpvars"));
+  ASSERT_NE(end, std::string::npos);
+  std::size_t changes = 0;
+  for (std::size_t i = end; i < doc.size(); ++i) {
+    if (doc[i] == '\n' && i + 1 < doc.size() &&
+        (doc[i + 1] == '0' || doc[i + 1] == '1' || doc[i + 1] == 'x')) {
+      ++changes;
+    }
+  }
+  EXPECT_EQ(changes, sim.history().size());
+}
+
+}  // namespace
+}  // namespace cfs

@@ -1,0 +1,315 @@
+// cfs -- the command-line front end of the fault-simulation library.
+//
+//   cfs stats    <circuit>                      circuit statistics
+//   cfs gen      <benchmark> [--out=FILE]       emit a synthetic benchmark
+//   cfs macro    <circuit> [--cap=N]            macro extraction report
+//   cfs collapse <circuit>                      fault-collapsing report
+//   cfs tgen     <circuit> [--out=FILE] [--budget=N] [--seed=N] [--reset0]
+//   cfs sim      <circuit> [--engine=csim-mv|csim-v|csim-m|csim|proofs|
+//                           serial|deductive]
+//                          [--tests=FILE | --random=N] [--seed=N]
+//                          [--reset0] [--transition] [--verbose]
+//
+// <circuit> is a .bench file path (contains '.' or '/') or the name of a
+// built-in ISCAS-89 profile benchmark (s27, s298, ..., s35932).
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "args.h"
+#include "baseline/deductive_sim.h"
+#include "core/concurrent_sim.h"
+#include "faults/fault.h"
+#include "faults/sampling.h"
+#include "gen/iscas_profiles.h"
+#include "harness/runner.h"
+#include "harness/table.h"
+#include "netlist/bench_parser.h"
+#include "netlist/bench_writer.h"
+#include "netlist/macro_extract.h"
+#include "patterns/compaction.h"
+#include "patterns/tgen.h"
+#include "util/error.h"
+#include "util/memtrack.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace cfs;
+using cli::Args;
+
+Circuit load_circuit(const std::string& spec) {
+  if (spec.find('/') != std::string::npos ||
+      spec.find('.') != std::string::npos) {
+    return parse_bench_file(spec);
+  }
+  return make_benchmark(spec);
+}
+
+int cmd_stats(const Args& args) {
+  args.allow_only({});
+  const Circuit c = load_circuit(args.positional().at(0));
+  const auto st = c.stats();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const FaultUniverse t = FaultUniverse::all_transition(c);
+  std::printf("circuit      %s\n", c.name().c_str());
+  std::printf("inputs       %zu\n", st.num_pis);
+  std::printf("outputs      %zu\n", st.num_pos);
+  std::printf("flip-flops   %zu\n", st.num_dffs);
+  std::printf("gates        %zu\n", st.num_comb_gates);
+  std::printf("levels       %u\n", st.num_levels);
+  std::printf("max fanin    %zu\n", st.max_fanin);
+  std::printf("max fanout   %zu\n", st.max_fanout);
+  std::printf("sa faults    %zu\n", u.size());
+  std::printf("tr faults    %zu\n", t.size());
+  std::printf("image bytes  %s\n", format_bytes(c.bytes()).c_str());
+  return 0;
+}
+
+int cmd_gen(const Args& args) {
+  args.allow_only({"out"});
+  const Circuit c = make_benchmark(args.positional().at(0));
+  const std::string text = write_bench(c);
+  const std::string out = args.get("out");
+  if (out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream f(out);
+    if (!f) throw Error("cannot write " + out);
+    f << text;
+    std::printf("wrote %s (%zu gates)\n", out.c_str(), c.num_gates());
+  }
+  return 0;
+}
+
+int cmd_macro(const Args& args) {
+  args.allow_only({"cap"});
+  const Circuit c = load_circuit(args.positional().at(0));
+  MacroOptions opt;
+  opt.max_inputs = static_cast<unsigned>(args.get_u64("cap", 4));
+  const MacroExtraction ext = extract_macros(c, opt);
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const MacroFaultMap mm = map_faults_to_macros(c, ext, u);
+  std::size_t collapsed_gates = 0;
+  for (const MacroInfo& m : ext.macros) collapsed_gates += m.internal.size();
+  std::printf("gates        %zu -> %zu\n", c.num_gates(),
+              ext.circuit.num_gates());
+  std::printf("macros       %zu (covering %zu gates, cap %u inputs)\n",
+              ext.macros.size(), collapsed_gates, opt.max_inputs);
+  std::printf("functional   %zu faults (%zu masked inside their region)\n",
+              mm.num_functional, mm.num_masked);
+  std::printf("table bytes  %s\n", format_bytes(mm.bytes()).c_str());
+  return 0;
+}
+
+int cmd_collapse(const Args& args) {
+  args.allow_only({});
+  const Circuit c = load_circuit(args.positional().at(0));
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const auto rep = collapse_equivalent(c, u);
+  std::size_t classes = 0;
+  for (std::uint32_t i = 0; i < rep.size(); ++i) classes += rep[i] == i;
+  std::printf("faults       %zu\n", u.size());
+  std::printf("classes      %zu (%.1f%% of the universe)\n", classes,
+              100.0 * static_cast<double>(classes) /
+                  static_cast<double>(u.size()));
+  return 0;
+}
+
+int cmd_tgen(const Args& args) {
+  args.allow_only({"out", "budget", "seed", "reset0"});
+  const Circuit c = load_circuit(args.positional().at(0));
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  TgenOptions opt;
+  opt.max_vectors = args.get_u64("budget", 4096);
+  opt.seed = args.get_u64("seed", 7);
+  opt.ff_init = args.has("reset0") ? Val::Zero : Val::X;
+  Stopwatch sw;
+  const TgenResult r = generate_tests(c, u, opt);
+  std::printf("%zu vectors in %zu sequences, %.2f%% coverage (%zu/%zu hard, "
+              "%zu potential), %.2fs\n",
+              r.suite.total_vectors(), r.suite.num_sequences(),
+              r.coverage.pct(), r.coverage.hard, r.coverage.total,
+              r.coverage.potential, sw.seconds());
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    r.suite.save(out, c.name() + " tests (cfs tgen)");
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_compact(const Args& args) {
+  args.allow_only({"tests", "out", "reset0"});
+  const Circuit c = load_circuit(args.positional().at(0));
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const TestSuite tests = TestSuite::load(args.get("tests"));
+  if (tests.empty()) {
+    throw Error("test file '" + args.get("tests") + "' contains no vectors");
+  }
+  if (tests.num_inputs() != c.inputs().size()) {
+    throw Error("test file width does not match the circuit's inputs");
+  }
+  CompactionOptions opt;
+  opt.ff_init = args.has("reset0") ? Val::Zero : Val::X;
+  Stopwatch sw;
+  const SuiteCompactionResult r = compact_suite(c, u, tests, opt);
+  std::printf("%zu -> %zu vectors (%.1f%% kept), %zu validation sims, "
+              "%.2fs\n",
+              r.original_vectors, r.suite.total_vectors(),
+              100.0 * static_cast<double>(r.suite.total_vectors()) /
+                  static_cast<double>(
+                      r.original_vectors ? r.original_vectors : 1),
+              r.simulations, sw.seconds());
+  std::printf("coverage preserved at %.2f%% (%zu hard)\n", r.coverage.pct(),
+              r.coverage.hard);
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    r.suite.save(out, c.name() + " compacted tests");
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_sim(const Args& args) {
+  args.allow_only(
+      {"engine", "tests", "random", "seed", "reset0", "transition",
+       "verbose", "sample", "collapse"});
+  const Circuit c = load_circuit(args.positional().at(0));
+  const std::string engine = args.get("engine", "csim-mv");
+  const Val ff_init = args.has("reset0") ? Val::Zero : Val::X;
+
+  TestSuite tests;
+  if (args.has("tests")) {
+    tests = TestSuite::load(args.get("tests"));
+    if (tests.empty()) {
+      throw Error("test file '" + args.get("tests") +
+                  "' contains no vectors");
+    }
+    if (tests.num_inputs() != c.inputs().size()) {
+      throw Error("test file width does not match the circuit's inputs");
+    }
+  } else {
+    tests = TestSuite(PatternSet::random(c.inputs().size(),
+                                         args.get_u64("random", 256),
+                                         args.get_u64("seed", 1)));
+  }
+
+  RunResult r;
+  if (args.has("transition")) {
+    if (engine != "csim-mv" && engine != "csim-v" && engine != "csim") {
+      throw Error("--transition requires a csim engine");
+    }
+    const FaultUniverse u = FaultUniverse::all_transition(c);
+    r = run_csim_transition(c, u, tests, ff_init, engine != "csim");
+  } else if (args.has("sample")) {
+    const FaultUniverse full = FaultUniverse::all_stuck_at(c);
+    const SubUniverse sub = restrict_universe(
+        full, sample_faults(full, args.get_u64("sample", 1000),
+                            args.get_u64("seed", 1) + 1));
+    r = run_csim(c, sub.universe, tests, CsimVariant::V, ff_init);
+    r.sim_name += " (sampled " + std::to_string(sub.universe.size()) + "/" +
+                  std::to_string(full.size()) + ")";
+  } else if (args.has("collapse")) {
+    const FaultUniverse full = FaultUniverse::all_stuck_at(c);
+    const auto rep = collapse_equivalent(c, full);
+    const SubUniverse reps = representative_universe(full, rep);
+    Stopwatch sw;
+    ConcurrentSim sim(c, reps.universe);
+    for (const PatternSet& seq : tests.sequences()) {
+      sim.reset(ff_init);
+      for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
+    }
+    r.cpu_s = sw.seconds();
+    r.sim_name = "csim-V (collapsed " + std::to_string(reps.universe.size()) +
+                 " classes)";
+    r.mem_bytes = sim.bytes() + c.bytes();
+    r.cov = summarize(expand_to_classes(sim.status(), reps, rep));
+    r.activity = sim.elements_evaluated();
+  } else {
+    const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+    if (engine == "csim-mv") {
+      r = run_csim(c, u, tests, CsimVariant::MV, ff_init);
+    } else if (engine == "csim-v") {
+      r = run_csim(c, u, tests, CsimVariant::V, ff_init);
+    } else if (engine == "csim-m") {
+      r = run_csim(c, u, tests, CsimVariant::M, ff_init);
+    } else if (engine == "csim") {
+      r = run_csim(c, u, tests, CsimVariant::Plain, ff_init);
+    } else if (engine == "proofs") {
+      r = run_proofs(c, u, tests, ff_init);
+    } else if (engine == "serial") {
+      r = run_serial(c, u, tests, ff_init);
+    } else if (engine == "deductive") {
+      const Val init = ff_init == Val::X ? Val::Zero : ff_init;
+      DeductiveSim sim(c, u, init);
+      Stopwatch sw;
+      for (const PatternSet& seq : tests.sequences()) {
+        sim.reset(init);
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+          sim.apply_vector(seq[i]);
+        }
+      }
+      r.sim_name = "deductive";
+      r.cpu_s = sw.seconds();
+      r.mem_bytes = sim.bytes() + c.bytes();
+      r.cov = sim.coverage();
+    } else {
+      throw Error("unknown engine '" + engine + "'");
+    }
+  }
+
+  std::printf("%s on %s: %zu vectors in %zu sequences\n", r.sim_name.c_str(),
+              c.name().c_str(), tests.total_vectors(),
+              tests.num_sequences());
+  std::printf("coverage  %.2f%% (%zu/%zu hard, %zu potential)\n", r.cov.pct(),
+              r.cov.hard, r.cov.total, r.cov.potential);
+  std::printf("cpu       %.3fs\n", r.cpu_s);
+  std::printf("memory    %s\n", format_bytes(r.mem_bytes).c_str());
+  if (args.has("verbose")) {
+    std::printf("activity  %llu element/word evaluations\n",
+                static_cast<unsigned long long>(r.activity));
+  }
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: cfs <command> <circuit> [options]\n"
+      "commands:\n"
+      "  stats    <circuit>                     circuit statistics\n"
+      "  gen      <benchmark> [--out=F]         emit synthetic .bench\n"
+      "  macro    <circuit> [--cap=N]           macro extraction report\n"
+      "  collapse <circuit>                     fault collapsing report\n"
+      "  tgen     <circuit> [--out=F] [--budget=N] [--seed=N] [--reset0]\n"
+      "  compact  <circuit> --tests=F [--out=F2] [--reset0]\n"
+      "  sim      <circuit> [--engine=E] [--tests=F|--random=N] [--seed=N]\n"
+      "           [--reset0] [--transition] [--verbose]\n"
+      "           [--sample=N | --collapse]\n"
+      "engines: csim-mv csim-v csim-m csim proofs serial deductive\n"
+      "<circuit>: a .bench path, or a built-in profile benchmark name\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (args.positional().empty()) return usage();
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "macro") return cmd_macro(args);
+    if (cmd == "collapse") return cmd_collapse(args);
+    if (cmd == "tgen") return cmd_tgen(args);
+    if (cmd == "compact") return cmd_compact(args);
+    if (cmd == "sim") return cmd_sim(args);
+    return usage();
+  } catch (const cfs::Error& e) {
+    std::fprintf(stderr, "cfs: %s\n", e.what());
+    return 1;
+  }
+}
