@@ -4,12 +4,14 @@
 # catch regressions the unit tests might miss).
 set -e
 cd "$(dirname "$0")"
-cmake -B build -G Ninja
-cmake --build build
+GEN=()
+command -v ninja > /dev/null && GEN=(-G Ninja)
+cmake -B build "${GEN[@]}"
+cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure
 export CFS_BENCH_SCALE=tiny
 for b in table2_circuits table3_deterministic table6_transition \
-         ablation_collapse; do
+         ablation_collapse scaling_threads; do
   echo "== smoke: $b =="
   ./build/bench/$b > /dev/null
 done

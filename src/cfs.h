@@ -37,6 +37,7 @@
 // Fault model.
 #include "faults/fault.h"
 #include "faults/macro_map.h"
+#include "faults/partition.h"
 #include "faults/sampling.h"
 #include "faults/transition_model.h"
 
@@ -50,6 +51,10 @@
 #include "core/concurrent_sim.h"
 #include "core/delay_concurrent.h"
 #include "core/dictionary.h"
+#include "core/sim_model.h"
+
+// Sharded multi-threaded driver.
+#include "sim/sharded_sim.h"
 
 // Baselines.
 #include "baseline/deductive_sim.h"

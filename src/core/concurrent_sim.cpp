@@ -13,74 +13,35 @@ constexpr std::uint32_t kSentinelId = 0xFFFFFFFFu;
 
 ConcurrentSim::ConcurrentSim(const Circuit& c, const FaultUniverse& u,
                              CsimOptions opt, const MacroFaultMap* mmap)
-    : c_(&c), u_(&u), opt_(opt), mmap_(mmap), queue_(c) {
-  const std::size_t n = c.num_gates();
-  const std::size_t nf = u.size();
+    : ConcurrentSim(std::make_shared<SimModel>(c, u, mmap), opt) {}
 
-  // Detect transition mode and validate homogeneity.
-  for (std::uint32_t id = 0; id < nf; ++id) {
-    if (u[id].type == FaultType::Transition) {
-      transition_mode_ = true;
-      break;
-    }
-  }
-  if (transition_mode_) {
-    if (mmap_ != nullptr) {
-      throw Error(
-          "transition faults cannot be simulated on a macro-extracted "
-          "circuit (no temporal model for functional faults)");
-    }
-    for (std::uint32_t id = 0; id < nf; ++id) {
-      if (u[id].type != FaultType::Transition) {
-        throw Error("mixed stuck-at/transition universes are not supported");
-      }
-      if (u[id].pin == kFaultOutPin) {
-        throw Error("transition faults must sit on input pins");
-      }
-    }
-  }
-  if (mmap_ && mmap_->mapped.size() != nf) {
-    throw Error("MacroFaultMap does not match the fault universe");
-  }
+ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
+                             CsimOptions opt, const FaultPartition* part,
+                             unsigned shard_index)
+    : model_(std::move(model)),
+      c_(&model_->circuit()),
+      descr_(model_->descriptors()),
+      opt_(opt),
+      transition_mode_(model_->transition_mode()),
+      queue_(*c_) {
+  const std::size_t n = c_->num_gates();
+  const std::size_t nf = model_->num_faults();
 
-  // Build descriptors and per-gate site-fault arrays.
-  descr_.resize(nf);
   status_.assign(nf, Detect::None);
-  site_faults_.resize(n);
-  for (std::uint32_t id = 0; id < nf; ++id) {
-    Descriptor& d = descr_[id];
-    const Fault& f = u[id];
-    d.type = f.type;
-    if (mmap_) {
-      const MappedFault& m = mmap_->mapped[id];
-      d.site_gate = m.gate;
-      d.site_pin = m.pin;
-      d.forced = m.value;
-      d.masked = m.masked;
-      if (m.table != kNoGate) d.table = mmap_->tables[m.table].out.data();
-    } else {
-      d.site_gate = f.gate;
-      d.site_pin = f.pin;
-      d.forced = f.value;
+  excluded_.assign(nf, 0);
+  if (part != nullptr) {
+    if (part->num_faults() != nf) {
+      throw Error("FaultPartition does not match the fault universe");
     }
-    if (d.site_gate >= n) throw Error("fault site out of range");
-    if (d.site_pin != kFaultOutPin && d.site_pin >= c.num_fanins(d.site_gate)) {
-      throw Error("fault site pin out of range");
+    if (shard_index >= part->num_shards()) {
+      throw Error("shard index out of range");
     }
-    if (!d.masked) site_faults_[d.site_gate].push_back(id);
-  }
-  // Ids were appended in ascending order, so site arrays are sorted already.
-
-  if (transition_mode_) {
-    prev_pin_val_.assign(nf, Val::X);
-    site_driver_.resize(nf);
-    faults_by_driver_.resize(n);
     for (std::uint32_t id = 0; id < nf; ++id) {
-      const GateId drv = c.fanins(descr_[id].site_gate)[descr_[id].site_pin];
-      site_driver_[id] = drv;
-      faults_by_driver_[drv].push_back(id);  // ascending, hence sorted
+      excluded_[id] = part->shard_of(id) == shard_index ? 0 : 1;
     }
   }
+
+  if (transition_mode_) prev_pin_val_.assign(nf, Val::X);
 
   good_state_.resize(n);
   head_vis_.assign(n, 0);
@@ -90,8 +51,8 @@ ConcurrentSim::ConcurrentSim(const Circuit& c, const FaultUniverse& u,
   const std::uint32_t s = pool_.alloc();
   pool_[s] = Element{kSentinelId, s, 0};
 
-  latch_good_.resize(c.dffs().size());
-  latch_lists_.resize(c.dffs().size());
+  latch_good_.resize(c_->dffs().size());
+  latch_lists_.resize(c_->dffs().size());
 
   reset();
 }
@@ -171,7 +132,7 @@ Val ConcurrentSim::transition_forced(std::uint32_t fault, Val cv) const {
 
 Val ConcurrentSim::eval_element(GateId g, std::uint32_t fault,
                                 GateState& st) {
-  const Descriptor& d = descr_[fault];
+  const FaultDescriptor& d = descr_[fault];
   ++elements_evaluated_;
   if (d.site_gate == g && d.site_pin != kFaultOutPin) {
     const Val cv = state_get(st, d.site_pin);
@@ -238,9 +199,9 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
   for (unsigned p = 0; p < nf; ++p) {
     cursor_init(fc[p], &head_vis_[fanins[p]]);
   }
-  const auto& site = site_faults_[g];
+  const auto site = model_->site_faults(g);
   std::size_t si = 0;
-  while (si < site.size() && dropped(site[si])) ++si;
+  while (si < site.size() && skip_site(site[si])) ++si;
 
   scratch_vis_.clear();
   scratch_inv_.clear();
@@ -271,7 +232,7 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
     }
     if (si < site.size() && site[si] == m) {
       ++si;
-      while (si < site.size() && dropped(site[si])) ++si;
+      while (si < site.size() && skip_site(site[si])) ++si;
     }
   }
 
@@ -341,9 +302,9 @@ void ConcurrentSim::refresh_source_site(GateId g) {
   // only output stuck-at faults materialise here.
   scratch_vis_.clear();
   const Val good = state_out(good_state_[g]);
-  for (std::uint32_t id : site_faults_[g]) {
-    if (dropped(id)) continue;
-    const Descriptor& d = descr_[id];
+  for (std::uint32_t id : model_->site_faults(g)) {
+    if (skip_site(id)) continue;
+    const FaultDescriptor& d = descr_[id];
     if (d.type != FaultType::StuckAt || d.site_pin != kFaultOutPin) continue;
     if (d.forced == good) continue;  // not activated: no element
     scratch_vis_.emplace_back(id, state_set_out(GateState{0}, d.forced));
@@ -353,7 +314,7 @@ void ConcurrentSim::refresh_source_site(GateId g) {
 }
 
 void ConcurrentSim::reset(Val ff_init, bool clear_status) {
-  if (clear_status) status_.assign(u_->size(), Detect::None);
+  if (clear_status) status_.assign(model_->num_faults(), Detect::None);
   for (GateId g = 0; g < c_->num_gates(); ++g) {
     free_list(head_vis_[g]);
     free_list(head_inv_[g]);
@@ -468,9 +429,9 @@ void ConcurrentSim::latch_flipflops(bool capture_only) {
 
     Cursor fc;
     cursor_init(fc, &head_vis_[drv]);
-    const auto& site = site_faults_[q];
+    const auto site = model_->site_faults(q);
     std::size_t si = 0;
-    while (si < site.size() && dropped(site[si])) ++si;
+    while (si < site.size() && skip_site(site[si])) ++si;
 
     for (;;) {
       std::uint32_t m = si < site.size() ? site[si] : kSentinelId;
@@ -478,7 +439,7 @@ void ConcurrentSim::latch_flipflops(bool capture_only) {
       if (m == kSentinelId) break;
       Val faulty_d = fc.id == m ? state_out(pool_[fc.cur].state) : good_d;
       Val newq = faulty_d;
-      const Descriptor& d = descr_[m];
+      const FaultDescriptor& d = descr_[m];
       if (d.site_gate == q) {
         ++elements_evaluated_;
         if (d.type == FaultType::StuckAt) {
@@ -498,7 +459,7 @@ void ConcurrentSim::latch_flipflops(bool capture_only) {
       if (fc.id == m) cursor_advance(fc);
       if (si < site.size() && site[si] == m) {
         ++si;
-        while (si < site.size() && dropped(site[si])) ++si;
+        while (si < site.size() && skip_site(site[si])) ++si;
       }
     }
   }
@@ -598,10 +559,12 @@ void ConcurrentSim::update_prev_values() {
   // pass-2 settled value of its site pin *in its own machine*: the driver's
   // faulty value if the fault is visible there, the good value otherwise.
   for (GateId d = 0; d < c_->num_gates(); ++d) {
-    const auto& group = faults_by_driver_[d];
+    const auto group = model_->faults_by_driver(d);
     if (group.empty()) continue;
     const Val good = state_out(good_state_[d]);
-    for (std::uint32_t id : group) prev_pin_val_[id] = good;
+    for (std::uint32_t id : group) {
+      if (!excluded_[id]) prev_pin_val_[id] = good;
+    }
     Cursor cu;
     cursor_init(cu, &head_vis_[d]);
     std::size_t gi = 0;
@@ -676,6 +639,7 @@ void ConcurrentSim::validate() const {
         first = false;
         last_id = id;
         if (id >= status_.size()) fail(g, "fault id out of range");
+        if (excluded_[id]) fail(g, "element for an excluded fault");
         const Element& e = pool_[cur];
         const Val out = state_out(e.state);
         if (!dropped(id)) {
@@ -686,7 +650,7 @@ void ConcurrentSim::validate() const {
           if (comb) {
             // Pins must mirror the faulty driver values (site pins hold the
             // forced value instead), and the output must re-evaluate.
-            const Descriptor& d = descr_[id];
+            const FaultDescriptor& d = descr_[id];
             const auto fanins = c_->fanins(g);
             GateState expect = 0;
             for (std::size_t p = 0; p < fanins.size(); ++p) {
@@ -726,27 +690,23 @@ void ConcurrentSim::validate() const {
   }
 }
 
-std::size_t ConcurrentSim::bytes() const {
+std::size_t ConcurrentSim::state_bytes() const {
   std::size_t b = pool_.bytes();
   b += head_vis_.capacity() * sizeof(std::uint32_t);
   b += head_inv_.capacity() * sizeof(std::uint32_t);
   b += good_state_.capacity() * sizeof(GateState);
-  b += descr_.capacity() * sizeof(Descriptor);
   b += status_.capacity() * sizeof(Detect);
-  for (const auto& v : site_faults_) b += v.capacity() * sizeof(std::uint32_t);
+  b += excluded_.capacity();
   b += prev_pin_val_.capacity() * sizeof(Val);
-  b += site_driver_.capacity() * sizeof(GateId);
-  for (const auto& v : faults_by_driver_) {
-    b += v.capacity() * sizeof(std::uint32_t);
-  }
+  b += held_flag_.capacity();
   b += queue_.bytes();
-  if (mmap_) b += mmap_->bytes();
   return b;
 }
 
 void ConcurrentSim::report_memory(MemStats& ms) const {
   ms.sample("fault_elements", pool_.bytes());
-  ms.sample("engine_fixed", bytes() - pool_.bytes());
+  ms.sample("engine_fixed", state_bytes() - pool_.bytes());
+  ms.sample("model", model_->bytes());
   ms.sample("circuit", c_->bytes());
 }
 

@@ -22,16 +22,27 @@
 // at their previous value (Table 1) and is what POs and FF masters sample,
 // pass 2 fires every transition to produce the next frame's "previous"
 // values.
+//
+// The engine is split into an immutable SimModel (core/sim_model.h) --
+// descriptors, site-fault indices, transition groupings -- and this class,
+// which is pure *run state* (fault lists, pool, good machine, queue,
+// detection status).  Engines constructed over the same shared model never
+// write to it, so they may run concurrently; a fault shard (faults/
+// partition.h) restricts an engine to a subset of the universe for the
+// multi-threaded ShardedSim driver.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/options.h"
+#include "core/sim_model.h"
 #include "faults/fault.h"
 #include "faults/macro_map.h"
+#include "faults/partition.h"
 #include "netlist/circuit.h"
 #include "sim/level_queue.h"
 #include "util/logic.h"
@@ -46,11 +57,22 @@ class ConcurrentSim {
   /// Plain mode: simulate universe `u` on circuit `c`.  In macro mode pass
   /// the extracted circuit as `c` and the fault map as `mmap` (the universe
   /// still indexes the *original* faults; only sites move).  The caller
-  /// keeps `c`, `u`, and `mmap` alive for the engine's lifetime.
+  /// keeps `c`, `u`, and `mmap` alive for the engine's lifetime.  Builds and
+  /// owns a private SimModel.
   ConcurrentSim(const Circuit& c, const FaultUniverse& u,
                 CsimOptions opt = {}, const MacroFaultMap* mmap = nullptr);
 
+  /// Share an existing model (N engines, one table set).  When `part` is
+  /// given the engine simulates only the faults of shard `shard_index`:
+  /// faults owned by other shards never materialise elements and keep
+  /// status Detect::None.
+  explicit ConcurrentSim(std::shared_ptr<const SimModel> model,
+                         CsimOptions opt = {},
+                         const FaultPartition* part = nullptr,
+                         unsigned shard_index = 0);
+
   const Circuit& circuit() const { return *c_; }
+  const SimModel& model() const { return *model_; }
   bool transition_mode() const { return transition_mode_; }
 
   /// Reinitialise: good machine to X inputs / `ff_init` flip-flops, all
@@ -108,7 +130,14 @@ class ConcurrentSim {
   std::size_t peak_elements() const { return pool_.peak_live(); }
   std::uint64_t gates_processed() const { return queue_.processed(); }
   std::uint64_t elements_evaluated() const { return elements_evaluated_; }
-  std::size_t bytes() const;
+  /// Bytes of the fault-element pool alone (the paper's dominant MEM term).
+  std::size_t pool_bytes() const { return pool_.bytes(); }
+  /// Bytes of this engine's run state (pool, lists, good machine, queue);
+  /// excludes the shared model.
+  std::size_t state_bytes() const;
+  /// Run state plus the (possibly shared) model -- the engine's full
+  /// footprint when it does not share the model with anyone.
+  std::size_t bytes() const { return state_bytes() + model_->bytes(); }
   void report_memory(MemStats& ms) const;
 
  private:
@@ -118,18 +147,15 @@ class ConcurrentSim {
     GateState state;
   };
 
-  struct Descriptor {
-    GateId site_gate = kNoGate;
-    std::uint16_t site_pin = kFaultOutPin;
-    FaultType type = FaultType::StuckAt;
-    bool masked = false;          // functional fault equal to good function
-    Val forced = Val::Zero;       // stuck value / transition destination
-    const std::uint8_t* table = nullptr;  // faulty macro table, or null
-  };
-
   bool dropped(std::uint32_t fault) const {
     return opt_.drop_detected && fault < status_.size() &&
            status_[fault] == Detect::Hard;
+  }
+
+  /// True when a site fault must not materialise: owned by another shard,
+  /// or hard-detected with dropping on.
+  bool skip_site(std::uint32_t fault) const {
+    return excluded_[fault] != 0 || dropped(fault);
   }
 
   // Cursor over a linked fault list with lazy dropping (unlinks dropped
@@ -161,27 +187,24 @@ class ConcurrentSim {
   std::size_t apply_vector_transition(std::span<const Val> pi_vals);
   void update_prev_values();
 
-  const Circuit* c_;
-  const FaultUniverse* u_;
+  std::shared_ptr<const SimModel> model_;
+  const Circuit* c_;      // == &model_->circuit(), cached for the hot path
+  const FaultDescriptor* descr_;  // == model_->descriptors()
   CsimOptions opt_;
-  const MacroFaultMap* mmap_;
   bool transition_mode_ = false;
 
-  std::vector<Descriptor> descr_;
   std::vector<Detect> status_;
-  std::vector<std::vector<std::uint32_t>> site_faults_;  // per gate, sorted
+  // Shard mask: 1 = fault owned by another shard (never simulated here).
+  // All-zero when the engine covers the whole universe.
+  std::vector<std::uint8_t> excluded_;
 
   std::vector<GateState> good_state_;
   std::vector<std::uint32_t> head_vis_, head_inv_;
   Pool<Element> pool_;
   LevelQueue queue_;
 
-  // Transition mode: per-fault previous (pass-2 settled) site-pin value and
-  // the driver gate feeding the site pin; faults grouped by driver for the
-  // end-of-frame previous-value sweep.
+  // Transition mode: per-fault previous (pass-2 settled) site-pin value.
   std::vector<Val> prev_pin_val_;
-  std::vector<GateId> site_driver_;
-  std::vector<std::vector<std::uint32_t>> faults_by_driver_;
   bool pass1_ = true;
   // Gates whose site held a delayed transition during pass 1; they must be
   // re-merged when the transitions fire in pass 2.

@@ -1,0 +1,88 @@
+#include "core/sim_model.h"
+
+#include "util/error.h"
+
+namespace cfs {
+
+SimModel::SimModel(const Circuit& c, const FaultUniverse& u,
+                   const MacroFaultMap* mmap)
+    : c_(&c), u_(&u), mmap_(mmap) {
+  const std::size_t n = c.num_gates();
+  const std::size_t nf = u.size();
+
+  // Detect transition mode and validate homogeneity.
+  for (std::uint32_t id = 0; id < nf; ++id) {
+    if (u[id].type == FaultType::Transition) {
+      transition_mode_ = true;
+      break;
+    }
+  }
+  if (transition_mode_) {
+    if (mmap_ != nullptr) {
+      throw Error(
+          "transition faults cannot be simulated on a macro-extracted "
+          "circuit (no temporal model for functional faults)");
+    }
+    for (std::uint32_t id = 0; id < nf; ++id) {
+      if (u[id].type != FaultType::Transition) {
+        throw Error("mixed stuck-at/transition universes are not supported");
+      }
+      if (u[id].pin == kFaultOutPin) {
+        throw Error("transition faults must sit on input pins");
+      }
+    }
+  }
+  if (mmap_ && mmap_->mapped.size() != nf) {
+    throw Error("MacroFaultMap does not match the fault universe");
+  }
+
+  // Build descriptors and per-gate site-fault arrays.
+  descr_.resize(nf);
+  site_faults_.resize(n);
+  for (std::uint32_t id = 0; id < nf; ++id) {
+    FaultDescriptor& d = descr_[id];
+    const Fault& f = u[id];
+    d.type = f.type;
+    if (mmap_) {
+      const MappedFault& m = mmap_->mapped[id];
+      d.site_gate = m.gate;
+      d.site_pin = m.pin;
+      d.forced = m.value;
+      d.masked = m.masked;
+      if (m.table != kNoGate) d.table = mmap_->tables[m.table].out.data();
+    } else {
+      d.site_gate = f.gate;
+      d.site_pin = f.pin;
+      d.forced = f.value;
+    }
+    if (d.site_gate >= n) throw Error("fault site out of range");
+    if (d.site_pin != kFaultOutPin && d.site_pin >= c.num_fanins(d.site_gate)) {
+      throw Error("fault site pin out of range");
+    }
+    if (!d.masked) site_faults_[d.site_gate].push_back(id);
+  }
+  // Ids were appended in ascending order, so site arrays are sorted already.
+
+  if (transition_mode_) {
+    site_driver_.resize(nf);
+    faults_by_driver_.resize(n);
+    for (std::uint32_t id = 0; id < nf; ++id) {
+      const GateId drv = c.fanins(descr_[id].site_gate)[descr_[id].site_pin];
+      site_driver_[id] = drv;
+      faults_by_driver_[drv].push_back(id);  // ascending, hence sorted
+    }
+  }
+}
+
+std::size_t SimModel::bytes() const {
+  std::size_t b = descr_.capacity() * sizeof(FaultDescriptor);
+  for (const auto& v : site_faults_) b += v.capacity() * sizeof(std::uint32_t);
+  b += site_driver_.capacity() * sizeof(GateId);
+  for (const auto& v : faults_by_driver_) {
+    b += v.capacity() * sizeof(std::uint32_t);
+  }
+  if (mmap_) b += mmap_->bytes();
+  return b;
+}
+
+}  // namespace cfs

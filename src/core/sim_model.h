@@ -1,0 +1,90 @@
+// The immutable half of the concurrent fault simulator.
+//
+// Everything ConcurrentSim derives purely from (Circuit, FaultUniverse,
+// MacroFaultMap) lives here: the fault descriptor table, the per-gate
+// site-fault index, and the transition-mode driver groupings.  A SimModel is
+// read-only after construction and carries no simulation state, so any
+// number of engines -- in particular the shards of a multi-threaded
+// ShardedSim -- can share one instance concurrently instead of each
+// rebuilding the tables.
+//
+// The model borrows the circuit, the universe, and (if given) the macro
+// fault map; the caller keeps them alive for the model's lifetime.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "faults/fault.h"
+#include "faults/macro_map.h"
+#include "netlist/circuit.h"
+#include "util/logic.h"
+
+namespace cfs {
+
+/// Per-fault global information (the paper's fault *descriptor*): the site,
+/// the forced value, and in macro mode the faulty lookup table of a
+/// functional fault.  Detection status is run state and lives in the engine.
+struct FaultDescriptor {
+  GateId site_gate = kNoGate;
+  std::uint16_t site_pin = kFaultOutPin;
+  FaultType type = FaultType::StuckAt;
+  bool masked = false;          // functional fault equal to good function
+  Val forced = Val::Zero;       // stuck value / transition destination
+  const std::uint8_t* table = nullptr;  // faulty macro table, or null
+};
+
+class SimModel {
+ public:
+  /// Plain mode: faults of `u` on circuit `c`.  In macro mode pass the
+  /// extracted circuit as `c` and the fault map as `mmap` (the universe
+  /// still indexes the *original* faults; only sites move).  Validates site
+  /// ranges and transition-universe homogeneity, throwing cfs::Error.
+  SimModel(const Circuit& c, const FaultUniverse& u,
+           const MacroFaultMap* mmap = nullptr);
+
+  const Circuit& circuit() const { return *c_; }
+  const FaultUniverse& universe() const { return *u_; }
+  const MacroFaultMap* macro_map() const { return mmap_; }
+
+  std::size_t num_faults() const { return descr_.size(); }
+  bool transition_mode() const { return transition_mode_; }
+
+  const FaultDescriptor& descriptor(std::uint32_t id) const {
+    return descr_[id];
+  }
+  /// Raw descriptor array (hot-path access; indexed by fault id).
+  const FaultDescriptor* descriptors() const { return descr_.data(); }
+
+  /// Sorted ids of the non-masked faults sited at gate `g`.
+  std::span<const std::uint32_t> site_faults(GateId g) const {
+    return site_faults_[g];
+  }
+
+  /// Transition mode: the driver gate feeding fault `id`'s site pin.
+  GateId site_driver(std::uint32_t id) const { return site_driver_[id]; }
+
+  /// Transition mode: sorted ids of the faults whose site pin is driven by
+  /// gate `d` (for the end-of-frame previous-value sweep).
+  std::span<const std::uint32_t> faults_by_driver(GateId d) const {
+    return faults_by_driver_[d];
+  }
+
+  /// Bytes held by the model's tables (macro tables included when owned by
+  /// the borrowed MacroFaultMap).
+  std::size_t bytes() const;
+
+ private:
+  const Circuit* c_;
+  const FaultUniverse* u_;
+  const MacroFaultMap* mmap_;
+  bool transition_mode_ = false;
+
+  std::vector<FaultDescriptor> descr_;
+  std::vector<std::vector<std::uint32_t>> site_faults_;  // per gate, sorted
+  std::vector<GateId> site_driver_;                      // transition mode
+  std::vector<std::vector<std::uint32_t>> faults_by_driver_;
+};
+
+}  // namespace cfs

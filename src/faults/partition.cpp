@@ -1,0 +1,37 @@
+#include "faults/partition.h"
+
+#include "util/error.h"
+
+namespace cfs {
+
+FaultPartition::FaultPartition(std::size_t num_faults, unsigned num_shards)
+    : num_faults_(num_faults), num_shards_(num_shards == 0 ? 1 : num_shards) {
+  shards_.resize(num_shards_);
+  const std::size_t per = num_faults_ / num_shards_ + 1;
+  for (auto& s : shards_) s.reserve(per);
+  for (std::uint32_t id = 0; id < num_faults_; ++id) {
+    shards_[id % num_shards_].push_back(id);
+  }
+}
+
+std::vector<Detect> FaultPartition::merge(
+    const std::vector<const std::vector<Detect>*>& per_shard) const {
+  if (per_shard.size() != num_shards_) {
+    throw Error("FaultPartition::merge: expected " +
+                std::to_string(num_shards_) + " shard arrays, got " +
+                std::to_string(per_shard.size()));
+  }
+  for (const auto* s : per_shard) {
+    if (s == nullptr || s->size() != num_faults_) {
+      throw Error("FaultPartition::merge: shard array does not cover the "
+                  "universe");
+    }
+  }
+  std::vector<Detect> out(num_faults_);
+  for (std::uint32_t id = 0; id < num_faults_; ++id) {
+    out[id] = (*per_shard[id % num_shards_])[id];
+  }
+  return out;
+}
+
+}  // namespace cfs

@@ -1,0 +1,50 @@
+// Balanced partition of a fault universe into disjoint shards.
+//
+// Once the good machine is fixed, every faulty machine is independent: the
+// concurrent simulator's verdict for a fault does not depend on which other
+// faults share its engine.  Any disjoint cover of the universe is therefore
+// a correct unit of parallelism.  Faults are assigned round-robin by id
+// (`id % num_shards`): shard sizes differ by at most one, the faults of a
+// hot site spread across shards, and the assignment is a pure function of
+// (universe size, shard count) -- so a sharded run is reproducible without
+// storing the partition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault.h"
+
+namespace cfs {
+
+class FaultPartition {
+ public:
+  /// Partition fault ids [0, num_faults) into `num_shards` shards.
+  /// `num_shards` is clamped to at least 1.
+  FaultPartition(std::size_t num_faults, unsigned num_shards);
+
+  unsigned num_shards() const { return num_shards_; }
+  std::size_t num_faults() const { return num_faults_; }
+
+  /// Shard owning fault `id`.
+  unsigned shard_of(std::uint32_t id) const { return id % num_shards_; }
+
+  /// Sorted fault ids owned by shard `s`.
+  const std::vector<std::uint32_t>& shard(unsigned s) const {
+    return shards_[s];
+  }
+
+  /// Deterministic merge of shard-local detection arrays: each fault's
+  /// status is read from its owner shard, so the result is independent of
+  /// thread scheduling.  Every array must cover the full universe (size
+  /// num_faults()); throws otherwise.
+  std::vector<Detect> merge(
+      const std::vector<const std::vector<Detect>*>& per_shard) const;
+
+ private:
+  std::size_t num_faults_;
+  unsigned num_shards_;
+  std::vector<std::vector<std::uint32_t>> shards_;
+};
+
+}  // namespace cfs

@@ -90,6 +90,66 @@ RunResult run_serial(const Circuit& c, const FaultUniverse& u,
   return r;
 }
 
+RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
+                           const TestSuite& t, CsimVariant variant,
+                           unsigned num_threads, Val ff_init,
+                           bool drop_detected) {
+  RunResult r;
+  ShardedOptions sopt;
+  sopt.num_threads = num_threads;
+  sopt.csim.split_lists =
+      variant == CsimVariant::V || variant == CsimVariant::MV;
+  sopt.csim.drop_detected = drop_detected;
+  const bool use_macros =
+      variant == CsimVariant::M || variant == CsimVariant::MV;
+
+  auto run_one = [&](ShardedSim& sim, std::size_t extra_bytes) {
+    Stopwatch sw;
+    sim.run(t, ff_init);
+    r.cpu_s = sw.seconds();
+    r.threads = sim.num_shards();
+    r.sim_name = variant_name(variant) + " x" + std::to_string(r.threads);
+    r.mem_bytes = sim.bytes() + extra_bytes;
+    r.cov = sim.coverage();
+    r.stats = sim.stats();
+    r.activity = r.stats.total.elements_evaluated;
+  };
+
+  if (use_macros) {
+    MacroExtraction ext = extract_macros(c);
+    MacroFaultMap mmap = map_faults_to_macros(c, ext, u);
+    ShardedSim sim(ext.circuit, u, sopt, &mmap);
+    run_one(sim, ext.circuit.bytes());
+  } else {
+    ShardedSim sim(c, u, sopt);
+    run_one(sim, c.bytes());
+  }
+  return r;
+}
+
+RunResult run_csim_transition_sharded(const Circuit& c,
+                                      const FaultUniverse& u,
+                                      const TestSuite& t,
+                                      unsigned num_threads, Val ff_init,
+                                      bool split_lists) {
+  RunResult r;
+  ShardedOptions sopt;
+  sopt.num_threads = num_threads;
+  sopt.csim.split_lists = split_lists;
+  ShardedSim sim(c, u, sopt);
+  Stopwatch sw;
+  sim.run(t, ff_init);
+  r.cpu_s = sw.seconds();
+  r.threads = sim.num_shards();
+  r.sim_name = std::string(split_lists ? "csim-V" : "csim") +
+               " (transition) x" + std::to_string(r.threads);
+  r.mem_bytes = sim.bytes() + c.bytes();
+  r.cov = sim.coverage();
+  r.stats = sim.stats();
+  r.activity = r.stats.total.elements_evaluated;
+  return r;
+}
+
 RunResult run_csim_transition(const Circuit& c, const FaultUniverse& u,
                               const TestSuite& t, Val ff_init,
                               bool split_lists) {

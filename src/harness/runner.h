@@ -9,6 +9,7 @@
 #include "faults/fault.h"
 #include "netlist/circuit.h"
 #include "patterns/pattern.h"
+#include "sim/sharded_sim.h"
 
 namespace cfs {
 
@@ -18,6 +19,8 @@ struct RunResult {
   std::size_t mem_bytes = 0;
   Coverage cov;
   std::uint64_t activity = 0;  ///< scalar gate evals or word evals
+  unsigned threads = 1;        ///< shards actually used (sharded runs)
+  SimStats stats;              ///< per-engine breakdown (sharded runs)
 };
 
 /// The paper's simulator variants (Table 3 columns).
@@ -50,6 +53,23 @@ RunResult run_serial(const Circuit& c, const FaultUniverse& u,
 RunResult run_csim_transition(const Circuit& c, const FaultUniverse& u,
                               const TestSuite& t, Val ff_init = Val::X,
                               bool split_lists = true);
+
+/// Sharded multi-threaded csim run: `num_threads` shard engines over one
+/// shared SimModel (see sim/sharded_sim.h).  Detection status and coverage
+/// are bit-for-bit identical to the single-threaded variant for any thread
+/// count.
+RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
+                           const TestSuite& t, CsimVariant variant,
+                           unsigned num_threads, Val ff_init = Val::X,
+                           bool drop_detected = true);
+
+/// Sharded transition-fault run.
+RunResult run_csim_transition_sharded(const Circuit& c,
+                                      const FaultUniverse& u,
+                                      const TestSuite& t,
+                                      unsigned num_threads,
+                                      Val ff_init = Val::X,
+                                      bool split_lists = true);
 
 // Single-sequence conveniences.
 inline RunResult run_csim(const Circuit& c, const FaultUniverse& u,

@@ -1,0 +1,171 @@
+#include "sim/sharded_sim.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+namespace {
+
+unsigned clamp_shards(unsigned num_threads, std::size_t num_faults) {
+  unsigned k = num_threads == 0 ? 1 : num_threads;
+  const std::size_t cap = num_faults == 0 ? 1 : num_faults;
+  if (k > cap) k = static_cast<unsigned>(cap);
+  return k;
+}
+
+}  // namespace
+
+ShardedSim::ShardedSim(const Circuit& c, const FaultUniverse& u,
+                       ShardedOptions opt, const MacroFaultMap* mmap)
+    : ShardedSim(std::make_shared<SimModel>(c, u, mmap), opt) {}
+
+ShardedSim::ShardedSim(std::shared_ptr<const SimModel> model,
+                       ShardedOptions opt)
+    : model_(std::move(model)),
+      opt_(opt),
+      part_(model_->num_faults(),
+            clamp_shards(opt.num_threads, model_->num_faults())),
+      pool_(part_.num_shards()) {
+  const unsigned k = part_.num_shards();
+  engines_.resize(k);
+  shard_obs_.resize(k);
+  // Shard construction includes the initial reset (a full good-machine
+  // sweep plus fault activation), so build the engines in parallel too.
+  pool_.parallel_for(k, [&](std::size_t s) {
+    // A single shard covering the whole universe gets no partition filter
+    // at all: ShardedSim with --threads 1 *is* plain ConcurrentSim.
+    engines_[s] = k == 1
+                      ? std::make_unique<ConcurrentSim>(model_, opt_.csim)
+                      : std::make_unique<ConcurrentSim>(
+                            model_, opt_.csim, &part_,
+                            static_cast<unsigned>(s));
+  });
+}
+
+void ShardedSim::reset(Val ff_init, bool clear_status) {
+  pool_.parallel_for(engines_.size(), [&](std::size_t s) {
+    engines_[s]->reset(ff_init, clear_status);
+  });
+  merged_dirty_ = true;
+}
+
+std::size_t ShardedSim::apply_vector(std::span<const Val> pi_vals) {
+  const std::size_t k = engines_.size();
+  std::vector<std::size_t> newly(k, 0);
+  pool_.parallel_for(k, [&](std::size_t s) {
+    shard_obs_[s].clear();
+    newly[s] = engines_[s]->apply_vector(pi_vals);
+  });
+  merged_dirty_ = true;
+  if (observer_) replay_observations();
+  std::size_t total = 0;
+  for (std::size_t n : newly) total += n;  // shards are disjoint: exact sum
+  return total;
+}
+
+void ShardedSim::run(const TestSuite& t, Val ff_init) {
+  if (observer_) {
+    // Lockstep keeps the observer callback order identical to a
+    // single-threaded run.
+    for (const PatternSet& seq : t.sequences()) {
+      reset(ff_init);
+      for (std::size_t i = 0; i < seq.size(); ++i) apply_vector(seq[i]);
+    }
+    return;
+  }
+  // Coarse grain: each shard streams the whole suite independently; one
+  // fork-join for the entire run.
+  pool_.parallel_for(engines_.size(), [&](std::size_t s) {
+    ConcurrentSim& sim = *engines_[s];
+    for (const PatternSet& seq : t.sequences()) {
+      sim.reset(ff_init);
+      for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
+    }
+  });
+  merged_dirty_ = true;
+}
+
+const std::vector<Detect>& ShardedSim::status() const {
+  if (merged_dirty_) {
+    if (engines_.size() == 1) {
+      merged_ = engines_[0]->status();
+    } else {
+      std::vector<const std::vector<Detect>*> per;
+      per.reserve(engines_.size());
+      for (const auto& e : engines_) per.push_back(&e->status());
+      merged_ = part_.merge(per);
+    }
+    merged_dirty_ = false;
+  }
+  return merged_;
+}
+
+void ShardedSim::set_detection_observer(ConcurrentSim::DetectionObserver obs) {
+  observer_ = std::move(obs);
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    if (observer_) {
+      auto* buf = &shard_obs_[s];
+      engines_[s]->set_detection_observer(
+          [buf](std::uint32_t fault, std::uint32_t po, bool hard) {
+            buf->push_back({po, fault, hard});
+          });
+    } else {
+      engines_[s]->set_detection_observer(nullptr);
+    }
+  }
+}
+
+void ShardedSim::replay_observations() {
+  // Each shard records in (po asc, fault asc) order; the sorted union is
+  // exactly the sequence one engine over the whole universe produces.
+  std::vector<Observation> all;
+  std::size_t n = 0;
+  for (const auto& v : shard_obs_) n += v.size();
+  all.reserve(n);
+  for (const auto& v : shard_obs_) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end(),
+            [](const Observation& a, const Observation& b) {
+              return a.po != b.po ? a.po < b.po : a.fault < b.fault;
+            });
+  for (const Observation& o : all) observer_(o.fault, o.po, o.hard);
+}
+
+SimStats ShardedSim::stats() const {
+  SimStats st;
+  st.model_bytes = model_->bytes();
+  st.circuit_bytes = model_->circuit().bytes();
+  st.per_engine.reserve(engines_.size());
+  for (const auto& e : engines_) {
+    EngineStats es;
+    es.gates_processed = e->gates_processed();
+    es.elements_evaluated = e->elements_evaluated();
+    es.peak_elements = e->peak_elements();
+    es.state_bytes = e->state_bytes();
+    st.total.gates_processed += es.gates_processed;
+    st.total.elements_evaluated += es.elements_evaluated;
+    st.total.peak_elements += es.peak_elements;
+    st.total.state_bytes += es.state_bytes;
+    st.per_engine.push_back(es);
+  }
+  return st;
+}
+
+std::size_t ShardedSim::bytes() const {
+  std::size_t b = model_->bytes();
+  for (const auto& e : engines_) b += e->state_bytes();
+  return b;
+}
+
+void ShardedSim::report_memory(MemStats& ms) const {
+  std::size_t pool = 0, fixed = 0;
+  for (const auto& e : engines_) {
+    pool += e->pool_bytes();
+    fixed += e->state_bytes() - e->pool_bytes();
+  }
+  ms.sample("fault_elements", pool);
+  ms.sample("engine_fixed", fixed);
+  ms.sample("model", model_->bytes());
+  ms.sample("circuit", model_->circuit().bytes());
+}
+
+}  // namespace cfs

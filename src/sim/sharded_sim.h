@@ -1,0 +1,132 @@
+// Sharded multi-threaded concurrent fault simulation.
+//
+// The fault universe is an embarrassingly parallel axis: once the good
+// machine is fixed, faulty machines never interact.  ShardedSim partitions
+// the universe into K balanced shards (faults/partition.h), runs one
+// ConcurrentSim per shard over the *same* test-vector stream on a fork-join
+// thread pool, and merges the shard-local detection arrays
+// deterministically -- each fault's verdict is read from its owner shard, so
+// results are bit-for-bit identical for any thread count, including 1.
+//
+// All shards share one immutable SimModel (core/sim_model.h); only run
+// state (fault lists, pool, good machine, queue) is per shard.  Each shard
+// currently re-simulates its own good machine -- see DESIGN.md for the
+// shared-good-machine follow-up.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/concurrent_sim.h"
+#include "core/sim_model.h"
+#include "faults/partition.h"
+#include "patterns/pattern.h"
+#include "util/memtrack.h"
+#include "util/thread_pool.h"
+
+namespace cfs {
+
+struct ShardedOptions {
+  /// Worker threads; the universe is split into the same number of shards
+  /// (clamped to the number of faults).  1 reproduces plain ConcurrentSim
+  /// with no thread machinery at all.
+  unsigned num_threads = 1;
+  /// Per-shard engine configuration.
+  CsimOptions csim;
+};
+
+/// Activity and footprint of one shard engine.
+struct EngineStats {
+  std::uint64_t gates_processed = 0;
+  std::uint64_t elements_evaluated = 0;
+  std::size_t peak_elements = 0;
+  std::size_t state_bytes = 0;
+};
+
+/// Unified statistics over a sharded run: per-engine numbers plus their
+/// sums and the shared (counted-once) model and circuit footprints.
+struct SimStats {
+  std::vector<EngineStats> per_engine;
+  EngineStats total;  ///< field-wise sum over per_engine
+  std::size_t model_bytes = 0;
+  std::size_t circuit_bytes = 0;
+};
+
+class ShardedSim {
+ public:
+  /// Convenience: builds the SimModel internally.  The caller keeps `c`,
+  /// `u`, and `mmap` alive for the simulator's lifetime.
+  ShardedSim(const Circuit& c, const FaultUniverse& u,
+             ShardedOptions opt = {}, const MacroFaultMap* mmap = nullptr);
+
+  /// Share an existing model across this simulator's shards (and any other
+  /// engines the caller runs over it).
+  explicit ShardedSim(std::shared_ptr<const SimModel> model,
+                      ShardedOptions opt = {});
+
+  const SimModel& model() const { return *model_; }
+  const FaultPartition& partition() const { return part_; }
+  unsigned num_shards() const {
+    return static_cast<unsigned>(engines_.size());
+  }
+  /// Shard engine `s` (tests and diagnostics).
+  const ConcurrentSim& engine(unsigned s) const { return *engines_[s]; }
+
+  /// Reinitialise every shard (in parallel).  Detection status is preserved
+  /// unless `clear_status`.
+  void reset(Val ff_init = Val::X, bool clear_status = false);
+
+  /// Simulate one vector on all shards (fork-join) and return the number of
+  /// newly hard-detected faults across the universe.  If a detection
+  /// observer is set, the merged PO-mismatch observations are replayed in
+  /// (PO position, fault id) order -- exactly the order a single
+  /// ConcurrentSim emits them in.
+  std::size_t apply_vector(std::span<const Val> pi_vals);
+
+  /// Simulate a whole suite: one reset per sequence, vectors in order.
+  /// Without an observer each shard runs the entire suite independently
+  /// (coarse-grained, one fork-join total); with an observer the vectors
+  /// run in lockstep so callbacks stay ordered.  Either path yields the
+  /// same merged status.
+  void run(const TestSuite& t, Val ff_init = Val::X);
+
+  // -- results ------------------------------------------------------------
+  /// Merged detection status over the full universe (deterministic: each
+  /// fault from its owner shard).
+  const std::vector<Detect>& status() const;
+  Coverage coverage() const { return summarize(status()); }
+
+  void set_detection_observer(ConcurrentSim::DetectionObserver obs);
+
+  // -- statistics ----------------------------------------------------------
+  SimStats stats() const;
+  /// Total footprint: every shard's run state plus the shared model once.
+  std::size_t bytes() const;
+  /// Aggregated memory table: pool and fixed run-state bytes summed across
+  /// shards, model and circuit counted once.
+  void report_memory(MemStats& ms) const;
+
+ private:
+  void replay_observations();
+
+  std::shared_ptr<const SimModel> model_;
+  ShardedOptions opt_;
+  FaultPartition part_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<ConcurrentSim>> engines_;
+
+  ConcurrentSim::DetectionObserver observer_;
+  struct Observation {
+    std::uint32_t po;
+    std::uint32_t fault;
+    bool hard;
+  };
+  std::vector<std::vector<Observation>> shard_obs_;  // per shard, per vector
+
+  mutable std::vector<Detect> merged_;
+  mutable bool merged_dirty_ = true;
+};
+
+}  // namespace cfs

@@ -1,0 +1,126 @@
+// Fixed-size fork-join worker pool.
+//
+// parallel_for(count, fn) runs fn(0) ... fn(count-1) across the pool's
+// workers *and the calling thread*, returning when every call has finished;
+// the first exception thrown by any call is rethrown in the caller.  A pool
+// of size 1 owns no threads at all and degenerates to a plain loop, so the
+// single-threaded path has exactly the cost of the loop body.
+//
+// Workers are started once and parked on a condition variable between
+// parallel_for calls -- per-vector fork-join (the sharded simulator's inner
+// loop) must not pay a thread spawn per call.  Indices are claimed from a
+// shared atomic counter, so uneven per-index cost balances automatically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cfs {
+
+class ThreadPool {
+ public:
+  /// A pool that runs work on `num_threads` threads total: the caller plus
+  /// `num_threads - 1` workers.  0 is treated as 1.
+  explicit ThreadPool(unsigned num_threads)
+      : num_threads_(num_threads == 0 ? 1 : num_threads) {
+    workers_.reserve(num_threads_ - 1);
+    for (unsigned i = 1; i < num_threads_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Threads participating in parallel_for (caller included).
+  unsigned size() const { return num_threads_; }
+
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn) {
+    if (count == 0) return;
+    if (workers_.empty() || count == 1) {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      fn_ = &fn;
+      done_ = 0;
+      error_ = nullptr;
+      count_.store(count, std::memory_order_relaxed);
+      // The release store workers synchronise on: claiming an index via
+      // next_ makes fn_/count_ visible.
+      next_.store(0, std::memory_order_release);
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    run_slice();
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return done_ == count_.load(); });
+    fn_ = nullptr;
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        work_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+      }
+      run_slice();
+    }
+  }
+
+  void run_slice() {
+    for (;;) {
+      const std::size_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+      if (i >= count_.load(std::memory_order_acquire)) return;
+      try {
+        (*fn_)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(mu_);
+      if (++done_ == count_.load(std::memory_order_relaxed)) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  const unsigned num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_, done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> count_{0};
+  std::size_t done_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace cfs

@@ -9,6 +9,7 @@
 //                           serial|deductive]
 //                          [--tests=FILE | --random=N] [--seed=N]
 //                          [--reset0] [--transition] [--verbose]
+//                          [--threads=N]
 //
 // <circuit> is a .bench file path (contains '.' or '/') or the name of a
 // built-in ISCAS-89 profile benchmark (s27, s298, ..., s35932).
@@ -171,13 +172,27 @@ int cmd_compact(const Args& args) {
   return 0;
 }
 
+void print_shard_stats(const RunResult& r) {
+  for (std::size_t s = 0; s < r.stats.per_engine.size(); ++s) {
+    const EngineStats& e = r.stats.per_engine[s];
+    std::printf("  shard %-2zu  %10llu gates  %12llu elements  "
+                "%8zu peak  %s\n",
+                s, static_cast<unsigned long long>(e.gates_processed),
+                static_cast<unsigned long long>(e.elements_evaluated),
+                e.peak_elements, format_bytes(e.state_bytes).c_str());
+  }
+}
+
 int cmd_sim(const Args& args) {
   args.allow_only(
       {"engine", "tests", "random", "seed", "reset0", "transition",
-       "verbose", "sample", "collapse"});
+       "verbose", "sample", "collapse", "threads"});
   const Circuit c = load_circuit(args.positional().at(0));
   const std::string engine = args.get("engine", "csim-mv");
   const Val ff_init = args.has("reset0") ? Val::Zero : Val::X;
+  const unsigned threads =
+      static_cast<unsigned>(args.get_u64("threads", 1));
+  if (threads == 0) throw Error("--threads must be at least 1");
 
   TestSuite tests;
   if (args.has("tests")) {
@@ -195,19 +210,31 @@ int cmd_sim(const Args& args) {
                                          args.get_u64("seed", 1)));
   }
 
+  const bool csim_engine = engine == "csim-mv" || engine == "csim-v" ||
+                           engine == "csim-m" || engine == "csim";
+  if (threads > 1 && !csim_engine) {
+    throw Error("--threads supports the csim engines only");
+  }
+
   RunResult r;
   if (args.has("transition")) {
     if (engine != "csim-mv" && engine != "csim-v" && engine != "csim") {
       throw Error("--transition requires a csim engine");
     }
     const FaultUniverse u = FaultUniverse::all_transition(c);
-    r = run_csim_transition(c, u, tests, ff_init, engine != "csim");
+    r = threads > 1 ? run_csim_transition_sharded(c, u, tests, threads,
+                                                  ff_init, engine != "csim")
+                    : run_csim_transition(c, u, tests, ff_init,
+                                          engine != "csim");
   } else if (args.has("sample")) {
     const FaultUniverse full = FaultUniverse::all_stuck_at(c);
     const SubUniverse sub = restrict_universe(
         full, sample_faults(full, args.get_u64("sample", 1000),
                             args.get_u64("seed", 1) + 1));
-    r = run_csim(c, sub.universe, tests, CsimVariant::V, ff_init);
+    r = threads > 1 ? run_csim_sharded(c, sub.universe, tests,
+                                       CsimVariant::V, threads, ff_init)
+                    : run_csim(c, sub.universe, tests, CsimVariant::V,
+                               ff_init);
     r.sim_name += " (sampled " + std::to_string(sub.universe.size()) + "/" +
                   std::to_string(full.size()) + ")";
   } else if (args.has("collapse")) {
@@ -215,27 +242,32 @@ int cmd_sim(const Args& args) {
     const auto rep = collapse_equivalent(c, full);
     const SubUniverse reps = representative_universe(full, rep);
     Stopwatch sw;
-    ConcurrentSim sim(c, reps.universe);
-    for (const PatternSet& seq : tests.sequences()) {
-      sim.reset(ff_init);
-      for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
-    }
+    ShardedOptions sopt;
+    sopt.num_threads = threads;
+    ShardedSim sim(c, reps.universe, sopt);
+    sim.run(tests, ff_init);
     r.cpu_s = sw.seconds();
+    r.threads = sim.num_shards();
     r.sim_name = "csim-V (collapsed " + std::to_string(reps.universe.size()) +
                  " classes)";
     r.mem_bytes = sim.bytes() + c.bytes();
     r.cov = summarize(expand_to_classes(sim.status(), reps, rep));
-    r.activity = sim.elements_evaluated();
+    r.stats = sim.stats();
+    r.activity = r.stats.total.elements_evaluated;
   } else {
     const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+    const auto run_variant = [&](CsimVariant v) {
+      return threads > 1 ? run_csim_sharded(c, u, tests, v, threads, ff_init)
+                         : run_csim(c, u, tests, v, ff_init);
+    };
     if (engine == "csim-mv") {
-      r = run_csim(c, u, tests, CsimVariant::MV, ff_init);
+      r = run_variant(CsimVariant::MV);
     } else if (engine == "csim-v") {
-      r = run_csim(c, u, tests, CsimVariant::V, ff_init);
+      r = run_variant(CsimVariant::V);
     } else if (engine == "csim-m") {
-      r = run_csim(c, u, tests, CsimVariant::M, ff_init);
+      r = run_variant(CsimVariant::M);
     } else if (engine == "csim") {
-      r = run_csim(c, u, tests, CsimVariant::Plain, ff_init);
+      r = run_variant(CsimVariant::Plain);
     } else if (engine == "proofs") {
       r = run_proofs(c, u, tests, ff_init);
     } else if (engine == "serial") {
@@ -266,9 +298,14 @@ int cmd_sim(const Args& args) {
               r.cov.hard, r.cov.total, r.cov.potential);
   std::printf("cpu       %.3fs\n", r.cpu_s);
   std::printf("memory    %s\n", format_bytes(r.mem_bytes).c_str());
+  if (r.threads > 1) {
+    std::printf("threads   %u fault shards over one shared model\n",
+                r.threads);
+  }
   if (args.has("verbose")) {
     std::printf("activity  %llu element/word evaluations\n",
                 static_cast<unsigned long long>(r.activity));
+    if (!r.stats.per_engine.empty()) print_shard_stats(r);
   }
   return 0;
 }
@@ -284,7 +321,7 @@ int usage() {
       "  tgen     <circuit> [--out=F] [--budget=N] [--seed=N] [--reset0]\n"
       "  compact  <circuit> --tests=F [--out=F2] [--reset0]\n"
       "  sim      <circuit> [--engine=E] [--tests=F|--random=N] [--seed=N]\n"
-      "           [--reset0] [--transition] [--verbose]\n"
+      "           [--reset0] [--transition] [--verbose] [--threads=N]\n"
       "           [--sample=N | --collapse]\n"
       "engines: csim-mv csim-v csim-m csim proofs serial deductive\n"
       "<circuit>: a .bench path, or a built-in profile benchmark name\n",
