@@ -52,4 +52,55 @@ std::string fmt_meg(std::size_t bytes) {
   return buf;
 }
 
+JsonReport::JsonReport(int argc, char** argv, std::string_view bench_name) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a.rfind("--json=", 0) == 0) path_ = std::string(a.substr(7));
+  }
+  if (path_.empty()) return;
+  file_.open(path_);
+  if (!file_) {
+    std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+    std::exit(1);
+  }
+  writer_ = std::make_unique<obs::JsonWriter>(file_);
+  writer_->begin_object();
+  writer_->field("bench", bench_name);
+  writer_->field("scale", scale());
+  writer_->key("rows");
+  writer_->begin_array();
+}
+
+JsonReport::~JsonReport() { save(); }
+
+void JsonReport::begin_row() {
+  if (writer_) writer_->begin_object();
+}
+
+void JsonReport::end_row() {
+  if (writer_) writer_->end_object();
+}
+
+void JsonReport::field(std::string_view key, std::string_view v) {
+  if (writer_) writer_->field(key, v);
+}
+
+void JsonReport::field(std::string_view key, std::uint64_t v) {
+  if (writer_) writer_->field(key, v);
+}
+
+void JsonReport::field(std::string_view key, double v) {
+  if (writer_) writer_->field(key, v);
+}
+
+void JsonReport::save() {
+  if (!writer_) return;
+  writer_->end_array();
+  writer_->end_object();
+  writer_.reset();
+  file_ << '\n';
+  file_.close();
+  std::printf("wrote %s\n", path_.c_str());
+}
+
 }  // namespace cfs::bench

@@ -7,12 +7,17 @@
 //   full  -- the whole paper suite including the s35932 profile
 #pragma once
 
+#include <cstdint>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "faults/fault.h"
 #include "gen/iscas_profiles.h"
 #include "netlist/circuit.h"
+#include "obs/json_stats.h"
 #include "patterns/pattern.h"
 #include "util/logic.h"
 
@@ -40,5 +45,36 @@ TestSuite deterministic_tests(const Circuit& c, const FaultUniverse& u,
 
 /// Human-readable MiB with two decimals (the paper reports "meg").
 std::string fmt_meg(std::size_t bytes);
+
+/// Machine-readable sibling for a table bench.  Constructed from argv:
+/// with `--json=FILE` every row() lands in FILE as
+///   {"bench": ..., "scale": ..., "rows": [{...}, ...]}
+/// and without the flag all calls are no-ops, so benches stay plain
+/// printf tables by default.  The document is finalized in save() (called
+/// from the destructor if not explicit).
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, std::string_view bench_name);
+  ~JsonReport();
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return writer_ != nullptr; }
+
+  void begin_row();
+  void end_row();
+  void field(std::string_view key, std::string_view v);
+  void field(std::string_view key, std::uint64_t v);
+  void field(std::string_view key, double v);
+
+  /// Close the rows array and the document; prints the path written.
+  void save();
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  std::unique_ptr<obs::JsonWriter> writer_;
+};
 
 }  // namespace cfs::bench

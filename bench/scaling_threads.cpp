@@ -15,8 +15,9 @@
 #include "harness/runner.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfs;
+  bench::JsonReport json(argc, argv, "scaling_threads");
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("Thread scaling: csim-MV sharded over random patterns "
               "(host reports %u hardware threads)\n\n", hw);
@@ -47,6 +48,19 @@ int main() {
              fmt_count(k), fmt_fixed(r.cpu_s, 3),
              fmt_count(static_cast<std::size_t>(p.size() / r.cpu_s)),
              fmt_fixed(base / r.cpu_s, 2), fmt_fixed(r.cov.pct(), 2)});
+      json.begin_row();
+      json.field("circuit", name);
+      json.field("faults", static_cast<std::uint64_t>(u.size()));
+      json.field("threads", std::uint64_t{k});
+      json.field("shards", std::uint64_t{r.threads});
+      json.field("cpu_s", r.cpu_s);
+      json.field("vectors_per_s", static_cast<double>(p.size()) / r.cpu_s);
+      json.field("speedup", base / r.cpu_s);
+      json.field("coverage_pct", r.cov.pct());
+      json.field("hard", static_cast<std::uint64_t>(r.cov.hard));
+      json.field("elements_evaluated", r.stats.total.elements_evaluated);
+      json.field("faults_dropped", r.stats.total.faults_dropped);
+      json.end_row();
     }
   }
   std::printf("%s\n", t.str().c_str());

@@ -8,8 +8,9 @@
 #include "harness/table.h"
 #include "patterns/tgen.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cfs;
+  bench::JsonReport json(argc, argv, "table2_circuits");
   std::printf("Table 2: circuit and test statistics\n");
   std::printf("(synthetic profile-matched circuits; see DESIGN.md)\n\n");
 
@@ -31,6 +32,20 @@ int main() {
            fmt_count(r.suite.total_vectors()),
            fmt_count(r.suite.num_sequences()),
            fmt_fixed(r.coverage.pct(), 2)});
+    json.begin_row();
+    json.field("circuit", name);
+    json.field("pis", std::uint64_t{st.num_pis});
+    json.field("pos", std::uint64_t{st.num_pos});
+    json.field("ffs", std::uint64_t{st.num_dffs});
+    json.field("gates", std::uint64_t{st.num_comb_gates});
+    json.field("levels", std::uint64_t{st.num_levels});
+    json.field("faults", static_cast<std::uint64_t>(u.size()));
+    json.field("vectors",
+               static_cast<std::uint64_t>(r.suite.total_vectors()));
+    json.field("sequences",
+               static_cast<std::uint64_t>(r.suite.num_sequences()));
+    json.field("tgen_coverage_pct", r.coverage.pct());
+    json.end_row();
   }
   std::printf("%s\n", t.str().c_str());
   return 0;

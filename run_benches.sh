@@ -5,8 +5,14 @@ cd "$(dirname "$0")"
 export CFS_BENCH_SCALE=${CFS_BENCH_SCALE:-full}
 for b in table2_circuits table3_deterministic table4_deterministic2 \
          table5_random table6_transition ablation_macro ablation_split \
-         ablation_dropping ablation_collapse coverage_curve; do
+         ablation_dropping ablation_collapse coverage_curve \
+         scaling_threads; do
   echo "== $b =="
-  ./build/bench/$b | tee results/$b.txt
+  extra=""
+  case $b in
+    # These two also emit machine-readable results/*.json siblings.
+    table2_circuits|scaling_threads) extra="--json=results/$b.json" ;;
+  esac
+  ./build/bench/$b $extra | tee results/$b.txt
 done
 ./build/bench/micro_kernels --benchmark_min_time=0.2 | tee results/micro_kernels.txt

@@ -67,11 +67,20 @@ void ConcurrentSim::cursor_init(Cursor& cu, std::uint32_t* head) {
   cu.cur = *head;
   cu.id = pool_[cu.cur].fault_id;
   cursor_skip_dropped(cu);
+#if CFS_OBS_ENABLED
+  if (cu.id == kSentinelId) {
+    CFS_COUNT(counters_, SentinelHits);
+  } else {
+    CFS_COUNT(counters_, ElementsTraversed);
+  }
+#endif
 }
 
 void ConcurrentSim::cursor_skip_dropped(Cursor& cu) {
   while (cu.id != kSentinelId && dropped(cu.id)) {
     // Event-driven fault dropping: unlink while traversing (paper §2.2).
+    CFS_COUNT(counters_, DropUnlinksLazy);
+    CFS_COUNT(counters_, ElementsFreed);
     const std::uint32_t dead = cu.cur;
     const std::uint32_t nxt = pool_[dead].next;
     if (cu.prev == kNullIndex) {
@@ -90,11 +99,19 @@ void ConcurrentSim::cursor_advance(Cursor& cu) {
   cu.cur = pool_[cu.cur].next;
   cu.id = pool_[cu.cur].fault_id;
   cursor_skip_dropped(cu);
+#if CFS_OBS_ENABLED
+  if (cu.id == kSentinelId) {
+    CFS_COUNT(counters_, SentinelHits);
+  } else {
+    CFS_COUNT(counters_, ElementsTraversed);
+  }
+#endif
 }
 
 void ConcurrentSim::free_list(std::uint32_t& head) {
   std::uint32_t cur = head;
   while (pool_[cur].fault_id != kSentinelId) {
+    CFS_COUNT(counters_, ElementsFreed);
     const std::uint32_t nxt = pool_[cur].next;
     pool_.free(cur);
     cur = nxt;
@@ -108,6 +125,7 @@ std::uint32_t ConcurrentSim::build_list(
   std::uint32_t head = 0;  // sentinel
   std::uint32_t prev = kNullIndex;
   for (const auto& [id, st] : items) {
+    CFS_COUNT(counters_, ElementsAllocated);
     const std::uint32_t e = pool_.alloc();
     pool_[e] = Element{id, 0, st};
     if (prev == kNullIndex) {
@@ -155,6 +173,7 @@ Val ConcurrentSim::eval_element(GateId g, std::uint32_t fault,
   }
   Val out;
   if (d.table != nullptr && d.site_gate == g) {
+    CFS_COUNT(counters_, MacroTableLookups);
     out = from_code(d.table[state_input_index(st, c_->num_fanins(g))]);
   } else {
     out = c_->eval(g, st);
@@ -221,9 +240,11 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
     const Val out = eval_element(g, m, st);
 
     if (out != new_good_out) {
+      CFS_COUNT(counters_, ElementsCopied);
       scratch_vis_.emplace_back(m, st);
     } else if (((st ^ good) & in_mask) != 0) {
       // Inputs differ, output agrees: an invisible fault.
+      CFS_COUNT(counters_, ElementsCopied);
       (opt_.split_lists ? scratch_inv_ : scratch_vis_).emplace_back(m, st);
     }
 
@@ -261,6 +282,30 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
       changed = produced != scratch_old_.size();
     }
   }
+
+#if CFS_OBS_ENABLED
+  if (opt_.split_lists) {
+    // Visible -> invisible: a new invisible element whose id was on the old
+    // visible sequence (scratch_old_ holds every old visible id in split
+    // mode, sorted).  Invisible -> visible: a new visible element whose id
+    // is still linked on the old invisible list (intact until the rebuild
+    // below; ids ascend, the sentinel's maximal id bounds the walk).
+    std::size_t oi = 0;
+    for (const auto& [id, st] : scratch_inv_) {
+      while (oi < scratch_old_.size() && scratch_old_[oi].first < id) ++oi;
+      if (oi < scratch_old_.size() && scratch_old_[oi].first == id) {
+        CFS_COUNT(counters_, VisToInvMigrations);
+      }
+    }
+    std::uint32_t cur = head_inv_[g];
+    for (const auto& [id, st] : scratch_vis_) {
+      while (pool_[cur].fault_id < id) cur = pool_[cur].next;
+      if (pool_[cur].fault_id == id) {
+        CFS_COUNT(counters_, InvToVisMigrations);
+      }
+    }
+  }
+#endif
 
   free_list(head_vis_[g]);
   free_list(head_inv_[g]);
@@ -320,25 +365,28 @@ void ConcurrentSim::reset(Val ff_init, bool clear_status) {
     free_list(head_inv_[g]);
   }
   // Good machine: PIs X, flip-flops ff_init, full consistent sweep.
-  for (GateId g = 0; g < c_->num_gates(); ++g) {
-    good_state_[g] = state_all_x(c_->num_fanins(g));
-  }
-  for (GateId g : c_->dffs()) {
-    good_state_[g] = state_set_out(good_state_[g], ff_init);
-  }
-  for (GateId g = 0; g < c_->num_gates(); ++g) {
-    if (!is_combinational(c_->kind(g))) {
-      const Val v = state_out(good_state_[g]);
+  {
+    CFS_PHASE(timers_, GoodEval);
+    for (GateId g = 0; g < c_->num_gates(); ++g) {
+      good_state_[g] = state_all_x(c_->num_fanins(g));
+    }
+    for (GateId g : c_->dffs()) {
+      good_state_[g] = state_set_out(good_state_[g], ff_init);
+    }
+    for (GateId g = 0; g < c_->num_gates(); ++g) {
+      if (!is_combinational(c_->kind(g))) {
+        const Val v = state_out(good_state_[g]);
+        for (const Fanout& fo : c_->fanouts(g)) {
+          good_state_[fo.gate] = state_set(good_state_[fo.gate], fo.pin, v);
+        }
+      }
+    }
+    for (GateId g : c_->topo_order()) {
+      const Val v = c_->eval(g, good_state_[g]);
+      good_state_[g] = state_set_out(good_state_[g], v);
       for (const Fanout& fo : c_->fanouts(g)) {
         good_state_[fo.gate] = state_set(good_state_[fo.gate], fo.pin, v);
       }
-    }
-  }
-  for (GateId g : c_->topo_order()) {
-    const Val v = c_->eval(g, good_state_[g]);
-    good_state_[g] = state_set_out(good_state_[g], v);
-    for (const Fanout& fo : c_->fanouts(g)) {
-      good_state_[fo.gate] = state_set(good_state_[fo.gate], fo.pin, v);
     }
   }
 
@@ -351,10 +399,13 @@ void ConcurrentSim::reset(Val ff_init, bool clear_status) {
 
   // Activate source-site faults, then give every combinational gate one
   // merge so comb-site faults activate too.
-  for (GateId g : c_->inputs()) refresh_source_site(g);
-  for (GateId g : c_->dffs()) refresh_source_site(g);
-  for (GateId g : c_->topo_order()) queue_.schedule(g);
-  settle();
+  {
+    CFS_PHASE(timers_, FaultProp);
+    for (GateId g : c_->inputs()) refresh_source_site(g);
+    for (GateId g : c_->dffs()) refresh_source_site(g);
+    for (GateId g : c_->topo_order()) queue_.schedule(g);
+    settle();
+  }
 }
 
 void ConcurrentSim::set_inputs(std::span<const Val> pi_vals) {
@@ -383,9 +434,15 @@ void ConcurrentSim::record_detect(std::uint32_t fault, Val good, Val faulty,
     if (status_[fault] != Detect::Hard) {
       status_[fault] = Detect::Hard;
       ++newly;
+      CFS_COUNT(counters_, DetectionsHard);
+      if (opt_.drop_detected) {
+        ++faults_dropped_;
+        CFS_COUNT(counters_, FaultsDropped);
+      }
     }
   } else if (faulty == Val::X && status_[fault] == Detect::None) {
     status_[fault] = Detect::Potential;
+    CFS_COUNT(counters_, DetectionsPotential);
   }
 }
 
@@ -518,39 +575,67 @@ void ConcurrentSim::clock() { latch_flipflops(/*capture_only=*/false); }
 
 std::size_t ConcurrentSim::apply_vector(std::span<const Val> pi_vals) {
   if (transition_mode_) return apply_vector_transition(pi_vals);
-  set_inputs(pi_vals);
-  settle();
-  const std::size_t newly = sample_outputs();
-  clock();
+  ++vectors_simulated_;
+  {
+    CFS_PHASE(timers_, FaultProp);
+    set_inputs(pi_vals);
+    settle();
+  }
+  std::size_t newly = 0;
+  {
+    CFS_PHASE(timers_, DropPass);
+    newly = sample_outputs();
+  }
+  {
+    CFS_PHASE(timers_, Clocking);
+    clock();
+  }
   return newly;
 }
 
 std::size_t ConcurrentSim::apply_vector_transition(
     std::span<const Val> pi_vals) {
+  ++vectors_simulated_;
   // Pass 1: delayed transitions hold their previous value; POs and the FF
   // masters sample this state (paper §3).
   pass1_ = true;
-  set_inputs(pi_vals);
-  settle();
-  const std::size_t newly = sample_outputs();
-  latch_flipflops(/*capture_only=*/true);
+  {
+    CFS_PHASE(timers_, FaultProp);
+    set_inputs(pi_vals);
+    settle();
+  }
+  std::size_t newly = 0;
+  {
+    CFS_PHASE(timers_, DropPass);
+    newly = sample_outputs();
+  }
+  {
+    CFS_PHASE(timers_, Clocking);
+    latch_flipflops(/*capture_only=*/true);
+  }
 
   // Pass 2: fire every transition and settle; this is the state the next
   // frame's "previous values" come from.  The slaves are not updated yet,
   // so the new flip-flop values cannot leak into this pass.
   pass1_ = false;
-  for (GateId g : held_gates_) {
-    held_flag_[g] = 0;
-    queue_.schedule(g);
+  {
+    CFS_PHASE(timers_, FaultProp);
+    for (GateId g : held_gates_) {
+      held_flag_[g] = 0;
+      queue_.schedule(g);
+    }
+    held_gates_.clear();
+    settle();
+    update_prev_values();
   }
-  held_gates_.clear();
-  settle();
-  update_prev_values();
 
   // Slave update: commit the captured masters; the propagation belongs to
   // the next frame's pass 1.
   pass1_ = true;
-  commit_masters();
+  {
+    CFS_PHASE(timers_, Clocking);
+    commit_masters();
+  }
   return newly;
 }
 

@@ -44,6 +44,8 @@
 #include "faults/macro_map.h"
 #include "faults/partition.h"
 #include "netlist/circuit.h"
+#include "obs/counters.h"
+#include "obs/timers.h"
 #include "sim/level_queue.h"
 #include "util/logic.h"
 #include "util/memtrack.h"
@@ -130,6 +132,19 @@ class ConcurrentSim {
   std::size_t peak_elements() const { return pool_.peak_live(); }
   std::uint64_t gates_processed() const { return queue_.processed(); }
   std::uint64_t elements_evaluated() const { return elements_evaluated_; }
+  std::uint64_t vectors_simulated() const { return vectors_simulated_; }
+  /// Hard detections that armed event-driven dropping (0 with dropping off).
+  std::uint64_t faults_dropped() const { return faults_dropped_; }
+  /// Telemetry counters (obs/counters.h), including the event queue's
+  /// scheduling counts.  All-zero when built with CFS_OBS=OFF.
+  obs::Counters counters() const {
+    obs::Counters c = counters_;
+    c.merge(queue_.counters());
+    return c;
+  }
+  /// Per-phase wall-time accumulation (obs/timers.h); engine-internal
+  /// phases are recorded only when built with CFS_OBS=ON.
+  const obs::PhaseTimers& timers() const { return timers_; }
   /// Bytes of the fault-element pool alone (the paper's dominant MEM term).
   std::size_t pool_bytes() const { return pool_.bytes(); }
   /// Bytes of this engine's run state (pool, lists, good machine, queue);
@@ -153,9 +168,15 @@ class ConcurrentSim {
   }
 
   /// True when a site fault must not materialise: owned by another shard,
-  /// or hard-detected with dropping on.
+  /// or hard-detected with dropping on (an *eager* drop -- the element is
+  /// never built, vs. the lazy unlink in cursor_skip_dropped).
   bool skip_site(std::uint32_t fault) const {
-    return excluded_[fault] != 0 || dropped(fault);
+    if (excluded_[fault] != 0) return true;
+    if (dropped(fault)) {
+      CFS_COUNT(counters_, DropSkipsEager);
+      return true;
+    }
+    return false;
   }
 
   // Cursor over a linked fault list with lazy dropping (unlinks dropped
@@ -220,6 +241,11 @@ class ConcurrentSim {
   std::vector<std::pair<std::uint32_t, Val>> scratch_old_;
 
   std::uint64_t elements_evaluated_ = 0;
+  std::uint64_t vectors_simulated_ = 0;
+  std::uint64_t faults_dropped_ = 0;
+  // Mutable: const traversals (visible_at, faulty_value) still count work.
+  mutable obs::Counters counters_;
+  obs::PhaseTimers timers_;
   DetectionObserver observer_;
 };
 

@@ -79,6 +79,7 @@ std::uint32_t DelayConcurrentSim::ensure_element(GateId g,
     cur = pool_[cur].next;
   }
   if (pool_[cur].fault_id == fault) return cur;
+  CFS_COUNT(counters_, ElementsAllocated);
   const std::uint32_t e = pool_.alloc();
   // A freshly diverged machine mirrors the good machine at this gate --
   // including the good events still in the wheel, which belong to this
@@ -102,6 +103,7 @@ void DelayConcurrentSim::remove_element(GateId g, std::uint32_t fault) {
     cur = pool_[cur].next;
   }
   if (pool_[cur].fault_id != fault) return;
+  CFS_COUNT(counters_, ElementsFreed);
   if (prev == kNullIndex) {
     head_[g] = pool_[cur].next;
   } else {
@@ -130,6 +132,7 @@ Val DelayConcurrentSim::eval_element(GateId g, const Element& e) {
 
 void DelayConcurrentSim::post(std::uint64_t t, GateId g, std::uint32_t fault,
                               Val v) {
+  CFS_COUNT(counters_, EventsScheduled);
   ++pending_;
   if (t - now_ < kWheelSize) {
     wheel_[t % kWheelSize].push_back({g, fault, v});
@@ -240,6 +243,8 @@ void DelayConcurrentSim::phase2() {
       const std::uint32_t fid = pool_[cur].fault_id;
       if (dropped(fid)) {
         // Event-driven dropping: unlink while traversing.
+        CFS_COUNT(counters_, DropUnlinksLazy);
+        CFS_COUNT(counters_, ElementsFreed);
         if (prev == kNullIndex) {
           head_[g] = nxt;
         } else {
@@ -262,6 +267,7 @@ void DelayConcurrentSim::phase2() {
         for (const Site& site : sites_[g]) is_site |= site.fault == fid;
         if (!is_site && e.pend == 0 && e.state == good_state_[g] &&
             e.last_posted == good_last_posted_[g]) {
+          CFS_COUNT(counters_, ElementsFreed);
           if (prev == kNullIndex) {
             head_[g] = nxt;
           } else {
@@ -338,9 +344,12 @@ std::size_t DelayConcurrentSim::strobe() {
           if (status_[fid] != Detect::Hard) {
             status_[fid] = Detect::Hard;
             ++newly;
+            CFS_COUNT(counters_, DetectionsHard);
+            if (drop_detected_) CFS_COUNT(counters_, FaultsDropped);
           }
         } else if (status_[fid] == Detect::None) {
           status_[fid] = Detect::Potential;
+          CFS_COUNT(counters_, DetectionsPotential);
         }
       }
       cur = pool_[cur].next;

@@ -29,6 +29,7 @@
 #include "core/options.h"
 #include "faults/fault.h"
 #include "netlist/circuit.h"
+#include "obs/counters.h"
 #include "util/logic.h"
 #include "util/packed_state.h"
 #include "util/pool.h"
@@ -62,6 +63,8 @@ class DelayConcurrentSim {
   std::uint64_t now() const { return now_; }
   std::size_t live_elements() const { return pool_.live() - 1; }
   std::uint64_t element_evals() const { return element_evals_; }
+  /// Telemetry counters (all-zero when built with CFS_OBS=OFF).
+  const obs::Counters& counters() const { return counters_; }
   std::size_t bytes() const;
 
  private:
@@ -127,6 +130,7 @@ class DelayConcurrentSim {
   std::vector<std::uint8_t> activated_flag_;
 
   std::uint64_t element_evals_ = 0;
+  obs::Counters counters_;
 };
 
 }  // namespace cfs

@@ -3,7 +3,7 @@
 #include "baseline/proofs_sim.h"
 #include "baseline/serial_sim.h"
 #include "netlist/macro_extract.h"
-#include "util/stopwatch.h"
+#include "obs/timers.h"
 
 namespace cfs {
 
@@ -20,15 +20,40 @@ std::string variant_name(CsimVariant v) {
 namespace {
 
 // Apply a test suite through any engine exposing reset(Val) and
-// apply_vector(span): one reset per sequence.
+// apply_vector(span): one reset per sequence.  The whole suite runs inside
+// the Run phase of `rt`, the same accumulator the telemetry export reads,
+// so the tables' CPU column and the stats JSON cannot disagree.
 template <typename Engine>
-double apply_suite(Engine& sim, const TestSuite& t, Val ff_init) {
-  Stopwatch sw;
-  for (const PatternSet& seq : t.sequences()) {
-    sim.reset(ff_init);
-    for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
+double apply_suite(Engine& sim, const TestSuite& t, Val ff_init,
+                   obs::PhaseTimers& rt) {
+  {
+    obs::ScopedPhase sp(rt, obs::Phase::Run);
+    for (const PatternSet& seq : t.sequences()) {
+      sim.reset(ff_init);
+      for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
+    }
   }
-  return sw.seconds();
+  return rt.seconds(obs::Phase::Run);
+}
+
+// Single-engine runs fill the same SimStats shape the sharded driver
+// reports, so every csim RunResult carries counters and phase timers.
+SimStats one_engine_stats(const ConcurrentSim& sim) {
+  SimStats st;
+  EngineStats es;
+  es.gates_processed = sim.gates_processed();
+  es.elements_evaluated = sim.elements_evaluated();
+  es.vectors_simulated = sim.vectors_simulated();
+  es.faults_dropped = sim.faults_dropped();
+  es.peak_elements = sim.peak_elements();
+  es.state_bytes = sim.state_bytes();
+  es.counters = sim.counters();
+  es.timers = sim.timers();
+  st.total = es;
+  st.per_engine.push_back(std::move(es));
+  st.model_bytes = sim.model().bytes();
+  st.circuit_bytes = sim.circuit().bytes();
+  return st;
 }
 
 }  // namespace
@@ -49,16 +74,18 @@ RunResult run_csim(const Circuit& c, const FaultUniverse& u,
     MacroExtraction ext = extract_macros(c);
     MacroFaultMap mmap = map_faults_to_macros(c, ext, u);
     ConcurrentSim sim(ext.circuit, u, opt, &mmap);
-    r.cpu_s = apply_suite(sim, t, ff_init);
+    r.cpu_s = apply_suite(sim, t, ff_init, r.run_timers);
     r.mem_bytes = sim.bytes() + ext.circuit.bytes();
     r.cov = sim.coverage();
     r.activity = sim.elements_evaluated();
+    r.stats = one_engine_stats(sim);
   } else {
     ConcurrentSim sim(c, u, opt);
-    r.cpu_s = apply_suite(sim, t, ff_init);
+    r.cpu_s = apply_suite(sim, t, ff_init, r.run_timers);
     r.mem_bytes = sim.bytes() + c.bytes();
     r.cov = sim.coverage();
     r.activity = sim.elements_evaluated();
+    r.stats = one_engine_stats(sim);
   }
   return r;
 }
@@ -68,7 +95,7 @@ RunResult run_proofs(const Circuit& c, const FaultUniverse& u,
   RunResult r;
   r.sim_name = "PROOFS";
   ProofsSim sim(c, u, ff_init);
-  r.cpu_s = apply_suite(sim, t, ff_init);
+  r.cpu_s = apply_suite(sim, t, ff_init, r.run_timers);
   r.mem_bytes = sim.bytes() + c.bytes();
   r.cov = sim.coverage();
   r.activity = sim.word_evals();
@@ -81,9 +108,12 @@ RunResult run_serial(const Circuit& c, const FaultUniverse& u,
   r.sim_name = "serial";
   SerialOptions opt;
   opt.ff_init = ff_init;
-  Stopwatch sw;
-  const SerialResult sr = serial_fault_sim(c, u, t, opt);
-  r.cpu_s = sw.seconds();
+  SerialResult sr;
+  {
+    obs::ScopedPhase sp(r.run_timers, obs::Phase::Run);
+    sr = serial_fault_sim(c, u, t, opt);
+  }
+  r.cpu_s = r.run_timers.seconds(obs::Phase::Run);
   r.mem_bytes = c.bytes();
   r.cov = summarize(sr.status);
   r.activity = sr.events;
@@ -93,7 +123,7 @@ RunResult run_serial(const Circuit& c, const FaultUniverse& u,
 RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
                            const TestSuite& t, CsimVariant variant,
                            unsigned num_threads, Val ff_init,
-                           bool drop_detected) {
+                           bool drop_detected, obs::TraceEmitter* trace) {
   RunResult r;
   ShardedOptions sopt;
   sopt.num_threads = num_threads;
@@ -104,9 +134,12 @@ RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
       variant == CsimVariant::M || variant == CsimVariant::MV;
 
   auto run_one = [&](ShardedSim& sim, std::size_t extra_bytes) {
-    Stopwatch sw;
-    sim.run(t, ff_init);
-    r.cpu_s = sw.seconds();
+    if (trace != nullptr) sim.set_trace(trace);
+    {
+      obs::ScopedPhase sp(r.run_timers, obs::Phase::Run);
+      sim.run(t, ff_init);
+    }
+    r.cpu_s = r.run_timers.seconds(obs::Phase::Run);
     r.threads = sim.num_shards();
     r.sim_name = variant_name(variant) + " x" + std::to_string(r.threads);
     r.mem_bytes = sim.bytes() + extra_bytes;
@@ -131,15 +164,19 @@ RunResult run_csim_transition_sharded(const Circuit& c,
                                       const FaultUniverse& u,
                                       const TestSuite& t,
                                       unsigned num_threads, Val ff_init,
-                                      bool split_lists) {
+                                      bool split_lists,
+                                      obs::TraceEmitter* trace) {
   RunResult r;
   ShardedOptions sopt;
   sopt.num_threads = num_threads;
   sopt.csim.split_lists = split_lists;
   ShardedSim sim(c, u, sopt);
-  Stopwatch sw;
-  sim.run(t, ff_init);
-  r.cpu_s = sw.seconds();
+  if (trace != nullptr) sim.set_trace(trace);
+  {
+    obs::ScopedPhase sp(r.run_timers, obs::Phase::Run);
+    sim.run(t, ff_init);
+  }
+  r.cpu_s = r.run_timers.seconds(obs::Phase::Run);
   r.threads = sim.num_shards();
   r.sim_name = std::string(split_lists ? "csim-V" : "csim") +
                " (transition) x" + std::to_string(r.threads);
@@ -158,10 +195,11 @@ RunResult run_csim_transition(const Circuit& c, const FaultUniverse& u,
   CsimOptions opt;
   opt.split_lists = split_lists;
   ConcurrentSim sim(c, u, opt);
-  r.cpu_s = apply_suite(sim, t, ff_init);
+  r.cpu_s = apply_suite(sim, t, ff_init, r.run_timers);
   r.mem_bytes = sim.bytes() + c.bytes();
   r.cov = sim.coverage();
   r.activity = sim.elements_evaluated();
+  r.stats = one_engine_stats(sim);
   return r;
 }
 

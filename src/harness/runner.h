@@ -8,6 +8,8 @@
 #include "core/concurrent_sim.h"
 #include "faults/fault.h"
 #include "netlist/circuit.h"
+#include "obs/timers.h"
+#include "obs/trace.h"
 #include "patterns/pattern.h"
 #include "sim/sharded_sim.h"
 
@@ -15,12 +17,15 @@ namespace cfs {
 
 struct RunResult {
   std::string sim_name;
-  double cpu_s = 0.0;
+  double cpu_s = 0.0;  ///< == run_timers.seconds(obs::Phase::Run)
   std::size_t mem_bytes = 0;
   Coverage cov;
   std::uint64_t activity = 0;  ///< scalar gate evals or word evals
   unsigned threads = 1;        ///< shards actually used (sharded runs)
-  SimStats stats;              ///< per-engine breakdown (sharded runs)
+  SimStats stats;              ///< per-engine breakdown (csim runs)
+  /// Harness-side envelope: the whole-suite Run phase.  The tables' CPU
+  /// column and the telemetry export both read this one accumulator.
+  obs::PhaseTimers run_timers;
 };
 
 /// The paper's simulator variants (Table 3 columns).
@@ -57,11 +62,13 @@ RunResult run_csim_transition(const Circuit& c, const FaultUniverse& u,
 /// Sharded multi-threaded csim run: `num_threads` shard engines over one
 /// shared SimModel (see sim/sharded_sim.h).  Detection status and coverage
 /// are bit-for-bit identical to the single-threaded variant for any thread
-/// count.
+/// count.  `trace`, when given, receives one Chrome-trace track per shard
+/// (obs/trace.h) and must outlive the call.
 RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
                            const TestSuite& t, CsimVariant variant,
                            unsigned num_threads, Val ff_init = Val::X,
-                           bool drop_detected = true);
+                           bool drop_detected = true,
+                           obs::TraceEmitter* trace = nullptr);
 
 /// Sharded transition-fault run.
 RunResult run_csim_transition_sharded(const Circuit& c,
@@ -69,7 +76,8 @@ RunResult run_csim_transition_sharded(const Circuit& c,
                                       const TestSuite& t,
                                       unsigned num_threads,
                                       Val ff_init = Val::X,
-                                      bool split_lists = true);
+                                      bool split_lists = true,
+                                      obs::TraceEmitter* trace = nullptr);
 
 // Single-sequence conveniences.
 inline RunResult run_csim(const Circuit& c, const FaultUniverse& u,

@@ -1,0 +1,104 @@
+#include "harness/stats_export.h"
+
+#include <fstream>
+
+#include "obs/json_stats.h"
+#include "util/error.h"
+
+namespace cfs {
+
+namespace {
+
+void write_engine(obs::JsonWriter& w, const EngineStats& e) {
+  w.field("gates_processed", e.gates_processed);
+  w.field("elements_evaluated", e.elements_evaluated);
+  w.field("vectors_simulated", e.vectors_simulated);
+  w.field("faults_dropped", e.faults_dropped);
+  w.field("peak_elements", static_cast<std::uint64_t>(e.peak_elements));
+  w.field("state_bytes", static_cast<std::uint64_t>(e.state_bytes));
+  w.key("counters");
+  obs::write_counters(w, e.counters);
+  w.key("timers");
+  obs::write_timers(w, e.timers);
+}
+
+}  // namespace
+
+void write_run_stats_json(std::ostream& os, const RunMetadata& meta,
+                          const RunResult& r) {
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.field("schema_version", std::uint64_t{1});
+
+  w.key("meta");
+  w.begin_object();
+  w.field("circuit", meta.circuit);
+  w.field("engine", meta.engine);
+  w.field("sim_name", r.sim_name);
+  w.field("mode", meta.mode);
+  w.field("threads", r.threads);
+  w.field("seed", meta.seed);
+  w.field("vectors", static_cast<std::uint64_t>(meta.vectors));
+  w.field("sequences", static_cast<std::uint64_t>(meta.sequences));
+  w.field("ff_init", meta.ff_init);
+  w.end_object();
+
+  w.key("coverage");
+  w.begin_object();
+  w.field("total", static_cast<std::uint64_t>(r.cov.total));
+  w.field("hard", static_cast<std::uint64_t>(r.cov.hard));
+  w.field("potential", static_cast<std::uint64_t>(r.cov.potential));
+  w.field("pct", r.cov.pct());
+  w.end_object();
+
+  w.field("cpu_s", r.cpu_s);
+  w.field("mem_bytes", static_cast<std::uint64_t>(r.mem_bytes));
+  w.field("activity", r.activity);
+  w.field("model_bytes", static_cast<std::uint64_t>(r.stats.model_bytes));
+  w.field("circuit_bytes",
+          static_cast<std::uint64_t>(r.stats.circuit_bytes));
+
+  // Shard-invariant counter sums: identical for any --threads value.
+  w.key("deterministic");
+  obs::write_deterministic_counters(w, r.stats.total.counters);
+
+  // Harness envelope + driver-side phases (merge/replay).
+  w.key("timers");
+  w.begin_object();
+  w.key("run");
+  w.begin_object();
+  w.field("seconds", r.cpu_s);
+  w.field("calls", r.run_timers.count(obs::Phase::Run));
+  w.end_object();
+  w.key("driver");
+  obs::write_timers(w, r.stats.driver);
+  w.end_object();
+
+  w.key("totals");
+  w.begin_object();
+  write_engine(w, r.stats.total);
+  w.end_object();
+
+  w.key("engines");
+  w.begin_array();
+  for (std::size_t s = 0; s < r.stats.per_engine.size(); ++s) {
+    w.begin_object();
+    w.field("shard", static_cast<std::uint64_t>(s));
+    write_engine(w, r.stats.per_engine[s]);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+}
+
+void save_run_stats_json(const std::string& path, const RunMetadata& meta,
+                         const RunResult& r) {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot write stats file " + path);
+  write_run_stats_json(f, meta, r);
+  f << '\n';
+  if (!f) throw Error("error writing stats file " + path);
+}
+
+}  // namespace cfs

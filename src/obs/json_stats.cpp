@@ -1,0 +1,134 @@
+#include "obs/json_stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cfs::obs {
+
+void JsonWriter::separator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!have_item_.empty()) {
+    if (have_item_.back()) os_ << ',';
+    have_item_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  separator();
+  os_ << '{';
+  have_item_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  have_item_.pop_back();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  os_ << '[';
+  have_item_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  have_item_.pop_back();
+  os_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  separator();
+  write_escaped(k);
+  os_ << ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separator();
+  write_escaped(s);
+}
+
+void JsonWriter::value(std::uint64_t n) {
+  separator();
+  os_ << n;
+}
+
+void JsonWriter::value(std::int64_t n) {
+  separator();
+  os_ << n;
+}
+
+void JsonWriter::value(double d) {
+  separator();
+  if (!std::isfinite(d)) {
+    os_ << "null";  // JSON has no NaN/Inf
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", d);
+  os_ << buf;
+}
+
+void JsonWriter::value(bool b) {
+  separator();
+  os_ << (b ? "true" : "false");
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os_ << "\\\""; break;
+      case '\\': os_ << "\\\\"; break;
+      case '\n': os_ << "\\n"; break;
+      case '\r': os_ << "\\r"; break;
+      case '\t': os_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void write_counters(JsonWriter& w, const Counters& c) {
+  w.begin_object();
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto ct = static_cast<Counter>(i);
+    w.field(counter_name(ct), c.get(ct));
+  }
+  w.end_object();
+}
+
+void write_deterministic_counters(JsonWriter& w, const Counters& c) {
+  w.begin_object();
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const auto ct = static_cast<Counter>(i);
+    if (counter_shard_invariant(ct)) w.field(counter_name(ct), c.get(ct));
+  }
+  w.end_object();
+}
+
+void write_timers(JsonWriter& w, const PhaseTimers& t, bool all_phases) {
+  w.begin_object();
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    const auto p = static_cast<Phase>(i);
+    if (!all_phases && t.count(p) == 0) continue;
+    w.key(phase_name(p));
+    w.begin_object();
+    w.field("seconds", t.seconds(p));
+    w.field("calls", t.count(p));
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace cfs::obs

@@ -1,0 +1,70 @@
+// JSON stats export: the machine-readable face of the telemetry subsystem.
+//
+// `JsonWriter` is a small streaming JSON serializer (objects, arrays,
+// strings with escaping, integers, doubles, bools) -- enough for the stats
+// documents, the Chrome trace, and the bench `--json` mode, with no
+// third-party dependency.  `write_counters` / `write_timers` serialize the
+// obs blocks under stable snake_case keys so tools/stats_schema.json can
+// pin the format.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/timers.h"
+
+namespace cfs::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(const std::string& s) { value(std::string_view(s)); }
+  void value(std::uint64_t n);
+  void value(std::int64_t n);
+  void value(unsigned n) { value(static_cast<std::uint64_t>(n)); }
+  void value(int n) { value(static_cast<std::int64_t>(n)); }
+  void value(double d);
+  void value(bool b);
+
+  /// Convenience: key + scalar value.
+  template <typename T>
+  void field(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  void separator();
+  void write_escaped(std::string_view s);
+
+  std::ostream& os_;
+  // One frame per open container: whether a value/key has been emitted.
+  std::vector<bool> have_item_;
+  bool after_key_ = false;
+};
+
+/// {"elements_traversed": n, ...} -- every counter, registry order.
+void write_counters(JsonWriter& w, const Counters& c);
+
+/// Only the counters whose shard sums are deterministic (the subset the
+/// stats document guarantees bit-identical across --threads).
+void write_deterministic_counters(JsonWriter& w, const Counters& c);
+
+/// {"good_eval": {"seconds": s, "calls": n}, ...} -- phases with activity;
+/// `all_phases` forces every phase (schema-stable totals block).
+void write_timers(JsonWriter& w, const PhaseTimers& t,
+                  bool all_phases = false);
+
+}  // namespace cfs::obs

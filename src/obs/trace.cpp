@@ -1,0 +1,93 @@
+#include "obs/trace.h"
+
+#include <fstream>
+
+#include "obs/json_stats.h"
+#include "util/error.h"
+
+namespace cfs::obs {
+
+TraceEmitter::TraceEmitter() : t0_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceEmitter::now_us() const {
+  const auto d = std::chrono::steady_clock::now() - t0_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+void TraceEmitter::name_track(std::uint32_t tid, const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(Event{'M', tid, 0, 0, name});
+}
+
+void TraceEmitter::complete(std::uint32_t tid, const std::string& name,
+                            std::uint64_t ts_us, std::uint64_t dur_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(Event{'X', tid, ts_us, dur_us, name});
+}
+
+void TraceEmitter::instant(std::uint32_t tid, const std::string& name,
+                           std::uint64_t ts_us) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(Event{'i', tid, ts_us, 0, name});
+}
+
+std::size_t TraceEmitter::num_events() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return events_.size();
+}
+
+void TraceEmitter::write(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const Event& e : events_) {
+    w.begin_object();
+    w.key("pid");
+    w.value(std::uint64_t{1});
+    w.key("tid");
+    w.value(static_cast<std::uint64_t>(e.tid));
+    if (e.ph == 'M') {
+      w.key("ph");
+      w.value("M");
+      w.key("name");
+      w.value("thread_name");
+      w.key("args");
+      w.begin_object();
+      w.key("name");
+      w.value(e.name);
+      w.end_object();
+    } else {
+      w.key("ph");
+      w.value(std::string(1, e.ph));
+      w.key("name");
+      w.value(e.name);
+      w.key("ts");
+      w.value(e.ts);
+      if (e.ph == 'X') {
+        w.key("dur");
+        w.value(e.dur);
+      } else {
+        w.key("s");  // instant scope: thread
+        w.value("t");
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void TraceEmitter::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw Error("cannot write trace file " + path);
+  write(f);
+  f << '\n';
+  if (!f) throw Error("error writing trace file " + path);
+}
+
+}  // namespace cfs::obs

@@ -1,0 +1,60 @@
+// Chrome trace-event emitter for visual inspection of shard imbalance.
+//
+// Collects duration ("X"), instant ("i"), and thread-name metadata ("M")
+// events and writes the chrome://tracing / Perfetto JSON object format:
+// one pid for the process, one tid (track) per shard plus a driver track.
+// The emitter is thread-safe -- shard workers record concurrently -- and
+// timestamps are microseconds relative to the emitter's construction, so
+// a trace of a run starts at t=0 regardless of host epoch.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cfs::obs {
+
+class TraceEmitter {
+ public:
+  TraceEmitter();
+
+  /// Microseconds elapsed since construction (the trace's time base).
+  std::uint64_t now_us() const;
+
+  /// Name a track: shown by chrome://tracing instead of the raw tid.
+  void name_track(std::uint32_t tid, const std::string& name);
+
+  /// Complete event: `name` ran on track `tid` during [ts_us, ts_us+dur_us].
+  void complete(std::uint32_t tid, const std::string& name,
+                std::uint64_t ts_us, std::uint64_t dur_us);
+
+  /// Instant event (thread-scoped): a point-in-time marker, e.g. one or
+  /// more fault detections.
+  void instant(std::uint32_t tid, const std::string& name,
+               std::uint64_t ts_us);
+
+  std::size_t num_events() const;
+
+  /// Serialize the whole trace as a chrome://tracing JSON object.
+  void write(std::ostream& os) const;
+  /// write() to a file; throws cfs::Error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;  // 'X', 'i', or 'M'
+    std::uint32_t tid;
+    std::uint64_t ts;
+    std::uint64_t dur;
+    std::string name;
+  };
+
+  std::chrono::steady_clock::time_point t0_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace cfs::obs

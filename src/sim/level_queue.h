@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "netlist/circuit.h"
+#include "obs/counters.h"
 
 namespace cfs {
 
@@ -26,7 +27,11 @@ class LevelQueue {
 
   /// Schedule a combinational gate for (re)evaluation.  Idempotent.
   void schedule(GateId g) {
-    if (scheduled_[g]) return;
+    if (scheduled_[g]) {
+      CFS_COUNT(counters_, EventsCoalesced);
+      return;
+    }
+    CFS_COUNT(counters_, EventsScheduled);
     scheduled_[g] = 1;
     buckets_[levels_[g]].push_back(g);
     ++pending_;
@@ -55,6 +60,10 @@ class LevelQueue {
   /// Total gates processed over the queue's lifetime (an activity metric).
   std::uint64_t processed() const { return processed_; }
 
+  /// Scheduling telemetry (EventsScheduled / EventsCoalesced; zero when
+  /// built with CFS_OBS=OFF).
+  const obs::Counters& counters() const { return counters_; }
+
   std::size_t bytes() const {
     std::size_t b = levels_.capacity() * sizeof(std::uint32_t) +
                     scheduled_.capacity();
@@ -68,6 +77,7 @@ class LevelQueue {
   std::vector<std::vector<GateId>> buckets_;
   std::size_t pending_ = 0;
   std::uint64_t processed_ = 0;
+  obs::Counters counters_;
 };
 
 }  // namespace cfs

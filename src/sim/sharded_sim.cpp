@@ -54,7 +54,16 @@ std::size_t ShardedSim::apply_vector(std::span<const Val> pi_vals) {
   std::vector<std::size_t> newly(k, 0);
   pool_.parallel_for(k, [&](std::size_t s) {
     shard_obs_[s].clear();
+    const std::uint64_t t0 = trace_ ? trace_->now_us() : 0;
     newly[s] = engines_[s]->apply_vector(pi_vals);
+    if (trace_) {
+      const std::uint64_t t1 = trace_->now_us();
+      const auto tid = static_cast<std::uint32_t>(s);
+      trace_->complete(tid, "vector", t0, t1 - t0);
+      if (newly[s] > 0) {
+        trace_->instant(tid, "detect x" + std::to_string(newly[s]), t1);
+      }
+    }
   });
   merged_dirty_ = true;
   if (observer_) replay_observations();
@@ -77,9 +86,24 @@ void ShardedSim::run(const TestSuite& t, Val ff_init) {
   // fork-join for the entire run.
   pool_.parallel_for(engines_.size(), [&](std::size_t s) {
     ConcurrentSim& sim = *engines_[s];
+    const auto tid = static_cast<std::uint32_t>(s);
+    std::size_t seq_no = 0;
     for (const PatternSet& seq : t.sequences()) {
+      const std::uint64_t t0 = trace_ ? trace_->now_us() : 0;
+      std::size_t newly = 0;
       sim.reset(ff_init);
-      for (std::size_t i = 0; i < seq.size(); ++i) sim.apply_vector(seq[i]);
+      for (std::size_t i = 0; i < seq.size(); ++i) {
+        newly += sim.apply_vector(seq[i]);
+      }
+      if (trace_) {
+        const std::uint64_t t1 = trace_->now_us();
+        trace_->complete(tid, "sequence " + std::to_string(seq_no), t0,
+                         t1 - t0);
+        if (newly > 0) {
+          trace_->instant(tid, "detect x" + std::to_string(newly), t1);
+        }
+      }
+      ++seq_no;
     }
   });
   merged_dirty_ = true;
@@ -87,6 +111,8 @@ void ShardedSim::run(const TestSuite& t, Val ff_init) {
 
 const std::vector<Detect>& ShardedSim::status() const {
   if (merged_dirty_) {
+    obs::ScopedPhase sp(driver_timers_, obs::Phase::ShardMerge);
+    const std::uint64_t t0 = trace_ ? trace_->now_us() : 0;
     if (engines_.size() == 1) {
       merged_ = engines_[0]->status();
     } else {
@@ -96,8 +122,22 @@ const std::vector<Detect>& ShardedSim::status() const {
       merged_ = part_.merge(per);
     }
     merged_dirty_ = false;
+    if (trace_) {
+      trace_->complete(driver_tid(), "merge", t0, trace_->now_us() - t0);
+    }
   }
   return merged_;
+}
+
+void ShardedSim::set_trace(obs::TraceEmitter* trace) {
+  trace_ = trace;
+  if (trace_ != nullptr) {
+    for (std::size_t s = 0; s < engines_.size(); ++s) {
+      trace_->name_track(static_cast<std::uint32_t>(s),
+                         "shard " + std::to_string(s));
+    }
+    trace_->name_track(driver_tid(), "driver");
+  }
 }
 
 void ShardedSim::set_detection_observer(ConcurrentSim::DetectionObserver obs) {
@@ -116,6 +156,7 @@ void ShardedSim::set_detection_observer(ConcurrentSim::DetectionObserver obs) {
 }
 
 void ShardedSim::replay_observations() {
+  obs::ScopedPhase sp(driver_timers_, obs::Phase::ShardMerge);
   // Each shard records in (po asc, fault asc) order; the sorted union is
   // exactly the sequence one engine over the whole universe produces.
   std::vector<Observation> all;
@@ -134,18 +175,20 @@ SimStats ShardedSim::stats() const {
   SimStats st;
   st.model_bytes = model_->bytes();
   st.circuit_bytes = model_->circuit().bytes();
+  st.driver = driver_timers_;
   st.per_engine.reserve(engines_.size());
   for (const auto& e : engines_) {
     EngineStats es;
     es.gates_processed = e->gates_processed();
     es.elements_evaluated = e->elements_evaluated();
+    es.vectors_simulated = e->vectors_simulated();
+    es.faults_dropped = e->faults_dropped();
     es.peak_elements = e->peak_elements();
     es.state_bytes = e->state_bytes();
-    st.total.gates_processed += es.gates_processed;
-    st.total.elements_evaluated += es.elements_evaluated;
-    st.total.peak_elements += es.peak_elements;
-    st.total.state_bytes += es.state_bytes;
-    st.per_engine.push_back(es);
+    es.counters = e->counters();
+    es.timers = e->timers();
+    st.total.accumulate(es);
+    st.per_engine.push_back(std::move(es));
   }
   return st;
 }

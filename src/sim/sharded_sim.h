@@ -22,6 +22,9 @@
 #include "core/concurrent_sim.h"
 #include "core/sim_model.h"
 #include "faults/partition.h"
+#include "obs/counters.h"
+#include "obs/timers.h"
+#include "obs/trace.h"
 #include "patterns/pattern.h"
 #include "util/memtrack.h"
 #include "util/thread_pool.h"
@@ -41,8 +44,24 @@ struct ShardedOptions {
 struct EngineStats {
   std::uint64_t gates_processed = 0;
   std::uint64_t elements_evaluated = 0;
+  std::uint64_t vectors_simulated = 0;
+  std::uint64_t faults_dropped = 0;
   std::size_t peak_elements = 0;
   std::size_t state_bytes = 0;
+  obs::Counters counters;    ///< telemetry registry (obs/counters.h)
+  obs::PhaseTimers timers;   ///< per-phase wall time (obs/timers.h)
+
+  /// Field-wise accumulation (counters and timers merge element-wise).
+  void accumulate(const EngineStats& o) {
+    gates_processed += o.gates_processed;
+    elements_evaluated += o.elements_evaluated;
+    vectors_simulated += o.vectors_simulated;
+    faults_dropped += o.faults_dropped;
+    peak_elements += o.peak_elements;
+    state_bytes += o.state_bytes;
+    counters.merge(o.counters);
+    timers.merge(o.timers);
+  }
 };
 
 /// Unified statistics over a sharded run: per-engine numbers plus their
@@ -50,6 +69,9 @@ struct EngineStats {
 struct SimStats {
   std::vector<EngineStats> per_engine;
   EngineStats total;  ///< field-wise sum over per_engine
+  /// Driver-side phases (shard merge, observation replay) -- work outside
+  /// any single engine, so kept out of `total`.
+  obs::PhaseTimers driver;
   std::size_t model_bytes = 0;
   std::size_t circuit_bytes = 0;
 };
@@ -100,6 +122,14 @@ class ShardedSim {
 
   void set_detection_observer(ConcurrentSim::DetectionObserver obs);
 
+  // -- telemetry -----------------------------------------------------------
+  /// Attach a Chrome-trace emitter (obs/trace.h): one track per shard
+  /// records a slice per vector (lockstep) or per sequence (coarse run),
+  /// with instant markers on fault detections; a driver track records the
+  /// merge.  Pass nullptr to detach.  The emitter must outlive the runs it
+  /// observes.
+  void set_trace(obs::TraceEmitter* trace);
+
   // -- statistics ----------------------------------------------------------
   SimStats stats() const;
   /// Total footprint: every shard's run state plus the shared model once.
@@ -110,6 +140,10 @@ class ShardedSim {
 
  private:
   void replay_observations();
+  /// tid of the driver track (one past the shard tracks).
+  std::uint32_t driver_tid() const {
+    return static_cast<std::uint32_t>(engines_.size());
+  }
 
   std::shared_ptr<const SimModel> model_;
   ShardedOptions opt_;
@@ -124,6 +158,10 @@ class ShardedSim {
     bool hard;
   };
   std::vector<std::vector<Observation>> shard_obs_;  // per shard, per vector
+
+  obs::TraceEmitter* trace_ = nullptr;
+  // Merge/replay happen in const accessors; the timers still record them.
+  mutable obs::PhaseTimers driver_timers_;
 
   mutable std::vector<Detect> merged_;
   mutable bool merged_dirty_ = true;

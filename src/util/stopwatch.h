@@ -16,6 +16,16 @@ class Stopwatch {
     return std::chrono::duration<double>(clock::now() - start_).count();
   }
 
+  /// Seconds elapsed since construction or the last restart()/lap(), then
+  /// restart -- one clock read per interval when timing back-to-back
+  /// segments.
+  double lap() {
+    const clock::time_point now = clock::now();
+    const double s = std::chrono::duration<double>(now - start_).count();
+    start_ = now;
+    return s;
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;

@@ -24,7 +24,9 @@
 #include "faults/sampling.h"
 #include "gen/iscas_profiles.h"
 #include "harness/runner.h"
+#include "harness/stats_export.h"
 #include "harness/table.h"
+#include "obs/trace.h"
 #include "netlist/bench_parser.h"
 #include "netlist/bench_writer.h"
 #include "netlist/macro_extract.h"
@@ -176,17 +178,27 @@ void print_shard_stats(const RunResult& r) {
   for (std::size_t s = 0; s < r.stats.per_engine.size(); ++s) {
     const EngineStats& e = r.stats.per_engine[s];
     std::printf("  shard %-2zu  %10llu gates  %12llu elements  "
-                "%8zu peak  %s\n",
+                "%8llu vec  %8llu drop  %8zu peak  %s\n",
                 s, static_cast<unsigned long long>(e.gates_processed),
                 static_cast<unsigned long long>(e.elements_evaluated),
+                static_cast<unsigned long long>(e.vectors_simulated),
+                static_cast<unsigned long long>(e.faults_dropped),
                 e.peak_elements, format_bytes(e.state_bytes).c_str());
   }
+  const EngineStats& tot = r.stats.total;
+  std::printf("  total     %10llu gates  %12llu elements  "
+              "%8llu vec  %8llu drop  %8zu peak  %s\n",
+              static_cast<unsigned long long>(tot.gates_processed),
+              static_cast<unsigned long long>(tot.elements_evaluated),
+              static_cast<unsigned long long>(tot.vectors_simulated),
+              static_cast<unsigned long long>(tot.faults_dropped),
+              tot.peak_elements, format_bytes(tot.state_bytes).c_str());
 }
 
 int cmd_sim(const Args& args) {
   args.allow_only(
       {"engine", "tests", "random", "seed", "reset0", "transition",
-       "verbose", "sample", "collapse", "threads"});
+       "verbose", "sample", "collapse", "threads", "trace", "stats-json"});
   const Circuit c = load_circuit(args.positional().at(0));
   const std::string engine = args.get("engine", "csim-mv");
   const Val ff_init = args.has("reset0") ? Val::Zero : Val::X;
@@ -216,25 +228,35 @@ int cmd_sim(const Args& args) {
     throw Error("--threads supports the csim engines only");
   }
 
+  // --trace routes through the sharded driver (one track per shard); with
+  // --threads=1 that driver *is* the plain engine, so tracing is available
+  // for every csim run.
+  const std::string trace_path = args.get("trace");
+  if (!trace_path.empty() && !csim_engine) {
+    throw Error("--trace supports the csim engines only");
+  }
+  obs::TraceEmitter trace;
+  obs::TraceEmitter* tr = trace_path.empty() ? nullptr : &trace;
+  const bool sharded = threads > 1 || tr != nullptr;
+
   RunResult r;
   if (args.has("transition")) {
     if (engine != "csim-mv" && engine != "csim-v" && engine != "csim") {
       throw Error("--transition requires a csim engine");
     }
     const FaultUniverse u = FaultUniverse::all_transition(c);
-    r = threads > 1 ? run_csim_transition_sharded(c, u, tests, threads,
-                                                  ff_init, engine != "csim")
-                    : run_csim_transition(c, u, tests, ff_init,
-                                          engine != "csim");
+    r = sharded ? run_csim_transition_sharded(c, u, tests, threads, ff_init,
+                                              engine != "csim", tr)
+                : run_csim_transition(c, u, tests, ff_init,
+                                      engine != "csim");
   } else if (args.has("sample")) {
     const FaultUniverse full = FaultUniverse::all_stuck_at(c);
     const SubUniverse sub = restrict_universe(
         full, sample_faults(full, args.get_u64("sample", 1000),
                             args.get_u64("seed", 1) + 1));
-    r = threads > 1 ? run_csim_sharded(c, sub.universe, tests,
-                                       CsimVariant::V, threads, ff_init)
-                    : run_csim(c, sub.universe, tests, CsimVariant::V,
-                               ff_init);
+    r = sharded ? run_csim_sharded(c, sub.universe, tests, CsimVariant::V,
+                                   threads, ff_init, true, tr)
+                : run_csim(c, sub.universe, tests, CsimVariant::V, ff_init);
     r.sim_name += " (sampled " + std::to_string(sub.universe.size()) + "/" +
                   std::to_string(full.size()) + ")";
   } else if (args.has("collapse")) {
@@ -245,6 +267,7 @@ int cmd_sim(const Args& args) {
     ShardedOptions sopt;
     sopt.num_threads = threads;
     ShardedSim sim(c, reps.universe, sopt);
+    if (tr != nullptr) sim.set_trace(tr);
     sim.run(tests, ff_init);
     r.cpu_s = sw.seconds();
     r.threads = sim.num_shards();
@@ -257,8 +280,9 @@ int cmd_sim(const Args& args) {
   } else {
     const FaultUniverse u = FaultUniverse::all_stuck_at(c);
     const auto run_variant = [&](CsimVariant v) {
-      return threads > 1 ? run_csim_sharded(c, u, tests, v, threads, ff_init)
-                         : run_csim(c, u, tests, v, ff_init);
+      return sharded ? run_csim_sharded(c, u, tests, v, threads, ff_init,
+                                        true, tr)
+                     : run_csim(c, u, tests, v, ff_init);
     };
     if (engine == "csim-mv") {
       r = run_variant(CsimVariant::MV);
@@ -307,6 +331,25 @@ int cmd_sim(const Args& args) {
                 static_cast<unsigned long long>(r.activity));
     if (!r.stats.per_engine.empty()) print_shard_stats(r);
   }
+  if (tr != nullptr) {
+    trace.save(trace_path);
+    std::printf("trace     %s (%zu events, chrome://tracing)\n",
+                trace_path.c_str(), trace.num_events());
+  }
+  const std::string stats_path = args.get("stats-json");
+  if (!stats_path.empty()) {
+    RunMetadata meta;
+    meta.circuit = c.name();
+    meta.engine = engine;
+    meta.mode = args.has("transition") ? "transition" : "stuck-at";
+    meta.threads = threads;
+    meta.seed = args.get_u64("seed", 1);
+    meta.vectors = tests.total_vectors();
+    meta.sequences = tests.num_sequences();
+    meta.ff_init = ff_init == Val::Zero ? "0" : "X";
+    save_run_stats_json(stats_path, meta, r);
+    std::printf("stats     %s\n", stats_path.c_str());
+  }
   return 0;
 }
 
@@ -322,7 +365,7 @@ int usage() {
       "  compact  <circuit> --tests=F [--out=F2] [--reset0]\n"
       "  sim      <circuit> [--engine=E] [--tests=F|--random=N] [--seed=N]\n"
       "           [--reset0] [--transition] [--verbose] [--threads=N]\n"
-      "           [--sample=N | --collapse]\n"
+      "           [--sample=N | --collapse] [--trace=F] [--stats-json=F]\n"
       "engines: csim-mv csim-v csim-m csim proofs serial deductive\n"
       "<circuit>: a .bench path, or a built-in profile benchmark name\n",
       stderr);
