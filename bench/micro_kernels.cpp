@@ -4,6 +4,9 @@
 // engine, and the timing wheel.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/concurrent_sim.h"
 #include "faults/fault.h"
 #include "gen/circuit_gen.h"
@@ -83,6 +86,30 @@ void BM_ConcurrentVector(benchmark::State& state) {
 }
 BENCHMARK(BM_ConcurrentVector)->Arg(0)->Arg(1);
 
+// Many short sequences with a reset between each, the pattern where pool
+// compaction (arg = 1) earns its keep: each reset re-dispenses the arena
+// from index 0, so the rebuilt lists are laid out contiguously in
+// traversal order instead of inheriting the previous sequence's scrambled
+// free list.  Compare against arg = 0 (same work, free-list order).
+void BM_ConcurrentResequence(benchmark::State& state) {
+  const Circuit c = medium_circuit();
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  CsimOptions opt;
+  opt.split_lists = true;
+  opt.drop_detected = false;
+  opt.compact_pool = state.range(0) != 0;
+  ConcurrentSim sim(c, u, opt);
+  const PatternSet p = PatternSet::random(c.inputs().size(), 32, 3);
+  std::int64_t vectors = 0;
+  for (auto _ : state) {
+    sim.reset(Val::Zero);
+    for (std::size_t i = 0; i < p.size(); ++i) sim.apply_vector(p[i]);
+    vectors += static_cast<std::int64_t>(p.size());
+  }
+  state.SetItemsProcessed(vectors);
+}
+BENCHMARK(BM_ConcurrentResequence)->Arg(0)->Arg(1);
+
 void BM_DelaySimWave(benchmark::State& state) {
   GenProfile gp;
   gp.name = "bench_comb";
@@ -106,4 +133,25 @@ BENCHMARK(BM_DelaySimWave);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Same --json=FILE convention as the table benches (run_benches.sh), spelled
+// via google-benchmark's reporter flags.  Everything else passes through.
+int main(int argc, char** argv) {
+  static std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + a.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(a);
+    }
+  }
+  std::vector<char*> cargv;
+  for (std::string& a : args) cargv.push_back(a.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,4 +15,5 @@ for b in table2_circuits table3_deterministic table4_deterministic2 \
   esac
   ./build/bench/$b $extra | tee results/$b.txt
 done
-./build/bench/micro_kernels --benchmark_min_time=0.2 | tee results/micro_kernels.txt
+./build/bench/micro_kernels --benchmark_min_time=0.2 \
+  --json=results/micro_kernels.json | tee results/micro_kernels.txt

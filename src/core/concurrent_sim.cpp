@@ -29,6 +29,7 @@ ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
 
   status_.assign(nf, Detect::None);
   excluded_.assign(nf, 0);
+  std::size_t owned = nf;
   if (part != nullptr) {
     if (part->num_faults() != nf) {
       throw Error("FaultPartition does not match the fault universe");
@@ -36,8 +37,11 @@ ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
     if (shard_index >= part->num_shards()) {
       throw Error("shard index out of range");
     }
+    owned = 0;
     for (std::uint32_t id = 0; id < nf; ++id) {
-      excluded_[id] = part->shard_of(id) == shard_index ? 0 : 1;
+      const bool mine = part->shard_of(id) == shard_index;
+      excluded_[id] = mine ? 0 : 1;
+      owned += mine;
     }
   }
 
@@ -46,6 +50,10 @@ ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
   good_state_.resize(n);
   head_vis_.assign(n, 0);
   head_inv_.assign(n, 0);
+  // Pre-size the element arena from this engine's fault universe (the
+  // shard's, under a partition) so the early vectors never grow it.
+  pool_.reserve(opt_.reserve_elements != 0 ? opt_.reserve_elements
+                                           : owned + 1);
   // Pool slot 0 is the shared terminal element ("a fault identifier which
   // lies in high end memory location to avoid checking end of list").
   const std::uint32_t s = pool_.alloc();
@@ -121,7 +129,6 @@ void ConcurrentSim::free_list(std::uint32_t& head) {
 
 std::uint32_t ConcurrentSim::build_list(
     const std::vector<std::pair<std::uint32_t, GateState>>& items) {
-  // Track indices, not pointers: alloc() may reallocate the pool storage.
   std::uint32_t head = 0;  // sentinel
   std::uint32_t prev = kNullIndex;
   for (const auto& [id, st] : items) {
@@ -136,6 +143,136 @@ std::uint32_t ConcurrentSim::build_list(
     prev = e;
   }
   return head;
+}
+
+// The differential list update at the heart of the in-place merge: make the
+// list at `head` hold exactly `items` (sorted by ascending fault id, never
+// containing dropped faults) by reusing every surviving element in place,
+// splicing insertions and removals through one forward cursor, and leaving
+// the list completely untouched when the produced sequence equals the
+// stored one.  Unlinked elements are parked in `salvage_` rather than freed
+// immediately; an insert later in the same update scope resplices one
+// (patching id and state) instead of taking a pool round trip.  The caller
+// owns the scope: merge_gate flushes after both the visible and invisible
+// applies of a gate -- so a migration between the two halves of the gate's
+// list is a move, not a free+alloc -- and the other call sites flush after
+// their single apply.  Pool traffic is therefore proportional to the *net*
+// churn between the two sequences, not to their length or even their gross
+// churn.  Returns true when the visible (id, output) sequence -- as
+// selected by `track` -- changed.
+bool ConcurrentSim::apply_list_inplace(
+    std::uint32_t& head,
+    std::span<const std::pair<std::uint32_t, GateState>> items,
+    ChangeTrack track, Val old_good_out, Val new_good_out) {
+  bool changed = false;
+  bool touched = false;
+  std::uint32_t prev = kNullIndex;
+  std::uint32_t cur = head;
+  // Free the element `cur` (advancing past it), recording whether its
+  // disappearance removes an entry from the old visible sequence.
+  const auto unlink_free = [&](std::uint32_t nxt) {
+    if (dropped(pool_[cur].fault_id)) {
+      // Lazy event-driven dropping: the fault was never in the visible
+      // sequence the change test compares (snapshots skip dropped ids).
+      CFS_COUNT(counters_, DropUnlinksLazy);
+    } else if (track == ChangeTrack::All ||
+               (track == ChangeTrack::VisibleOnly &&
+                state_out(pool_[cur].state) != old_good_out)) {
+      changed = true;
+    }
+    if (prev == kNullIndex) {
+      head = nxt;
+    } else {
+      pool_[prev].next = nxt;
+    }
+    salvage_.push_back(cur);
+    touched = true;
+    cur = nxt;
+  };
+  for (const auto& [id, st] : items) {
+    while (pool_[cur].fault_id < id) unlink_free(pool_[cur].next);
+    if (pool_[cur].fault_id == id) {
+      // The fault survived: patch its state in place, no pool traffic.
+      CFS_COUNT(counters_, ElementsReused);
+      CFS_COUNT(counters_, ElementsTraversed);
+      if (track != ChangeTrack::None) {
+        const Val old_out = state_out(pool_[cur].state);
+        const Val new_out = state_out(st);
+        if (track == ChangeTrack::All) {
+          changed |= old_out != new_out;
+        } else {
+          const bool old_vis = old_out != old_good_out;
+          const bool new_vis = new_out != new_good_out;
+          if (old_vis != new_vis || (old_vis && old_out != new_out)) {
+            changed = true;
+          }
+        }
+      }
+      if (pool_[cur].state != st) {
+        pool_[cur].state = st;
+        touched = true;
+      }
+      prev = cur;
+      cur = pool_[cur].next;
+    } else {
+      // New divergence: record the insert against the kept predecessor;
+      // the splice itself waits for salvage_flush() so any removal in this
+      // scope can donate its element.
+      pending_.push_back(PendingInsert{&head, prev, id, st});
+      touched = true;
+      if (track == ChangeTrack::All ||
+          (track == ChangeTrack::VisibleOnly &&
+           state_out(st) != new_good_out)) {
+        changed = true;
+      }
+    }
+  }
+  while (pool_[cur].fault_id != kSentinelId) unlink_free(pool_[cur].next);
+  CFS_COUNT(counters_, SentinelHits);
+  if (!touched) CFS_COUNT(counters_, ListsUnchanged);
+  return changed;
+}
+
+// End of an in-place update scope: splice the pending inserts, drawing
+// elements from the scope's own removals first, then return the leftovers
+// to the pool.  Only a removal nothing resliced counts as ElementsFreed and
+// only an insert no removal could donate to counts as ElementsAllocated --
+// a salvaged-and-respliced element never touches the pool at all.
+void ConcurrentSim::salvage_flush() {
+  // Consecutive inserts behind the same anchor chain off one another so
+  // they land in recorded (ascending-id) order.
+  const std::uint32_t* prev_head = nullptr;
+  std::uint32_t prev_anchor = kNullIndex;
+  std::uint32_t chain = kNullIndex;
+  for (const PendingInsert& p : pending_) {
+    const std::uint32_t after =
+        p.head == prev_head && p.anchor == prev_anchor ? chain : p.anchor;
+    std::uint32_t e;
+    if (!salvage_.empty()) {
+      CFS_COUNT(counters_, ElementsRecycled);
+      e = salvage_.back();
+      salvage_.pop_back();
+    } else {
+      CFS_COUNT(counters_, ElementsAllocated);
+      e = pool_.alloc();
+    }
+    if (after == kNullIndex) {
+      pool_[e] = Element{p.id, *p.head, p.state};
+      *p.head = e;
+    } else {
+      pool_[e] = Element{p.id, pool_[after].next, p.state};
+      pool_[after].next = e;
+    }
+    prev_head = p.head;
+    prev_anchor = p.anchor;
+    chain = e;
+  }
+  pending_.clear();
+  for (const std::uint32_t e : salvage_) {
+    CFS_COUNT(counters_, ElementsFreed);
+    pool_.free(e);
+  }
+  salvage_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -198,20 +335,6 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
   const Val old_good_out = state_out(good);
   const auto fanins = c_->fanins(g);
 
-  // Snapshot the old *visible* sequence (ids + outputs) for the change test.
-  scratch_old_.clear();
-  {
-    Cursor cu;
-    cursor_init(cu, &head_vis_[g]);
-    while (cu.id != kSentinelId) {
-      const Val out = state_out(pool_[cu.cur].state);
-      if (opt_.split_lists || out != old_good_out) {
-        scratch_old_.emplace_back(cu.id, out);
-      }
-      cursor_advance(cu);
-    }
-  }
-
   // Fanin cursors (visible lists in split mode; in combined mode invisible
   // elements carry out == good, so reading them is harmless).
   Cursor fc[kMaxPins];
@@ -257,9 +380,46 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
     }
   }
 
-  // Change test: did the visible (id, out) sequence change?
-  bool changed = false;
-  {
+#if CFS_OBS_ENABLED
+  if (opt_.split_lists) {
+    // Visible -> invisible: a new invisible element whose id is still
+    // linked on the old visible list; invisible -> visible symmetrically.
+    // Both lists are intact until the apply below; ids ascend and the
+    // sentinel's maximal id bounds each walk.  (Dropped elements may still
+    // be linked, but a produced id is never dropped, so they cannot match.)
+    std::uint32_t cur = head_vis_[g];
+    for (const auto& [id, st] : scratch_inv_) {
+      while (pool_[cur].fault_id < id) cur = pool_[cur].next;
+      if (pool_[cur].fault_id == id) {
+        CFS_COUNT(counters_, VisToInvMigrations);
+      }
+    }
+    cur = head_inv_[g];
+    for (const auto& [id, st] : scratch_vis_) {
+      while (pool_[cur].fault_id < id) cur = pool_[cur].next;
+      if (pool_[cur].fault_id == id) {
+        CFS_COUNT(counters_, InvToVisMigrations);
+      }
+    }
+  }
+#endif
+
+  if (opt_.rebuild_lists) {
+    // Naive reference: snapshot the old visible sequence, compare, then
+    // tear the lists down and rebuild them from scratch.
+    scratch_old_.clear();
+    {
+      Cursor cu;
+      cursor_init(cu, &head_vis_[g]);
+      while (cu.id != kSentinelId) {
+        const Val out = state_out(pool_[cu.cur].state);
+        if (opt_.split_lists || out != old_good_out) {
+          scratch_old_.emplace_back(cu.id, out);
+        }
+        cursor_advance(cu);
+      }
+    }
+    bool changed = false;
     std::size_t oi = 0;
     for (const auto& [id, st] : scratch_vis_) {
       const Val out = state_out(st);
@@ -281,36 +441,27 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
       }
       changed = produced != scratch_old_.size();
     }
+    free_list(head_vis_[g]);
+    head_vis_[g] = build_list(scratch_vis_);
+    if (opt_.split_lists) {
+      free_list(head_inv_[g]);
+      head_inv_[g] = build_list(scratch_inv_);
+    }
+    return changed;
   }
 
-#if CFS_OBS_ENABLED
+  // In-place differential apply: elements for surviving faults are patched
+  // where they sit, insertions and removals splice through the cursor, and
+  // an unchanged list is left untouched -- no teardown, no rebuild.
+  const bool changed = apply_list_inplace(
+      head_vis_[g], scratch_vis_,
+      opt_.split_lists ? ChangeTrack::All : ChangeTrack::VisibleOnly,
+      old_good_out, new_good_out);
   if (opt_.split_lists) {
-    // Visible -> invisible: a new invisible element whose id was on the old
-    // visible sequence (scratch_old_ holds every old visible id in split
-    // mode, sorted).  Invisible -> visible: a new visible element whose id
-    // is still linked on the old invisible list (intact until the rebuild
-    // below; ids ascend, the sentinel's maximal id bounds the walk).
-    std::size_t oi = 0;
-    for (const auto& [id, st] : scratch_inv_) {
-      while (oi < scratch_old_.size() && scratch_old_[oi].first < id) ++oi;
-      if (oi < scratch_old_.size() && scratch_old_[oi].first == id) {
-        CFS_COUNT(counters_, VisToInvMigrations);
-      }
-    }
-    std::uint32_t cur = head_inv_[g];
-    for (const auto& [id, st] : scratch_vis_) {
-      while (pool_[cur].fault_id < id) cur = pool_[cur].next;
-      if (pool_[cur].fault_id == id) {
-        CFS_COUNT(counters_, InvToVisMigrations);
-      }
-    }
+    apply_list_inplace(head_inv_[g], scratch_inv_, ChangeTrack::None,
+                       old_good_out, new_good_out);
   }
-#endif
-
-  free_list(head_vis_[g]);
-  free_list(head_inv_[g]);
-  head_vis_[g] = build_list(scratch_vis_);
-  if (opt_.split_lists) head_inv_[g] = build_list(scratch_inv_);
+  salvage_flush();
   return changed;
 }
 
@@ -354,15 +505,37 @@ void ConcurrentSim::refresh_source_site(GateId g) {
     if (d.forced == good) continue;  // not activated: no element
     scratch_vis_.emplace_back(id, state_set_out(GateState{0}, d.forced));
   }
-  free_list(head_vis_[g]);
-  head_vis_[g] = build_list(scratch_vis_);
+  if (opt_.rebuild_lists) {
+    free_list(head_vis_[g]);
+    head_vis_[g] = build_list(scratch_vis_);
+  } else {
+    apply_list_inplace(head_vis_[g], scratch_vis_, ChangeTrack::None,
+                       Val::X, Val::X);
+    salvage_flush();
+  }
 }
 
 void ConcurrentSim::reset(Val ff_init, bool clear_status) {
   if (clear_status) status_.assign(model_->num_faults(), Detect::None);
-  for (GateId g = 0; g < c_->num_gates(); ++g) {
-    free_list(head_vis_[g]);
-    free_list(head_inv_[g]);
+  // Every update scope flushes, but belt and braces before the pool is
+  // reshaped underneath parked indices / recorded anchors.
+  pending_.clear();
+  salvage_.clear();
+  if (opt_.compact_pool) {
+    // Compaction: forget the scrambled free list wholesale and re-dispense
+    // slots from index 0.  The rebuild below then lays every list out
+    // contiguously in build order, restoring traversal locality lost to
+    // churn in the previous sequence.
+    pool_.reset();
+    const std::uint32_t s = pool_.alloc();  // sentinel regains slot 0
+    pool_[s] = Element{kSentinelId, s, 0};
+    std::fill(head_vis_.begin(), head_vis_.end(), 0u);
+    std::fill(head_inv_.begin(), head_inv_.end(), 0u);
+  } else {
+    for (GateId g = 0; g < c_->num_gates(); ++g) {
+      free_list(head_vis_[g]);
+      if (opt_.split_lists) free_list(head_inv_[g]);
+    }
   }
   // Good machine: PIs X, flip-flops ff_init, full consistent sweep.
   {
@@ -530,9 +703,9 @@ void ConcurrentSim::commit_masters() {
     const GateId q = dffs[i];
     const Val old_good_q = state_out(good_state_[q]);
 
-    // Change test against the old visible Q list.
     bool changed = false;
-    {
+    if (opt_.rebuild_lists) {
+      // Naive reference: change test against a snapshot, then rebuild.
       scratch_old_.clear();
       Cursor cu;
       cursor_init(cu, &head_vis_[q]);
@@ -552,10 +725,14 @@ void ConcurrentSim::commit_masters() {
           }
         }
       }
+      free_list(head_vis_[q]);
+      head_vis_[q] = build_list(latch_lists_[i]);
+    } else {
+      // In-place apply; every Q-list element counts toward the change test.
+      changed = apply_list_inplace(head_vis_[q], latch_lists_[i],
+                                   ChangeTrack::All, old_good_q, old_good_q);
+      salvage_flush();
     }
-
-    free_list(head_vis_[q]);
-    head_vis_[q] = build_list(latch_lists_[i]);
     if (latch_good_[i] != old_good_q) {
       commit_good(q, latch_good_[i]);
     } else if (changed) {

@@ -17,7 +17,12 @@
 //
 // Improvements (paper §2.2): event-driven fault dropping, visible/invisible
 // list splitting, and macro mode (functional faults via per-descriptor
-// tables).  §3's transition-fault model is implemented by the same engine in
+// tables).  Destination lists are updated *in place* by a differential
+// apply (DESIGN.md §9): surviving fault ids keep their pool element and
+// only the packed state is patched, insertions/removals splice through a
+// cursor, and a merge whose produced sequence equals the stored one leaves
+// the list untouched -- so pool traffic scales with list churn, not list
+// length.  §3's transition-fault model is implemented by the same engine in
 // transition mode: two passes per vector -- pass 1 holds delayed transitions
 // at their previous value (Table 1) and is what POs and FF masters sample,
 // pass 2 fires every transition to produce the next frame's "previous"
@@ -198,6 +203,19 @@ class ConcurrentSim {
   void commit_good(GateId g, Val v);
   void free_list(std::uint32_t& head);
   std::uint32_t build_list(const std::vector<std::pair<std::uint32_t, GateState>>& items);
+
+  // Which structural/value differences the in-place apply reports as a
+  // change of the *visible* (fault id, output) sequence.
+  enum class ChangeTrack : std::uint8_t {
+    None,         // invisible lists: nothing downstream reads them
+    All,          // split-mode visible lists, DFF Q lists: every element
+    VisibleOnly,  // combined-mode lists: classify by old/new good output
+  };
+  bool apply_list_inplace(
+      std::uint32_t& head,
+      std::span<const std::pair<std::uint32_t, GateState>> items,
+      ChangeTrack track, Val old_good_out, Val new_good_out);
+  void salvage_flush();
   void refresh_source_site(GateId g);
   void latch_flipflops(bool capture_only);
   void commit_masters();
@@ -239,6 +257,22 @@ class ConcurrentSim {
   // Merge scratch (reused across calls).
   std::vector<std::pair<std::uint32_t, GateState>> scratch_vis_, scratch_inv_;
   std::vector<std::pair<std::uint32_t, Val>> scratch_old_;
+  // Elements unlinked by the current update scope, parked for resplicing:
+  // each pending insert reuses one instead of a pool round trip (this is
+  // also what turns a visible<->invisible migration into a move).  Inserts
+  // are deferred to salvage_flush() so removals *anywhere* in the scope --
+  // either list half, before or after the insertion point -- can donate;
+  // leftovers then go back to the pool.  An insert's anchor (the kept
+  // element it splices after, kNullIndex for the head) is stable because
+  // the apply cursor never unlinks behind itself.
+  struct PendingInsert {
+    std::uint32_t* head;
+    std::uint32_t anchor;
+    std::uint32_t id;
+    GateState state;
+  };
+  std::vector<PendingInsert> pending_;
+  std::vector<std::uint32_t> salvage_;
 
   std::uint64_t elements_evaluated_ = 0;
   std::uint64_t vectors_simulated_ = 0;

@@ -36,6 +36,10 @@ DelayConcurrentSim::DelayConcurrentSim(const Circuit& c,
   for (GateId g = 0; g < c.num_gates(); ++g) {
     good_state_[g] = state_all_x(c.num_fanins(g));
   }
+  // Site elements are permanent, so the universe size is a floor on the
+  // element population: pre-size the arena once instead of growing it
+  // under the event loop.
+  pool_.reserve(u.size() + 1);
   const std::uint32_t s = pool_.alloc();
   pool_[s] = Element{kSentinelId, s, 0, Val::X, 0};
 
@@ -78,7 +82,12 @@ std::uint32_t DelayConcurrentSim::ensure_element(GateId g,
     prev = cur;
     cur = pool_[cur].next;
   }
-  if (pool_[cur].fault_id == fault) return cur;
+  if (pool_[cur].fault_id == fault) {
+    // The machine is already explicit here: its element is patched in
+    // place by the caller instead of being torn down and rebuilt.
+    CFS_COUNT(counters_, ElementsReused);
+    return cur;
+  }
   CFS_COUNT(counters_, ElementsAllocated);
   const std::uint32_t e = pool_.alloc();
   // A freshly diverged machine mirrors the good machine at this gate --

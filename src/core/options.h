@@ -10,6 +10,8 @@
 // a switch for the ablation bench).
 #pragma once
 
+#include <cstddef>
+
 namespace cfs {
 
 struct CsimOptions {
@@ -21,6 +23,21 @@ struct CsimOptions {
   /// Event-driven fault dropping: hard-detected faults are purged lazily
   /// whenever a list containing them is traversed (paper §2.2).
   bool drop_detected = true;
+
+  /// Naive reference path: tear down and rebuild every destination list on
+  /// each merge instead of updating it in place.  Slower by construction --
+  /// kept as the oracle for the differential merge tests.
+  bool rebuild_lists = false;
+
+  /// Compact the element pool on reset(): forget the scrambled free list
+  /// and rebuild every fault list contiguously in traversal order.  Useful
+  /// between test sequences to restore list-order locality.
+  bool compact_pool = false;
+
+  /// Element-pool pre-size hint (elements).  0 sizes the pool from the
+  /// engine's owned-fault count; ShardedSim threads per-shard universe
+  /// sizes through here.
+  std::size_t reserve_elements = 0;
 };
 
 }  // namespace cfs

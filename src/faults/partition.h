@@ -34,6 +34,10 @@ class FaultPartition {
     return shards_[s];
   }
 
+  /// Faults owned by shard `s` (the per-shard universe size; used to size
+  /// element pools before the first vector runs).
+  std::size_t shard_size(unsigned s) const { return shards_[s].size(); }
+
   /// Deterministic merge of shard-local detection arrays: each fault's
   /// status is read from its owner shard, so the result is independent of
   /// thread scheduling.  Every array must cover the full universe (size

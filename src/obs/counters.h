@@ -36,7 +36,11 @@ enum class Counter : unsigned {
   ElementsTraversed,   ///< cursor steps over live fault-list elements
   ElementsCopied,      ///< elements emitted by a multi-list merge
   ElementsAllocated,   ///< pool allocations of fault-list elements
-  ElementsFreed,       ///< pool frees (rebuilds, convergence, drops)
+  ElementsFreed,       ///< pool frees (churn, convergence, drops)
+  ElementsReused,      ///< surviving elements patched in place by a merge
+  ElementsRecycled,    ///< unlinked elements respliced for an insert in the
+                       ///< same merge (no pool round trip)
+  ListsUnchanged,      ///< in-place list applications that touched nothing
   DropUnlinksLazy,     ///< dropped-fault elements unlinked mid-traversal
   DropSkipsEager,      ///< dropped site faults skipped before materialising
   VisToInvMigrations,  ///< visible elements that converged to invisible
@@ -61,6 +65,9 @@ constexpr std::string_view counter_name(Counter c) {
     case Counter::ElementsCopied: return "elements_copied";
     case Counter::ElementsAllocated: return "elements_allocated";
     case Counter::ElementsFreed: return "elements_freed";
+    case Counter::ElementsReused: return "elements_reused";
+    case Counter::ElementsRecycled: return "elements_recycled";
+    case Counter::ListsUnchanged: return "lists_unchanged";
     case Counter::DropUnlinksLazy: return "drop_unlinks_lazy";
     case Counter::DropSkipsEager: return "drop_skips_eager";
     case Counter::VisToInvMigrations: return "vis_to_inv_migrations";

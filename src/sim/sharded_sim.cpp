@@ -32,12 +32,19 @@ ShardedSim::ShardedSim(std::shared_ptr<const SimModel> model,
   // Shard construction includes the initial reset (a full good-machine
   // sweep plus fault activation), so build the engines in parallel too.
   pool_.parallel_for(k, [&](std::size_t s) {
+    // Each shard's element pool is pre-sized from its own slice of the
+    // universe (+1 for the sentinel) unless the caller already gave a hint.
+    CsimOptions copt = opt_.csim;
+    if (copt.reserve_elements == 0) {
+      copt.reserve_elements =
+          part_.shard_size(static_cast<unsigned>(s)) + 1;
+    }
     // A single shard covering the whole universe gets no partition filter
     // at all: ShardedSim with --threads 1 *is* plain ConcurrentSim.
     engines_[s] = k == 1
-                      ? std::make_unique<ConcurrentSim>(model_, opt_.csim)
+                      ? std::make_unique<ConcurrentSim>(model_, copt)
                       : std::make_unique<ConcurrentSim>(
-                            model_, opt_.csim, &part_,
+                            model_, copt, &part_,
                             static_cast<unsigned>(s));
   });
 }

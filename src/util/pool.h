@@ -1,14 +1,25 @@
-// Index-addressed object pool with a free list and byte accounting.
+// Index-addressed arena pool with an intrusive free list and byte
+// accounting.
 //
 // Fault elements are tiny, allocated and freed at enormous rates, and linked
 // into per-gate lists.  Using 32-bit pool indices instead of pointers halves
 // the link size, removes allocator overhead, and lets the memory tracker
 // report exactly how many bytes the fault population costs -- the number the
 // paper's MEM columns measure.
+//
+// Storage is a list of fixed-size chunks rather than one contiguous vector:
+// growth never moves existing objects (references as well as indices stay
+// valid across alloc()) and never pays a doubling spike of copy traffic.
+// The free list is intrusive -- the link is written into the first four
+// bytes of the freed slot -- so there is no side array at all; a freed
+// object's contents are NOT preserved.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace cfs {
@@ -17,55 +28,108 @@ inline constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
 
 template <typename T>
 class Pool {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    sizeof(T) >= sizeof(std::uint32_t),
+                "Pool stores the free-list link inside freed slots");
+
  public:
-  /// Allocate one object (default-constructed or reset by caller); returns
-  /// its pool index.
+  /// Objects per chunk.  A power of two so index decomposition is a
+  /// shift+mask pair on the hot path.
+  static constexpr unsigned kChunkShift = 12;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::uint32_t kChunkMask =
+      static_cast<std::uint32_t>(kChunkSize - 1);
+
+  /// Allocate one object (contents unspecified; reset by caller); returns
+  /// its pool index.  Never moves existing objects.
   std::uint32_t alloc() {
     if (free_head_ != kNullIndex) {
       const std::uint32_t idx = free_head_;
-      free_head_ = next_free_[idx];
+      free_head_ = read_link(idx);
       ++live_;
       return idx;
     }
-    const std::uint32_t idx = static_cast<std::uint32_t>(items_.size());
-    items_.emplace_back();
-    next_free_.push_back(kNullIndex);
+    if (size_ == chunks_.size() * kChunkSize) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    }
+    const auto idx = static_cast<std::uint32_t>(size_++);
     ++live_;
     peak_live_ = live_ > peak_live_ ? live_ : peak_live_;
     return idx;
   }
 
-  /// Return an object to the free list.  The object is not destroyed; it is
-  /// reused verbatim by the next alloc().
+  /// Return an object to the free list.  The slot's first four bytes are
+  /// overwritten by the free-list link.
   void free(std::uint32_t idx) {
-    next_free_[idx] = free_head_;
+    write_link(idx, free_head_);
     free_head_ = idx;
     --live_;
   }
 
-  T& operator[](std::uint32_t idx) { return items_[idx]; }
-  const T& operator[](std::uint32_t idx) const { return items_[idx]; }
+  T& operator[](std::uint32_t idx) {
+    return chunks_[idx >> kChunkShift][idx & kChunkMask];
+  }
+  const T& operator[](std::uint32_t idx) const {
+    return chunks_[idx >> kChunkShift][idx & kChunkMask];
+  }
+
+  /// Pre-allocate chunks so the first `n` objects materialise without any
+  /// growth on the hot path.
+  void reserve(std::size_t n) {
+    while (chunks_.size() * kChunkSize < n) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    }
+  }
 
   /// Objects currently allocated.
   std::size_t live() const { return live_; }
-  /// High-water mark of live objects.
+  /// High-water mark of live objects.  Survives reset() (lifetime
+  /// high-water); clear() starts a fresh epoch.
   std::size_t peak_live() const { return peak_live_; }
+  /// Slots backed by allocated chunks.
+  std::size_t capacity() const { return chunks_.size() * kChunkSize; }
   /// Bytes held by the pool's backing storage (capacity, not just live).
   std::size_t bytes() const {
-    return items_.capacity() * sizeof(T) +
-           next_free_.capacity() * sizeof(std::uint32_t);
+    return chunks_.size() * kChunkSize * sizeof(T) +
+           chunks_.capacity() * sizeof(chunks_[0]);
   }
 
-  void clear() {
-    items_.clear();
-    next_free_.clear();
+  /// Forget every object but keep the chunks: the next allocations are
+  /// handed out from index 0 upward again, in order.  This is the
+  /// compaction primitive -- rebuilding lists after a reset() lays their
+  /// elements out contiguously in traversal order, no matter how scrambled
+  /// the free list was.  peak_live() is preserved (lifetime high-water).
+  void reset() {
     free_head_ = kNullIndex;
     live_ = 0;
+    size_ = 0;
+  }
+
+  /// Release everything, including the backing storage and the high-water
+  /// mark: a clear()ed pool reports as a brand-new one.
+  void clear() {
+    chunks_.clear();
+    free_head_ = kNullIndex;
+    live_ = 0;
+    size_ = 0;
+    peak_live_ = 0;
   }
 
  private:
-  std::vector<T> items_;
-  std::vector<std::uint32_t> next_free_;
+  // The void* casts matter: T is trivially copyable (see the static_assert)
+  // but may still have a non-trivial default constructor, which would trip
+  // -Wclass-memaccess on a direct T* memcpy.
+  std::uint32_t read_link(std::uint32_t idx) const {
+    std::uint32_t n;
+    std::memcpy(&n, static_cast<const void*>(&(*this)[idx]), sizeof n);
+    return n;
+  }
+  void write_link(std::uint32_t idx, std::uint32_t n) {
+    std::memcpy(static_cast<void*>(&(*this)[idx]), &n, sizeof n);
+  }
+
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;  // slots ever handed out in the current epoch
   std::uint32_t free_head_ = kNullIndex;
   std::size_t live_ = 0;
   std::size_t peak_live_ = 0;

@@ -59,5 +59,43 @@ TEST(Pool, BytesGrowWithCapacity) {
   EXPECT_GT(p.bytes(), before);
 }
 
+TEST(Pool, DataSurvivesChunkGrowth) {
+  // Chunked storage must never move existing objects: fill several chunks
+  // and verify every earlier object is intact afterwards.
+  Pool<Item> p;
+  std::vector<std::uint32_t> ids;
+  const int n = static_cast<int>(Pool<Item>::kChunkSize * 3 + 17);
+  for (int i = 0; i < n; ++i) {
+    const auto id = p.alloc();
+    p[id] = {i, ~i};
+    ids.push_back(id);
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(p[ids[i]].a, i);
+    EXPECT_EQ(p[ids[i]].b, ~i);
+  }
+}
+
+TEST(Pool, ReserveBacksSlotsUpFront) {
+  Pool<Item> p;
+  p.reserve(Pool<Item>::kChunkSize * 2 + 1);
+  EXPECT_GE(p.capacity(), Pool<Item>::kChunkSize * 2 + 1);
+  const auto bytes = p.bytes();
+  // Allocating within the reservation must not grow the backing storage.
+  for (std::size_t i = 0; i < Pool<Item>::kChunkSize * 2; ++i) p.alloc();
+  EXPECT_EQ(p.bytes(), bytes);
+}
+
+TEST(Pool, ResetDispensesInOrderAgain) {
+  Pool<Item> p;
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 32; ++i) ids.push_back(p.alloc());
+  // Scramble the free list, then reset: allocation order must be 0,1,2,...
+  // regardless (this is what restores list-order locality on compaction).
+  for (int i = 31; i >= 0; i -= 2) p.free(ids[i]);
+  p.reset();
+  for (std::uint32_t i = 0; i < 32; ++i) EXPECT_EQ(p.alloc(), i);
+}
+
 }  // namespace
 }  // namespace cfs

@@ -3,12 +3,40 @@
 #include <set>
 
 #include "util/memtrack.h"
+#include "util/pool.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace cfs {
 namespace {
+
+// Regression: clear() used to leave peak_live_ at the old high-water mark,
+// so MEM reporting after a mid-run clear()+refill showed the previous
+// epoch's peak instead of the new one.
+TEST(Pool, ClearResetsPeakLive) {
+  Pool<std::uint64_t> p;
+  for (int i = 0; i < 100; ++i) p.alloc();
+  ASSERT_EQ(p.peak_live(), 100u);
+  p.clear();
+  EXPECT_EQ(p.peak_live(), 0u);
+  for (int i = 0; i < 7; ++i) p.alloc();
+  EXPECT_EQ(p.peak_live(), 7u);
+}
+
+// reset() is the compaction primitive: it must keep the lifetime high-water
+// mark (and the chunks), unlike clear().
+TEST(Pool, ResetKeepsPeakLiveAndCapacity) {
+  Pool<std::uint64_t> p;
+  for (int i = 0; i < 100; ++i) p.alloc();
+  const std::size_t cap = p.capacity();
+  p.reset();
+  EXPECT_EQ(p.live(), 0u);
+  EXPECT_EQ(p.peak_live(), 100u);
+  EXPECT_EQ(p.capacity(), cap);
+  EXPECT_EQ(p.alloc(), 0u);  // re-dispensed from index 0
+  EXPECT_EQ(p.peak_live(), 100u);
+}
 
 TEST(Strings, Trim) {
   EXPECT_EQ(trim("  abc  "), "abc");

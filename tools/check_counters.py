@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Pin deterministic telemetry counters against a checked-in expectation.
+
+The single-threaded engine's merge order is a pure function of the circuit,
+the fault universe, and the test set, so its work counters (elements
+allocated / reused / freed, ...) are bit-reproducible.  CI runs a fixed
+s298 test set and compares `cfs sim --stats-json` output against
+tools/expected_s298_counters.json: any drift in the pinned counters means
+the merge path changed behaviour -- intentionally (regenerate the
+expectation and say why in the commit) or not (a regression).
+
+Usage: check_counters.py <stats.json> <expected.json>
+"""
+import json
+import sys
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        stats = json.load(f)
+    with open(sys.argv[2]) as f:
+        expected = json.load(f)
+
+    errors = []
+    counters = stats.get("totals", {}).get("counters", {})
+    for key, want in sorted(expected.get("counters", {}).items()):
+        got = counters.get(key)
+        if got != want:
+            errors.append(f"counters.{key}: expected {want}, got {got}")
+    for key, want in sorted(expected.get("deterministic", {}).items()):
+        got = stats.get("deterministic", {}).get(key)
+        if got != want:
+            errors.append(f"deterministic.{key}: expected {want}, got {got}")
+    for key, want in sorted(expected.get("coverage", {}).items()):
+        got = stats.get("coverage", {}).get(key)
+        if got != want:
+            errors.append(f"coverage.{key}: expected {want}, got {got}")
+
+    if errors:
+        print(f"{sys.argv[1]}: counter pin FAILED")
+        for e in errors:
+            print("  " + e)
+        sys.exit(1)
+    n = sum(len(expected.get(k, {}))
+            for k in ("counters", "deterministic", "coverage"))
+    print(f"{sys.argv[1]}: {n} pinned values match {sys.argv[2]}")
+
+
+if __name__ == "__main__":
+    main()
