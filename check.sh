@@ -4,11 +4,28 @@
 # catch regressions the unit tests might miss).
 set -e
 cd "$(dirname "$0")"
+
+# Generator fallback: under `set -e` a bare `command -v ninja && GEN=(...)`
+# list aborts the whole script on machines without ninja instead of falling
+# back to the default generator.
 GEN=()
-command -v ninja > /dev/null && GEN=(-G Ninja)
+if command -v ninja > /dev/null; then
+  GEN=(-G Ninja)
+fi
 cmake -B build "${GEN[@]}"
 cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure
+
+# Run the suite and propagate ctest's exit code explicitly: `set -e` is
+# easy to defeat from here (a later refactor wrapping this in `if`/`||`, or
+# a `cd build && ctest` subshell, silently swallows the status), so the
+# gate does not rely on it.
+rc=0
+ctest --test-dir build --output-on-failure || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "check.sh: tests FAILED (ctest exit $rc)" >&2
+  exit "$rc"
+fi
+
 export CFS_BENCH_SCALE=tiny
 for b in table2_circuits table3_deterministic table6_transition \
          ablation_collapse scaling_threads; do

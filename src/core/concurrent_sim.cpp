@@ -17,7 +17,8 @@ ConcurrentSim::ConcurrentSim(const Circuit& c, const FaultUniverse& u,
 
 ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
                              CsimOptions opt, const FaultPartition* part,
-                             unsigned shard_index)
+                             unsigned shard_index,
+                             const std::vector<std::uint8_t>* suspended)
     : model_(std::move(model)),
       c_(&model_->circuit()),
       descr_(model_->descriptors()),
@@ -29,7 +30,6 @@ ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
 
   status_.assign(nf, Detect::None);
   excluded_.assign(nf, 0);
-  std::size_t owned = nf;
   if (part != nullptr) {
     if (part->num_faults() != nf) {
       throw Error("FaultPartition does not match the fault universe");
@@ -37,23 +37,38 @@ ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
     if (shard_index >= part->num_shards()) {
       throw Error("shard index out of range");
     }
-    owned = 0;
     for (std::uint32_t id = 0; id < nf; ++id) {
-      const bool mine = part->shard_of(id) == shard_index;
-      excluded_[id] = mine ? 0 : 1;
-      owned += mine;
+      excluded_[id] = part->shard_of(id) == shard_index ? 0 : 1;
+    }
+    base_excluded_ = excluded_;
+  }
+  if (suspended != nullptr && !suspended->empty()) {
+    if (suspended->size() != nf) {
+      throw Error("suspension mask does not match the fault universe");
+    }
+    for (std::uint32_t id = 0; id < nf; ++id) {
+      if ((*suspended)[id]) excluded_[id] = 1;
     }
   }
+  std::size_t active = 0;
+  for (std::uint32_t id = 0; id < nf; ++id) active += excluded_[id] == 0;
 
   if (transition_mode_) prev_pin_val_.assign(nf, Val::X);
 
   good_state_.resize(n);
   head_vis_.assign(n, 0);
   head_inv_.assign(n, 0);
-  // Pre-size the element arena from this engine's fault universe (the
-  // shard's, under a partition) so the early vectors never grow it.
-  pool_.reserve(opt_.reserve_elements != 0 ? opt_.reserve_elements
-                                           : owned + 1);
+  // Pre-size the element arena from this engine's active fault universe (the
+  // shard's, under a partition, minus suspensions) so the early vectors never
+  // grow it; an enforced budget caps the pre-size too.
+  std::size_t reserve = opt_.reserve_elements != 0 ? opt_.reserve_elements
+                                                   : active + 1;
+  if (opt_.max_elements != 0) {
+    // +1: pool slot 0 is the sentinel, which the budget must always admit.
+    pool_.set_budget(opt_.max_elements + 1);
+    reserve = std::min(reserve, opt_.max_elements + 1);
+  }
+  pool_.reserve(reserve);
   // Pool slot 0 is the shared terminal element ("a fault identifier which
   // lies in high end memory location to avoid checking end of list").
   const std::uint32_t s = pool_.alloc();
@@ -518,14 +533,21 @@ void ConcurrentSim::refresh_source_site(GateId g) {
 void ConcurrentSim::reset(Val ff_init, bool clear_status) {
   if (clear_status) status_.assign(model_->num_faults(), Detect::None);
   // Every update scope flushes, but belt and braces before the pool is
-  // reshaped underneath parked indices / recorded anchors.
+  // reshaped underneath parked indices / recorded anchors.  The queue is
+  // empty between sequences, but under an element budget reset() doubles
+  // as a recovery path: a PoolBudgetError that escaped mid-settle leaves
+  // pending events (and half-merged lists) behind.
   pending_.clear();
   salvage_.clear();
-  if (opt_.compact_pool) {
+  queue_.clear();
+  if (opt_.compact_pool || opt_.max_elements != 0) {
     // Compaction: forget the scrambled free list wholesale and re-dispense
     // slots from index 0.  The rebuild below then lays every list out
     // contiguously in build order, restoring traversal locality lost to
-    // churn in the previous sequence.
+    // churn in the previous sequence.  Also the only safe teardown under
+    // an element budget: after a PoolBudgetError escaped mid-merge the
+    // per-list free walk would trust exactly the invariants the wreck
+    // broke.
     pool_.reset();
     const std::uint32_t s = pool_.alloc();  // sentinel regains slot 0
     pool_[s] = Element{kSentinelId, s, 0};
@@ -537,14 +559,30 @@ void ConcurrentSim::reset(Val ff_init, bool clear_status) {
       if (opt_.split_lists) free_list(head_inv_[g]);
     }
   }
-  // Good machine: PIs X, flip-flops ff_init, full consistent sweep.
+  const std::vector<Val> flop_good(c_->dffs().size(), ff_init);
+  rebuild_run_state(flop_good, nullptr, {});
+}
+
+// Shared tail of reset() and restore_run_state().  Precondition: every fault
+// list is empty (all heads point at the sentinel) and no events are queued.
+// Sweeps the good machine to a consistent settled state with PIs at X and
+// the given per-DFF Q values, seeds prev_pin_val_, activates the source-site
+// faults (from scratch at a reset; from the snapshot's divergence lists at a
+// restore), then gives every combinational gate one merge so comb-site
+// faults activate and the injected divergences propagate.
+void ConcurrentSim::rebuild_run_state(
+    std::span<const Val> flop_good,
+    const std::vector<std::vector<FlopFault>>* flop_faulty,
+    std::span<const Val> prev_pins) {
+  const auto dffs = c_->dffs();
+  // Good machine: PIs X, flip-flops at flop_good, full consistent sweep.
   {
     CFS_PHASE(timers_, GoodEval);
     for (GateId g = 0; g < c_->num_gates(); ++g) {
       good_state_[g] = state_all_x(c_->num_fanins(g));
     }
-    for (GateId g : c_->dffs()) {
-      good_state_[g] = state_set_out(good_state_[g], ff_init);
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      good_state_[dffs[i]] = state_set_out(good_state_[dffs[i]], flop_good[i]);
     }
     for (GateId g = 0; g < c_->num_gates(); ++g) {
       if (!is_combinational(c_->kind(g))) {
@@ -564,20 +602,122 @@ void ConcurrentSim::reset(Val ff_init, bool clear_status) {
   }
 
   if (transition_mode_) {
-    std::fill(prev_pin_val_.begin(), prev_pin_val_.end(), Val::X);
+    if (prev_pins.empty()) {
+      std::fill(prev_pin_val_.begin(), prev_pin_val_.end(), Val::X);
+    } else {
+      prev_pin_val_.assign(prev_pins.begin(), prev_pins.end());
+    }
   }
   held_flag_.assign(c_->num_gates(), 0);
   held_gates_.clear();
   pass1_ = true;
 
-  // Activate source-site faults, then give every combinational gate one
-  // merge so comb-site faults activate too.
   {
     CFS_PHASE(timers_, FaultProp);
     for (GateId g : c_->inputs()) refresh_source_site(g);
-    for (GateId g : c_->dffs()) refresh_source_site(g);
+    for (std::size_t i = 0; i < dffs.size(); ++i) {
+      const GateId q = dffs[i];
+      if (flop_faulty == nullptr) {
+        refresh_source_site(q);
+      } else {
+        // Re-inject the snapshot's divergences at this Q, minus faults this
+        // engine does not simulate (foreign shard, suspended) and minus
+        // hard-detected ones under dropping -- exactly the elements the
+        // uninterrupted engine would still carry or lazily unlink anyway.
+        scratch_vis_.clear();
+        for (const FlopFault& f : (*flop_faulty)[i]) {
+          if (f.fault >= excluded_.size()) {
+            throw Error("run-state snapshot references an out-of-range fault");
+          }
+          if (excluded_[f.fault] != 0 || dropped(f.fault)) continue;
+          scratch_vis_.emplace_back(f.fault, f.state);
+        }
+        if (opt_.rebuild_lists) {
+          free_list(head_vis_[q]);
+          head_vis_[q] = build_list(scratch_vis_);
+        } else {
+          apply_list_inplace(head_vis_[q], scratch_vis_, ChangeTrack::None,
+                             Val::X, Val::X);
+          salvage_flush();
+        }
+      }
+    }
     for (GateId g : c_->topo_order()) queue_.schedule(g);
     settle();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run-state snapshots (checkpoint/resume, shard requeue, multi-pass budget)
+// ---------------------------------------------------------------------------
+
+RunStateSnapshot ConcurrentSim::capture_run_state() const {
+  RunStateSnapshot s;
+  const auto dffs = c_->dffs();
+  s.flop_good.resize(dffs.size());
+  s.flop_faulty.resize(dffs.size());
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const GateId q = dffs[i];
+    s.flop_good[i] = state_out(good_state_[q]);
+    std::uint32_t cur = head_vis_[q];
+    while (pool_[cur].fault_id != kSentinelId) {
+      const std::uint32_t id = pool_[cur].fault_id;
+      // Skip lazily-unlinked-but-still-linked dropped elements: they are
+      // unobservable, and skipping them makes the snapshot independent of
+      // *when* each list last happened to be traversed.
+      if (!dropped(id)) s.flop_faulty[i].push_back({id, pool_[cur].state});
+      cur = pool_[cur].next;
+    }
+  }
+  if (transition_mode_) s.prev_pins = prev_pin_val_;
+  return s;
+}
+
+void ConcurrentSim::restore_run_state(const RunStateSnapshot& s,
+                                      const std::vector<Detect>& status) {
+  const std::size_t nf = model_->num_faults();
+  if (status.size() != nf) {
+    throw Error("restore_run_state: status table does not match the universe");
+  }
+  if (s.flop_good.size() != c_->dffs().size() ||
+      s.flop_faulty.size() != c_->dffs().size()) {
+    throw Error("restore_run_state: snapshot does not match the circuit");
+  }
+  if (transition_mode_ && !s.prev_pins.empty() && s.prev_pins.size() != nf) {
+    throw Error("restore_run_state: previous-value table size mismatch");
+  }
+  status_ = status;
+  // Tear everything down from scratch.  The engine may be a half-merged
+  // wreck (an exception escaped mid-settle, e.g. PoolBudgetError), so no
+  // list or queue invariant can be relied on: drop parked splices, clear
+  // pending events, and reshape the pool wholesale.
+  pending_.clear();
+  salvage_.clear();
+  queue_.clear();
+  pool_.reset();
+  const std::uint32_t snt = pool_.alloc();  // sentinel regains slot 0
+  pool_[snt] = Element{kSentinelId, snt, 0};
+  std::fill(head_vis_.begin(), head_vis_.end(), 0u);
+  std::fill(head_inv_.begin(), head_inv_.end(), 0u);
+  rebuild_run_state(s.flop_good, &s.flop_faulty, s.prev_pins);
+}
+
+void ConcurrentSim::set_suspended(const std::vector<std::uint8_t>& suspended) {
+  const std::size_t nf = model_->num_faults();
+  if (!suspended.empty() && suspended.size() != nf) {
+    throw Error("suspension mask does not match the fault universe");
+  }
+  if (base_excluded_.empty()) {
+    if (suspended.empty()) {
+      excluded_.assign(nf, 0);
+    } else {
+      excluded_ = suspended;
+    }
+  } else {
+    excluded_ = base_excluded_;
+    for (std::size_t i = 0; i < suspended.size(); ++i) {
+      if (suspended[i]) excluded_[i] = 1;
+    }
   }
 }
 

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "core/run_state.h"
 #include "core/sim_model.h"
 #include "faults/fault.h"
 #include "faults/macro_map.h"
@@ -72,11 +73,15 @@ class ConcurrentSim {
   /// Share an existing model (N engines, one table set).  When `part` is
   /// given the engine simulates only the faults of shard `shard_index`:
   /// faults owned by other shards never materialise elements and keep
-  /// status Detect::None.
+  /// status Detect::None.  `suspended`, when given (size num_faults),
+  /// additionally excludes the marked faults from the initial activation --
+  /// the memory-budget path constructs engines under an enforced pool
+  /// budget and must keep the first reset within it.
   explicit ConcurrentSim(std::shared_ptr<const SimModel> model,
                          CsimOptions opt = {},
                          const FaultPartition* part = nullptr,
-                         unsigned shard_index = 0);
+                         unsigned shard_index = 0,
+                         const std::vector<std::uint8_t>* suspended = nullptr);
 
   const Circuit& circuit() const { return *c_; }
   const SimModel& model() const { return *model_; }
@@ -91,6 +96,45 @@ class ConcurrentSim {
   /// clock the flip-flops.  In transition mode this runs the two-pass
   /// scheme.  Returns the number of newly hard-detected faults.
   std::size_t apply_vector(std::span<const Val> pi_vals);
+
+  // -- resilience (resil/campaign.h drives these) --------------------------
+
+  /// Capture the engine's sequential state at a vector boundary: flip-flop
+  /// good values, per-DFF faulty divergence lists (owned, non-dropped
+  /// faults only), and transition-mode previous pin values.  Together with
+  /// status() this is everything restore_run_state() needs.
+  RunStateSnapshot capture_run_state() const;
+
+  /// Rebuild the engine from a boundary snapshot: detection status is set
+  /// to `status`, all fault lists are torn down and re-derived (primary
+  /// inputs return to X until the next vector drives them; faults excluded
+  /// by the shard partition, the suspension overlay, or event-driven
+  /// dropping never materialise), and the snapshot's flip-flop divergences
+  /// are re-injected.  Continuing the vector stream afterwards is
+  /// bit-identical -- coverage, detection order, deterministic counters --
+  /// to never having stopped.  The snapshot may cover the whole universe
+  /// even when this engine owns one shard of it.  Also the recovery path
+  /// after a PoolBudgetError: the pool is reshaped from scratch, so a
+  /// half-merged wreck restores cleanly.
+  void restore_run_state(const RunStateSnapshot& s,
+                         const std::vector<Detect>& status);
+
+  /// Adopt an externally tracked detection status (size num_faults) ahead
+  /// of the next reset(): a freshly built engine resuming a campaign at a
+  /// sequence boundary must know which faults are already hard-detected so
+  /// event-driven dropping keeps them out of the rebuilt lists.  List
+  /// contents change at the next reset()/restore_run_state(), not here.
+  void adopt_status(const std::vector<Detect>& status) { status_ = status; }
+
+  /// Overlay mask (size num_faults or empty): marked faults are suspended
+  /// -- treated exactly like faults of a foreign shard until the next
+  /// restore_run_state()/reset() rebuilds the lists.  The multi-pass
+  /// memory-budget path parks the remainder of the universe here.
+  void set_suspended(const std::vector<std::uint8_t>& suspended);
+
+  /// Start a fresh element-pool high-water epoch (campaign accounting
+  /// across budget-enforced passes).
+  void reset_peak_elements() { pool_.reset_peak(); }
 
   // -- granular API (stuck-at mode), used by tests ------------------------
   void set_inputs(std::span<const Val> pi_vals);
@@ -217,6 +261,12 @@ class ConcurrentSim {
       ChangeTrack track, Val old_good_out, Val new_good_out);
   void salvage_flush();
   void refresh_source_site(GateId g);
+  // Shared tail of reset()/restore_run_state(): good-machine sweep with the
+  // given per-DFF Q values, source activation, optional DFF divergence
+  // injection, and one full settle.
+  void rebuild_run_state(std::span<const Val> flop_good,
+                         const std::vector<std::vector<FlopFault>>* flop_faulty,
+                         std::span<const Val> prev_pins);
   void latch_flipflops(bool capture_only);
   void commit_masters();
   void record_detect(std::uint32_t fault, Val good, Val faulty,
@@ -233,9 +283,14 @@ class ConcurrentSim {
   bool transition_mode_ = false;
 
   std::vector<Detect> status_;
-  // Shard mask: 1 = fault owned by another shard (never simulated here).
-  // All-zero when the engine covers the whole universe.
+  // Effective exclusion mask: 1 = fault never simulated here, because it is
+  // owned by another shard (base_excluded_) or suspended by the multi-pass
+  // overlay (set_suspended).  All-zero when the engine covers the whole
+  // universe with nothing suspended.
   std::vector<std::uint8_t> excluded_;
+  // Shard-ownership mask alone; set_suspended() re-derives excluded_ from
+  // this.  Empty when the engine has no partition (covers the universe).
+  std::vector<std::uint8_t> base_excluded_;
 
   std::vector<GateState> good_state_;
   std::vector<std::uint32_t> head_vis_, head_inv_;

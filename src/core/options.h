@@ -38,6 +38,13 @@ struct CsimOptions {
   /// engine's owned-fault count; ShardedSim threads per-shard universe
   /// sizes through here.
   std::size_t reserve_elements = 0;
+
+  /// Hard ceiling on live fault-list elements (the paper's dominant MEM
+  /// term).  0 = unlimited.  When set, the engine's pool throws
+  /// cfs::PoolBudgetError instead of growing past the budget; the campaign
+  /// runner (resil/campaign.h) catches it and degrades to multi-pass
+  /// simulation over a suspended remainder of the fault universe.
+  std::size_t max_elements = 0;
 };
 
 }  // namespace cfs

@@ -1,0 +1,57 @@
+// Portable snapshot of a concurrent engine's sequential run state.
+//
+// Everything a fault simulator carries across a clock edge is (a) the good
+// flip-flop values, (b) the per-fault faulty flip-flop divergences (the
+// visible list at each DFF Q), and (c), in transition mode, each fault's
+// previous site-pin value.  The combinational state -- good machine and all
+// comb-gate fault lists -- is a pure function of those plus the primary
+// inputs, so ConcurrentSim::restore_run_state() can rebuild an engine
+// bit-identically (as far as every observable: coverage, detection order,
+// deterministic counters) from this struct alone.
+//
+// The snapshot is deliberately engine-layout-agnostic: fault ids are global
+// universe ids and flip-flops are indexed in circuit DFF order, so a
+// snapshot captured from a 4-shard ShardedSim restores into a 2-shard one
+// (each shard filters by ownership), and the resil/ checkpoint format
+// serializes it without referencing pool indices or list pointers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logic.h"
+#include "util/packed_state.h"
+
+namespace cfs {
+
+/// One faulty machine's divergence at a flip-flop: the fault id and the
+/// packed element state (pin 0 = faulty D as latched, output = faulty Q).
+struct FlopFault {
+  std::uint32_t fault = 0;
+  GateState state = 0;
+
+  friend bool operator==(const FlopFault&, const FlopFault&) = default;
+};
+
+/// Sequential state of one engine (or of a whole sharded simulator, with
+/// the per-shard slices merged by ascending fault id).
+struct RunStateSnapshot {
+  /// Good Q value per flip-flop, in circuit().dffs() order.
+  std::vector<Val> flop_good;
+  /// Visible fault elements at each flip-flop's Q, sorted by fault id.
+  std::vector<std::vector<FlopFault>> flop_faulty;
+  /// Transition mode: per-fault previous site-pin value (empty otherwise).
+  std::vector<Val> prev_pins;
+
+  friend bool operator==(const RunStateSnapshot&,
+                         const RunStateSnapshot&) = default;
+};
+
+// Note: there is deliberately no "initial" snapshot constructor.  An empty
+// flop_faulty list means "no divergences at this flip-flop" and is injected
+// verbatim by restore_run_state() -- but in the initial state the flip-flop
+// *site* faults do diverge, and only reset() activates them.  Sequence
+// starts must go through reset(), never through restoring a synthetic
+// snapshot.
+
+}  // namespace cfs

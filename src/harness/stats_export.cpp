@@ -62,6 +62,14 @@ void write_run_stats_json(std::ostream& os, const RunMetadata& meta,
   w.key("deterministic");
   obs::write_deterministic_counters(w, r.stats.total.counters);
 
+  // Containment counters (resil/containment.h): zero unless the run had
+  // shard failure containment enabled and a shard actually failed.
+  w.key("resil");
+  w.begin_object();
+  w.field("shard_retries", r.stats.shard_retries);
+  w.field("shard_requeues", r.stats.shard_requeues);
+  w.end_object();
+
   // Harness envelope + driver-side phases (merge/replay).
   w.key("timers");
   w.begin_object();

@@ -2,6 +2,8 @@
 
 #include <fstream>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "netlist/builder.h"
 #include "util/error.h"
@@ -11,89 +13,209 @@ namespace cfs {
 
 namespace {
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-  throw Error(".bench line " + std::to_string(line_no) + ": " + msg);
+// View-preserving trim: the returned view aliases `s`, so token positions
+// can be recovered by pointer arithmetic against the raw line.
+std::string_view vtrim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
 }
 
-// Parse "HEAD(arg1, arg2, ...)" -> {HEAD, args}.  Returns false if `s` does
-// not have call shape.
-bool parse_call(std::string_view s, std::string& head,
-                std::vector<std::string>& args) {
+// Parse "HEAD(arg1, arg2, ...)" into views aliasing `s`.  Returns false if
+// `s` does not have call shape.
+bool parse_call(std::string_view s, std::string_view& head,
+                std::vector<std::string_view>& args) {
   const std::size_t open = s.find('(');
   const std::size_t close = s.rfind(')');
   if (open == std::string_view::npos || close == std::string_view::npos ||
       close < open) {
     return false;
   }
-  head = std::string(trim(s.substr(0, open)));
-  args = split(s.substr(open + 1, close - open - 1), ',');
+  head = vtrim(s.substr(0, open));
+  args.clear();
+  std::string_view inside = s.substr(open + 1, close - open - 1);
+  std::size_t p = 0;
+  while (p <= inside.size()) {
+    std::size_t e = inside.find(',', p);
+    if (e == std::string_view::npos) e = inside.size();
+    const std::string_view piece = vtrim(inside.substr(p, e - p));
+    if (!piece.empty()) args.push_back(piece);
+    p = e + 1;
+  }
   return !head.empty();
 }
 
 }  // namespace
 
-Circuit parse_bench(std::string_view text, const std::string& circuit_name) {
+std::string ParseDiag::to_string() const {
+  std::string s = ".bench";
+  if (line != 0) s += " line " + std::to_string(line);
+  if (col != 0) s += ", col " + std::to_string(col);
+  s += ": " + message;
+  return s;
+}
+
+ParseResult parse_bench_diag(std::string_view text,
+                             const std::string& circuit_name) {
+  ParseResult r;
   Builder b(circuit_name);
+
+  struct Ref {
+    std::string name;
+    std::size_t line, col;
+  };
+  // First definition site of each signal (also seeded for diagnosed lines,
+  // so one bad definition does not cascade into bogus "never defined"
+  // reports for every reference to it).
+  std::unordered_map<std::string, std::size_t> defined;
+  std::vector<Ref> refs;
+  std::size_t gates_added = 0;
+
   std::size_t line_no = 0;
   std::size_t pos = 0;
-  while (pos <= text.size()) {
+  while (pos <= text.size() && r.diags.size() < ParseResult::kMaxDiags) {
     const std::size_t nl = text.find('\n', pos);
-    std::string_view line =
+    const std::string_view raw =
         text.substr(pos, nl == std::string_view::npos ? text.size() - pos
                                                       : nl - pos);
     pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
     ++line_no;
 
+    // Column of a token view that aliases `raw` (1-based).
+    const auto col_of = [&](std::string_view tok) -> std::size_t {
+      if (tok.data() < raw.data() || tok.data() > raw.data() + raw.size()) {
+        return 1;
+      }
+      return static_cast<std::size_t>(tok.data() - raw.data()) + 1;
+    };
+    const auto diag = [&](std::size_t col, std::string msg) {
+      r.diags.push_back(ParseDiag{line_no, col, std::move(msg)});
+    };
+    const auto define = [&](std::string_view sig, std::size_t col) {
+      const auto [it, fresh] = defined.emplace(std::string(sig), line_no);
+      if (!fresh) {
+        diag(col, "signal '" + std::string(sig) + "' is already defined (line " +
+                      std::to_string(it->second) + ")");
+      }
+      return fresh;
+    };
+
+    std::string_view line = raw;
     const std::size_t hash = line.find('#');
     if (hash != std::string_view::npos) line = line.substr(0, hash);
-    line = trim(line);
+    line = vtrim(line);
     if (line.empty()) continue;
 
     const std::size_t eq = line.find('=');
     if (eq == std::string_view::npos) {
       // INPUT(x) or OUTPUT(x)
-      std::string head;
-      std::vector<std::string> args;
+      std::string_view head;
+      std::vector<std::string_view> args;
       if (!parse_call(line, head, args) || args.size() != 1) {
-        fail(line_no, "expected INPUT(sig) or OUTPUT(sig)");
+        diag(col_of(line), "expected INPUT(sig) or OUTPUT(sig)");
+        continue;
       }
       const std::string u = upper(head);
       if (u == "INPUT") {
-        b.add_input(args[0]);
+        if (define(args[0], col_of(args[0]))) {
+          b.add_input(std::string(args[0]));
+        }
       } else if (u == "OUTPUT") {
-        b.mark_output(args[0]);
+        refs.push_back(Ref{std::string(args[0]), line_no, col_of(args[0])});
+        b.mark_output(std::string(args[0]));
       } else {
-        fail(line_no, "unknown directive '" + head + "'");
+        diag(col_of(head), "unknown directive '" + std::string(head) + "'");
       }
       continue;
     }
 
-    const std::string target(trim(line.substr(0, eq)));
-    if (target.empty()) fail(line_no, "missing signal name before '='");
-    std::string head;
-    std::vector<std::string> args;
+    const std::string_view target = vtrim(line.substr(0, eq));
+    if (target.empty()) {
+      diag(col_of(line), "missing signal name before '='");
+      continue;
+    }
+    std::string_view head;
+    std::vector<std::string_view> args;
     if (!parse_call(line.substr(eq + 1), head, args) || args.empty()) {
-      fail(line_no, "expected sig = KIND(a, ...)");
+      define(target, col_of(target));  // suppress cascades; dup still reported
+      diag(col_of(line), "expected sig = KIND(a, ...)");
+      continue;
     }
     GateKind kind;
     try {
-      kind = kind_from_name(head);
+      kind = kind_from_name(std::string(head));
     } catch (const Error& e) {
-      fail(line_no, e.what());
+      define(target, col_of(target));
+      diag(col_of(head), e.what());
+      continue;
     }
-    if (kind == GateKind::Input) fail(line_no, "INPUT cannot be assigned");
+    if (kind == GateKind::Input) {
+      define(target, col_of(target));
+      diag(col_of(head), "INPUT cannot be assigned");
+      continue;
+    }
+    if (!define(target, col_of(target))) continue;
+    for (const std::string_view a : args) {
+      refs.push_back(Ref{std::string(a), line_no, col_of(a)});
+    }
     if (kind == GateKind::Dff) {
-      if (args.size() != 1) fail(line_no, "DFF takes exactly one input");
-      b.add_dff(target, args[0]);
+      if (args.size() != 1) {
+        diag(col_of(head), "DFF takes exactly one input, got " +
+                               std::to_string(args.size()));
+        continue;
+      }
+      b.add_dff(std::string(target), std::string(args[0]));
     } else {
-      b.add_gate(kind, target, args);
+      std::vector<std::string> fanins;
+      fanins.reserve(args.size());
+      for (const std::string_view a : args) fanins.emplace_back(a);
+      b.add_gate(kind, std::string(target), fanins);
+    }
+    ++gates_added;
+  }
+
+  // Dangling fanins / outputs: every referenced signal must be defined
+  // somewhere (before or after the reference -- .bench allows forward use).
+  for (const Ref& ref : refs) {
+    if (r.diags.size() >= ParseResult::kMaxDiags) break;
+    if (defined.find(ref.name) == defined.end()) {
+      r.diags.push_back(ParseDiag{
+          ref.line, ref.col,
+          "signal '" + ref.name + "' is referenced but never defined"});
     }
   }
-  Circuit c = b.build();
-  if (c.num_gates() == 0) {
-    throw Error(".bench input '" + circuit_name + "' defines no gates");
+  if (r.diags.empty() && gates_added == 0 && defined.empty()) {
+    r.diags.push_back(ParseDiag{
+        0, 0, "input '" + circuit_name + "' defines no gates"});
   }
-  return c;
+  if (!r.diags.empty()) return r;
+
+  // Remaining structural problems (combinational cycles, arity limits after
+  // wide-gate decomposition) surface from the builder without a position.
+  try {
+    Circuit c = b.build();
+    if (c.num_gates() == 0) {
+      r.diags.push_back(ParseDiag{
+          0, 0, "input '" + circuit_name + "' defines no gates"});
+      return r;
+    }
+    r.circuit.emplace(std::move(c));
+  } catch (const Error& e) {
+    r.diags.push_back(ParseDiag{0, 0, e.what()});
+  }
+  return r;
+}
+
+Circuit parse_bench(std::string_view text, const std::string& circuit_name) {
+  ParseResult r = parse_bench_diag(text, circuit_name);
+  if (!r.ok()) throw Error(r.diags.front().to_string());
+  return std::move(*r.circuit);
 }
 
 Circuit parse_bench_file(const std::string& path) {

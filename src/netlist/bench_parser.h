@@ -7,21 +7,57 @@
 //   sig = KIND(a, b, ...)        KIND in AND OR NAND NOR XOR XNOR NOT
 //                                BUF|BUFF DFF (case-insensitive)
 //
-// OUTPUT may appear before the signal's definition.  Unknown keywords,
-// redefinitions, undefined references, and combinational cycles are
-// reported as cfs::Error with the offending line number.
+// OUTPUT may appear before the signal's definition.  Two entry points:
+// parse_bench() throws cfs::Error at the first problem (the historical
+// API), while parse_bench_diag() collects every diagnostic it can --
+// line and column anchored -- and only constructs the circuit when the
+// text is clean.  Duplicate signal definitions and references to signals
+// that are never defined are rejected by the parser itself, with the
+// offending token's position, rather than surfacing later as positionless
+// netlist-builder errors.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "netlist/circuit.h"
 
 namespace cfs {
 
+/// One parse problem, anchored to the offending token.  line/col are
+/// 1-based; col 0 means "whole input" (e.g. an empty file).
+struct ParseDiag {
+  std::size_t line = 0;
+  std::size_t col = 0;
+  std::string message;
+
+  /// ".bench line L, col C: message" (omitting the anchor parts that are 0).
+  std::string to_string() const;
+};
+
+/// Outcome of a diagnosing parse: either a circuit (diags empty) or a
+/// non-empty list of problems in source order, capped at kMaxDiags.
+struct ParseResult {
+  static constexpr std::size_t kMaxDiags = 100;
+
+  std::optional<Circuit> circuit;
+  std::vector<ParseDiag> diags;
+
+  bool ok() const { return circuit.has_value(); }
+};
+
+/// Parse .bench text, collecting diagnostics instead of throwing.  After a
+/// bad line the parser resynchronises at the next line, so one malformed
+/// statement does not hide problems further down.
+ParseResult parse_bench_diag(std::string_view text,
+                             const std::string& circuit_name);
+
 /// Parse .bench text.  `circuit_name` names the result (typically the file
-/// stem).
+/// stem).  Throws cfs::Error carrying the first diagnostic.
 Circuit parse_bench(std::string_view text, const std::string& circuit_name);
 
 /// Parse a .bench file from disk.

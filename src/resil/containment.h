@@ -1,0 +1,175 @@
+// Shard failure containment: configuration knobs and the test-only fault
+// injector.
+//
+// Header-only on purpose -- sim/sharded_sim.h includes this so ShardedOptions
+// can carry the containment configuration without a cfs_sharded -> cfs_resil
+// link cycle; the heavier parts of the resilience subsystem (snapshot
+// serialization, the campaign runner) live in cfs_resil, which links
+// cfs_sharded the normal way round.
+//
+// The containment protocol itself is implemented by ShardedSim's resilient
+// vector path (sim/sharded_sim.cpp): each shard attempt runs on a dedicated
+// thread behind an isolation boundary (exceptions captured, an optional
+// per-round deadline watchdog), a failed or hung shard's slice is requeued --
+// its engine restored (or rebuilt, for a hung one) from the pre-vector
+// boundary snapshot and retried with exponential backoff -- and the
+// deterministic merge order is untouched because retries never change which
+// shard owns which fault.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cfs::resil {
+
+/// The error a `throw` injection raises inside a shard worker; distinct so
+/// tests can assert the containment path (and not some real bug) fired.
+struct InjectedShardFailure : Error {
+  InjectedShardFailure(unsigned shard, std::uint64_t vector)
+      : Error("injected failure on shard " + std::to_string(shard) +
+              " at vector " + std::to_string(vector)) {}
+};
+
+/// One scripted failure: on shard `shard`, right before it simulates the
+/// driver's vector number `vector`, either throw or stall for `stall_ms`.
+/// Fires at most `times` times (a stall that repeats past the retry budget
+/// would otherwise hang the campaign it is supposed to exercise).
+struct InjectionSpec {
+  enum class Action : std::uint8_t { Throw, Stall };
+  Action action = Action::Throw;
+  unsigned shard = 0;
+  std::uint64_t vector = 0;
+  std::uint32_t stall_ms = 0;
+  std::uint32_t times = 1;
+};
+
+/// Test-only sabotage hook.  ShardedSim calls maybe_fire() from every shard
+/// worker when an injector is configured; production runs never construct
+/// one.  Thread-safe: workers on different shards consult it concurrently.
+class FaultInjector {
+ public:
+  void add(const InjectionSpec& spec) {
+    std::lock_guard<std::mutex> lk(mu_);
+    specs_.push_back(Armed{spec, 0});
+  }
+
+  /// Called by shard worker `shard` before simulating driver vector
+  /// `vector`.  Stalls happen outside the lock so a sleeping shard never
+  /// blocks the others' checks.
+  void maybe_fire(unsigned shard, std::uint64_t vector) {
+    bool do_throw = false;
+    std::uint32_t stall = 0;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      for (Armed& a : specs_) {
+        if (a.spec.shard != shard || a.spec.vector != vector) continue;
+        if (a.fired >= a.spec.times) continue;
+        ++a.fired;
+        if (a.spec.action == InjectionSpec::Action::Throw) {
+          do_throw = true;
+        } else if (a.spec.stall_ms > stall) {
+          stall = a.spec.stall_ms;
+        }
+      }
+    }
+    if (stall != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(stall));
+    }
+    if (do_throw) throw InjectedShardFailure(shard, vector);
+  }
+
+  /// Total injections that have fired (all specs).
+  std::uint64_t fired() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    std::uint64_t n = 0;
+    for (const Armed& a : specs_) n += a.fired;
+    return n;
+  }
+
+  /// Parse a comma-separated spec list, each entry
+  ///   throw:SHARD:VECTOR[:TIMES]
+  ///   stall:SHARD:VECTOR:MS[:TIMES]
+  /// e.g. "throw:1:3" or "stall:0:2:400,throw:2:5:2".  Throws cfs::Error on
+  /// malformed input.  This is the grammar behind the CLI's --inject flag.
+  /// (Returns specs rather than an injector: the mutex member makes the
+  /// class itself immovable.)
+  static std::vector<InjectionSpec> parse(const std::string& text) {
+    std::vector<InjectionSpec> out;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+      std::size_t end = text.find(',', pos);
+      if (end == std::string::npos) end = text.size();
+      const std::string entry = text.substr(pos, end - pos);
+      pos = end + 1;
+      if (entry.empty()) {
+        if (pos > text.size()) break;
+        throw Error("--inject: empty entry");
+      }
+      std::vector<std::string> f;
+      std::size_t p = 0;
+      while (p <= entry.size()) {
+        std::size_t e = entry.find(':', p);
+        if (e == std::string::npos) e = entry.size();
+        f.push_back(entry.substr(p, e - p));
+        p = e + 1;
+      }
+      auto num = [&](const std::string& s) -> std::uint64_t {
+        if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+          throw Error("--inject: bad number '" + s + "' in '" + entry + "'");
+        }
+        return std::stoull(s);
+      };
+      InjectionSpec spec;
+      if (f[0] == "throw" && (f.size() == 3 || f.size() == 4)) {
+        spec.action = InjectionSpec::Action::Throw;
+        spec.shard = static_cast<unsigned>(num(f[1]));
+        spec.vector = num(f[2]);
+        if (f.size() == 4) spec.times = static_cast<std::uint32_t>(num(f[3]));
+      } else if (f[0] == "stall" && (f.size() == 4 || f.size() == 5)) {
+        spec.action = InjectionSpec::Action::Stall;
+        spec.shard = static_cast<unsigned>(num(f[1]));
+        spec.vector = num(f[2]);
+        spec.stall_ms = static_cast<std::uint32_t>(num(f[3]));
+        if (f.size() == 5) spec.times = static_cast<std::uint32_t>(num(f[4]));
+      } else {
+        throw Error("--inject: expected throw:SHARD:VEC[:TIMES] or "
+                    "stall:SHARD:VEC:MS[:TIMES], got '" + entry + "'");
+      }
+      out.push_back(spec);
+    }
+    return out;
+  }
+
+ private:
+  struct Armed {
+    InjectionSpec spec;
+    std::uint32_t fired = 0;
+  };
+  mutable std::mutex mu_;
+  std::vector<Armed> specs_;
+};
+
+/// Shard failure containment configuration (carried by ShardedOptions).
+struct ResilOptions {
+  /// Retry rounds per vector before the failure propagates.  0 disables the
+  /// containment path entirely: apply_vector uses the plain fork-join fast
+  /// path and any shard exception aborts the vector.
+  unsigned max_retries = 0;
+  /// Watchdog deadline per attempt round (ms).  A shard still running when
+  /// it expires is declared hung: its worker thread and engine are abandoned
+  /// (parked until destruction) and the slice is requeued on a rebuilt
+  /// engine.  0 = no watchdog; only exceptions are contained.
+  std::uint32_t deadline_ms = 0;
+  /// Base backoff between retry rounds (ms); doubles every round.
+  std::uint32_t backoff_ms = 1;
+  /// Test-only sabotage hook; not owned, may be null.
+  FaultInjector* injector = nullptr;
+};
+
+}  // namespace cfs::resil

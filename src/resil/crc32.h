@@ -1,0 +1,39 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Guards the checkpoint payload: a truncated or bit-flipped snapshot file is
+// rejected at load instead of silently resuming a corrupted campaign.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace cfs::resil {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace cfs::resil

@@ -1,0 +1,237 @@
+#include "resil/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "resil/crc32.h"
+
+namespace cfs::resil {
+
+namespace {
+
+// Little-endian append/read primitives over a flat byte buffer.  The
+// checkpoint is small (O(faults + FF divergences)), so one contiguous
+// payload keeps the CRC and the atomic-rename write trivial.
+
+void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v) { b.push_back(v); }
+
+void put_u32(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+void put_u64(std::vector<std::uint8_t>& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back((v >> (8 * i)) & 0xFFu);
+}
+
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t left;
+
+  std::uint8_t u8() {
+    need(1);
+    const std::uint8_t v = *p;
+    ++p;
+    --left;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  void need(std::size_t n) const {
+    if (left < n) throw SnapshotError("checkpoint truncated");
+  }
+};
+
+std::uint8_t val_code(Val v) { return static_cast<std::uint8_t>(v); }
+
+Val val_from(std::uint8_t c) {
+  // Dual-rail codes: Zero=0, X=2, One=3; code 1 does not exist.
+  if (c != 0 && c != 2 && c != 3) {
+    throw SnapshotError("checkpoint holds an invalid logic value");
+  }
+  return static_cast<Val>(c);
+}
+
+Detect detect_from(std::uint8_t c) {
+  if (c > static_cast<std::uint8_t>(Detect::Hard)) {
+    throw SnapshotError("checkpoint holds an invalid detection status");
+  }
+  return static_cast<Detect>(c);
+}
+
+}  // namespace
+
+std::uint64_t suite_fingerprint(const TestSuite& t) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a
+  const auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 0x100000001B3ull;
+    }
+  };
+  mix(t.num_sequences());
+  mix(t.num_inputs());
+  for (const PatternSet& seq : t.sequences()) {
+    mix(seq.size());
+    for (const auto& vec : seq.vectors()) {
+      for (const Val v : vec) mix(val_code(v));
+    }
+  }
+  return h;
+}
+
+void save_checkpoint(const std::string& path, const CampaignCheckpoint& ck) {
+  std::vector<std::uint8_t> pl;
+  const std::size_t nf = ck.status.size();
+  pl.reserve(64 + nf * 11);
+
+  put_u64(pl, ck.suite_fp);
+  put_u32(pl, ck.num_gates);
+  put_u32(pl, ck.num_dffs);
+  put_u32(pl, ck.num_pis);
+  put_u32(pl, ck.num_faults);
+  put_u8(pl, ck.transition_mode);
+  put_u32(pl, ck.pass);
+  put_u64(pl, ck.seq_index);
+  put_u64(pl, ck.vec_index);
+  put_u64(pl, ck.suite_pos);
+  put_u64(pl, ck.detections_hard);
+  put_u64(pl, ck.detections_potential);
+  put_u64(pl, ck.faults_dropped);
+
+  for (const Detect d : ck.status) put_u8(pl, static_cast<std::uint8_t>(d));
+  for (const std::uint64_t v : ck.detected_at) put_u64(pl, v);
+  for (const std::uint8_t v : ck.done) put_u8(pl, v);
+  for (const std::uint8_t v : ck.suspended) put_u8(pl, v);
+
+  for (const Val v : ck.run.flop_good) put_u8(pl, val_code(v));
+  for (const auto& list : ck.run.flop_faulty) {
+    put_u32(pl, static_cast<std::uint32_t>(list.size()));
+    for (const FlopFault& f : list) {
+      put_u32(pl, f.fault);
+      put_u64(pl, f.state);
+    }
+  }
+  put_u8(pl, ck.run.prev_pins.empty() ? 0 : 1);
+  for (const Val v : ck.run.prev_pins) put_u8(pl, val_code(v));
+
+  std::vector<std::uint8_t> file;
+  file.reserve(pl.size() + 20);
+  put_u32(file, kSnapshotMagic);
+  put_u32(file, kSnapshotVersion);
+  put_u64(file, pl.size());
+  put_u32(file, crc32(pl.data(), pl.size()));
+  file.insert(file.end(), pl.begin(), pl.end());
+
+  // Atomic replace: fully write a sibling temp file, then rename.  A crash
+  // or kill at any point leaves either the old checkpoint or the new one.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw Error("cannot write checkpoint temp file '" + tmp + "'");
+  }
+  const std::size_t written = std::fwrite(file.data(), 1, file.size(), f);
+  const bool ok = written == file.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw Error("short write to checkpoint temp file '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename checkpoint into place at '" + path + "'");
+  }
+}
+
+CampaignCheckpoint load_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw SnapshotError("cannot open checkpoint '" + path + "'");
+  }
+  std::vector<std::uint8_t> file;
+  std::uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    file.insert(file.end(), buf, buf + n);
+  }
+  std::fclose(f);
+
+  Reader r{file.data(), file.size()};
+  if (r.u32() != kSnapshotMagic) {
+    throw SnapshotError("'" + path + "' is not a campaign checkpoint");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kSnapshotVersion) {
+    throw SnapshotError("checkpoint version " + std::to_string(version) +
+                        " is not supported (expected " +
+                        std::to_string(kSnapshotVersion) + ")");
+  }
+  const std::uint64_t payload_size = r.u64();
+  const std::uint32_t stored_crc = r.u32();
+  if (r.left != payload_size) {
+    throw SnapshotError("checkpoint payload size mismatch (header says " +
+                        std::to_string(payload_size) + ", file holds " +
+                        std::to_string(r.left) + ")");
+  }
+  if (crc32(r.p, r.left) != stored_crc) {
+    throw SnapshotError("checkpoint CRC mismatch -- file is corrupt");
+  }
+
+  CampaignCheckpoint ck;
+  ck.suite_fp = r.u64();
+  ck.num_gates = r.u32();
+  ck.num_dffs = r.u32();
+  ck.num_pis = r.u32();
+  ck.num_faults = r.u32();
+  ck.transition_mode = r.u8();
+  ck.pass = r.u32();
+  ck.seq_index = r.u64();
+  ck.vec_index = r.u64();
+  ck.suite_pos = r.u64();
+  ck.detections_hard = r.u64();
+  ck.detections_potential = r.u64();
+  ck.faults_dropped = r.u64();
+
+  const std::size_t nf = ck.num_faults;
+  ck.status.resize(nf);
+  for (auto& d : ck.status) d = detect_from(r.u8());
+  ck.detected_at.resize(nf);
+  for (auto& v : ck.detected_at) v = r.u64();
+  ck.done.resize(nf);
+  for (auto& v : ck.done) v = r.u8();
+  ck.suspended.resize(nf);
+  for (auto& v : ck.suspended) v = r.u8();
+
+  ck.run.flop_good.resize(ck.num_dffs);
+  for (auto& v : ck.run.flop_good) v = val_from(r.u8());
+  ck.run.flop_faulty.resize(ck.num_dffs);
+  for (auto& list : ck.run.flop_faulty) {
+    list.resize(r.u32());
+    for (FlopFault& ff : list) {
+      ff.fault = r.u32();
+      ff.state = r.u64();
+    }
+  }
+  if (r.u8() != 0) {
+    ck.run.prev_pins.resize(nf);
+    for (auto& v : ck.run.prev_pins) v = val_from(r.u8());
+  }
+  if (r.left != 0) {
+    throw SnapshotError("checkpoint has trailing bytes -- file is corrupt");
+  }
+  return ck;
+}
+
+}  // namespace cfs::resil

@@ -1,0 +1,84 @@
+// Versioned, CRC-guarded binary checkpoints of a fault-simulation campaign.
+//
+// A checkpoint is everything resil/campaign.h needs to continue a killed
+// campaign bit-identically: the per-fault master status and detection
+// positions, the multi-pass bookkeeping (done/suspended masks, pass number),
+// the deterministic counters, the pattern-source cursor, and the engine run
+// state (core/run_state.h -- flip-flop good values, per-DFF faulty
+// divergences, transition-mode previous pin values).
+//
+// File layout (all integers little-endian):
+//   u32 magic 'CFS\x01' | u32 version | u64 payload bytes | u32 crc32(payload)
+//   payload...
+// Loading validates magic, version, size, and CRC, then the campaign
+// validates the embedded circuit/suite fingerprints -- a checkpoint only
+// resumes against the same circuit, fault universe, and test suite it was
+// written under.  Writes are atomic: a temp file in the same directory is
+// fsync-free but fully written and then renamed over the target, so a kill
+// -9 mid-write leaves the previous checkpoint intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/run_state.h"
+#include "faults/fault.h"
+#include "patterns/pattern.h"
+#include "util/error.h"
+
+namespace cfs::resil {
+
+/// Loaders throw this (not a generic cfs::Error) so callers can tell
+/// "checkpoint unusable" apart from programming errors.
+struct SnapshotError : Error {
+  using Error::Error;
+};
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x01534643u;  // "CFS\x01"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// detected_at value for a fault with no hard detection yet.
+inline constexpr std::uint64_t kNotDetected = ~std::uint64_t{0};
+
+struct CampaignCheckpoint {
+  // -- identity -----------------------------------------------------------
+  std::uint64_t suite_fp = 0;    ///< suite_fingerprint() of the test suite
+  std::uint32_t num_gates = 0;   ///< circuit shape check
+  std::uint32_t num_dffs = 0;
+  std::uint32_t num_pis = 0;
+  std::uint32_t num_faults = 0;
+  std::uint8_t transition_mode = 0;
+
+  // -- pattern-source cursor ----------------------------------------------
+  std::uint32_t pass = 0;       ///< memory-budget pass number (0-based)
+  std::uint64_t seq_index = 0;  ///< sequence being simulated
+  std::uint64_t vec_index = 0;  ///< next vector within that sequence
+  std::uint64_t suite_pos = 0;  ///< cumulative vectors applied (all passes)
+
+  // -- deterministic counters (campaign-computed, shard-invariant) ---------
+  std::uint64_t detections_hard = 0;
+  std::uint64_t detections_potential = 0;
+  std::uint64_t faults_dropped = 0;
+
+  // -- per-fault campaign state -------------------------------------------
+  std::vector<Detect> status;               ///< master detection status
+  std::vector<std::uint64_t> detected_at;   ///< suite_pos of first hard hit
+  std::vector<std::uint8_t> done;           ///< fully simulated in some pass
+  std::vector<std::uint8_t> suspended;      ///< current suspension overlay
+
+  // -- engine run state ----------------------------------------------------
+  RunStateSnapshot run;
+};
+
+/// FNV-1a over the suite's shape and every PI value; resuming against a
+/// different vector stream is refused.
+std::uint64_t suite_fingerprint(const TestSuite& t);
+
+/// Serialize + atomically replace `path`.  Throws cfs::Error on I/O failure.
+void save_checkpoint(const std::string& path, const CampaignCheckpoint& ck);
+
+/// Load and validate header + CRC.  Throws SnapshotError on missing file,
+/// bad magic, unsupported version, truncation, or checksum mismatch.
+CampaignCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace cfs::resil

@@ -39,6 +39,18 @@ class LevelQueue {
 
   bool empty() const { return pending_ == 0; }
 
+  /// Discard every pending event.  Recovery primitive: an exception thrown
+  /// from drain()'s process callback (e.g. a pool-budget overflow) leaves
+  /// entries parked in the buckets; the engine rebuild clears them before
+  /// rescheduling from scratch.
+  void clear() {
+    for (auto& bucket : buckets_) {
+      for (const GateId g : bucket) scheduled_[g] = 0;
+      bucket.clear();
+    }
+    pending_ = 0;
+  }
+
   /// Drain in ascending level order.  `process(g)` may schedule gates at
   /// strictly higher levels (asserted in debug builds).
   template <typename F>

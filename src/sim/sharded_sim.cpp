@@ -1,6 +1,14 @@
 #include "sim/sharded_sim.h"
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <numeric>
+
+#include "util/error.h"
+#include "util/pool.h"
 
 namespace cfs {
 
@@ -25,28 +33,55 @@ ShardedSim::ShardedSim(std::shared_ptr<const SimModel> model,
       opt_(opt),
       part_(model_->num_faults(),
             clamp_shards(opt.num_threads, model_->num_faults())),
-      pool_(part_.num_shards()) {
+      pool_(part_.num_shards()),
+      suspended_(std::move(opt_.suspended)) {
   const unsigned k = part_.num_shards();
   engines_.resize(k);
   shard_obs_.resize(k);
   // Shard construction includes the initial reset (a full good-machine
   // sweep plus fault activation), so build the engines in parallel too.
   pool_.parallel_for(k, [&](std::size_t s) {
-    // Each shard's element pool is pre-sized from its own slice of the
-    // universe (+1 for the sentinel) unless the caller already gave a hint.
-    CsimOptions copt = opt_.csim;
-    if (copt.reserve_elements == 0) {
-      copt.reserve_elements =
-          part_.shard_size(static_cast<unsigned>(s)) + 1;
-    }
-    // A single shard covering the whole universe gets no partition filter
-    // at all: ShardedSim with --threads 1 *is* plain ConcurrentSim.
-    engines_[s] = k == 1
-                      ? std::make_unique<ConcurrentSim>(model_, copt)
-                      : std::make_unique<ConcurrentSim>(
-                            model_, copt, &part_,
-                            static_cast<unsigned>(s));
+    engines_[s] = make_shard_engine(static_cast<unsigned>(s));
   });
+}
+
+ShardedSim::~ShardedSim() {
+  // Abandoned workers hold raw pointers into their graveyard engines, so
+  // join every thread before the engines (members of the same structs)
+  // destruct.  A stalled shard wakes up eventually; this is where we wait.
+  for (Abandoned& a : graveyard_) {
+    if (a.worker.joinable()) a.worker.join();
+  }
+}
+
+CsimOptions ShardedSim::shard_csim_options(unsigned s) const {
+  CsimOptions copt = opt_.csim;
+  const unsigned k = part_.num_shards();
+  // Each shard's element pool is pre-sized from its own slice of the
+  // universe (+1 for the sentinel) unless the caller already gave a hint.
+  if (copt.reserve_elements == 0) {
+    copt.reserve_elements = part_.shard_size(s) + 1;
+  }
+  // The element budget is a universe-wide ceiling: divide it across the
+  // shards (the floor of 2 keeps a degenerate split able to hold at least
+  // one real element per shard).
+  if (copt.max_elements != 0 && k > 1) {
+    copt.max_elements = std::max<std::size_t>(copt.max_elements / k, 2);
+  }
+  return copt;
+}
+
+std::unique_ptr<ConcurrentSim> ShardedSim::make_shard_engine(
+    unsigned s) const {
+  const CsimOptions copt = shard_csim_options(s);
+  const std::vector<std::uint8_t>* susp =
+      suspended_.empty() ? nullptr : &suspended_;
+  // A single shard covering the whole universe gets no partition filter at
+  // all: ShardedSim with --threads 1 *is* plain ConcurrentSim.
+  if (part_.num_shards() == 1) {
+    return std::make_unique<ConcurrentSim>(model_, copt, nullptr, 0, susp);
+  }
+  return std::make_unique<ConcurrentSim>(model_, copt, &part_, s, susp);
 }
 
 void ShardedSim::reset(Val ff_init, bool clear_status) {
@@ -57,11 +92,21 @@ void ShardedSim::reset(Val ff_init, bool clear_status) {
 }
 
 std::size_t ShardedSim::apply_vector(std::span<const Val> pi_vals) {
+  // The containment path is incompatible with detection observers: an
+  // abandoned worker could still be appending to its observation buffer
+  // while the requeued attempt records into the same slot.
+  if (opt_.resil.max_retries > 0 && !observer_) {
+    return apply_vector_resilient(pi_vals);
+  }
   const std::size_t k = engines_.size();
   std::vector<std::size_t> newly(k, 0);
   pool_.parallel_for(k, [&](std::size_t s) {
     shard_obs_[s].clear();
     const std::uint64_t t0 = trace_ ? trace_->now_us() : 0;
+    if (opt_.resil.injector != nullptr) {
+      opt_.resil.injector->maybe_fire(static_cast<unsigned>(s),
+                                      vectors_applied_);
+    }
     newly[s] = engines_[s]->apply_vector(pi_vals);
     if (trace_) {
       const std::uint64_t t1 = trace_->now_us();
@@ -72,6 +117,7 @@ std::size_t ShardedSim::apply_vector(std::span<const Val> pi_vals) {
       }
     }
   });
+  ++vectors_applied_;
   merged_dirty_ = true;
   if (observer_) replay_observations();
   std::size_t total = 0;
@@ -79,10 +125,167 @@ std::size_t ShardedSim::apply_vector(std::span<const Val> pi_vals) {
   return total;
 }
 
+std::size_t ShardedSim::apply_vector_resilient(std::span<const Val> pi_vals) {
+  const std::size_t k = engines_.size();
+  // Boundary state: what a failed or hung shard's retry restarts from.
+  // Captured per shard so a retry only rebuilds the shard that failed.
+  std::vector<RunStateSnapshot> snaps(k);
+  std::vector<std::vector<Detect>> snap_status(k);
+  for (std::size_t s = 0; s < k; ++s) {
+    snaps[s] = engines_[s]->capture_run_state();
+    snap_status[s] = engines_[s]->status();
+  }
+  // The vector outlives this call if a worker hangs, so the abandoned
+  // thread must not read through the caller's span.
+  const auto pis = std::make_shared<const std::vector<Val>>(pi_vals.begin(),
+                                                            pi_vals.end());
+  struct Sync {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t completed = 0;
+  };
+  struct Task {
+    ConcurrentSim* engine = nullptr;
+    std::shared_ptr<const std::vector<Val>> pis;
+    std::size_t newly = 0;
+    std::exception_ptr error;
+    bool done = false;  // guarded by the round's Sync::mu
+  };
+
+  const std::uint64_t vec_no = vectors_applied_;
+  std::vector<std::size_t> newly(k, 0);
+  std::vector<std::size_t> pending(k);
+  std::iota(pending.begin(), pending.end(), std::size_t{0});
+
+  for (unsigned round = 0;; ++round) {
+    // Isolation boundary: one dedicated thread per pending shard (the
+    // shared ThreadPool cannot abandon a hung task).  Each worker's result
+    // lands in a shared_ptr'd Task so an abandoned worker scribbles on its
+    // own orphaned state, never on the retry's.
+    const auto sync = std::make_shared<Sync>();
+    std::vector<std::shared_ptr<Task>> tasks(pending.size());
+    std::vector<std::thread> threads(pending.size());
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const auto shard = static_cast<unsigned>(pending[i]);
+      auto task = std::make_shared<Task>();
+      task->engine = engines_[shard].get();
+      task->pis = pis;
+      tasks[i] = task;
+      resil::FaultInjector* inj = opt_.resil.injector;
+      threads[i] = std::thread([task, sync, inj, shard, vec_no] {
+        try {
+          if (inj != nullptr) inj->maybe_fire(shard, vec_no);
+          task->newly = task->engine->apply_vector(*task->pis);
+        } catch (...) {
+          task->error = std::current_exception();
+        }
+        {
+          std::lock_guard<std::mutex> lk(sync->mu);
+          task->done = true;
+          ++sync->completed;
+        }
+        sync->cv.notify_all();
+      });
+    }
+    {
+      std::unique_lock<std::mutex> lk(sync->mu);
+      const auto all_done = [&] { return sync->completed == tasks.size(); };
+      if (opt_.resil.deadline_ms == 0) {
+        sync->cv.wait(lk, all_done);
+      } else {
+        sync->cv.wait_for(lk,
+                          std::chrono::milliseconds(opt_.resil.deadline_ms),
+                          all_done);
+      }
+    }
+
+    std::vector<std::size_t> failed;
+    std::exception_ptr budget_error;
+    std::exception_ptr last_error;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::size_t s = pending[i];
+      bool done;
+      {
+        std::lock_guard<std::mutex> lk(sync->mu);
+        done = tasks[i]->done;
+      }
+      if (!done) {
+        // Hung past the deadline: abandon worker and engine (parked until
+        // destruction -- the thread is still executing inside the engine)
+        // and requeue the shard's slice on a rebuilt engine.
+        graveyard_.push_back(
+            Abandoned{std::move(engines_[s]), std::move(threads[i])});
+        engines_[s] = make_shard_engine(static_cast<unsigned>(s));
+        engines_[s]->restore_run_state(snaps[s], snap_status[s]);
+        ++shard_requeues_;
+        ++shard_retries_;
+        if (trace_) {
+          trace_->instant(driver_tid(),
+                          "requeue shard " + std::to_string(s),
+                          trace_->now_us());
+        }
+        failed.push_back(s);
+        continue;
+      }
+      threads[i].join();
+      if (!tasks[i]->error) {
+        newly[s] = tasks[i]->newly;
+        continue;
+      }
+      bool is_budget = false;
+      try {
+        std::rethrow_exception(tasks[i]->error);
+      } catch (const PoolBudgetError&) {
+        is_budget = true;
+        budget_error = tasks[i]->error;
+      } catch (...) {
+        last_error = tasks[i]->error;
+      }
+      if (is_budget) continue;  // not retryable: same budget, same throw
+      // The engine may be a half-merged wreck; restore_run_state rebuilds
+      // it from the boundary wholesale.
+      engines_[s]->restore_run_state(snaps[s], snap_status[s]);
+      ++shard_retries_;
+      if (trace_) {
+        trace_->instant(driver_tid(), "retry shard " + std::to_string(s),
+                        trace_->now_us());
+      }
+      failed.push_back(s);
+    }
+
+    if (budget_error) {
+      // Memory-budget overflow is the campaign's to handle (suspend part of
+      // the universe, restore, go multi-pass); retrying here cannot help.
+      merged_dirty_ = true;
+      std::rethrow_exception(budget_error);
+    }
+    if (failed.empty()) break;
+    if (round >= opt_.resil.max_retries) {
+      merged_dirty_ = true;
+      if (last_error) std::rethrow_exception(last_error);
+      throw Error("shard deadline exceeded " +
+                  std::to_string(opt_.resil.max_retries + 1) +
+                  " times; giving up on vector " + std::to_string(vec_no));
+    }
+    // Exponential backoff before the retry round.
+    const std::uint64_t ms = std::uint64_t{opt_.resil.backoff_ms}
+                             << std::min(round, 20u);
+    if (ms != 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    pending = std::move(failed);
+  }
+
+  ++vectors_applied_;
+  merged_dirty_ = true;
+  std::size_t total = 0;
+  for (std::size_t n : newly) total += n;  // shards are disjoint: exact sum
+  return total;
+}
+
 void ShardedSim::run(const TestSuite& t, Val ff_init) {
-  if (observer_) {
+  if (observer_ || opt_.resil.max_retries > 0) {
     // Lockstep keeps the observer callback order identical to a
-    // single-threaded run.
+    // single-threaded run, and is what gives the containment path its
+    // per-vector retry boundary.
     for (const PatternSet& seq : t.sequences()) {
       reset(ff_init);
       for (std::size_t i = 0; i < seq.size(); ++i) apply_vector(seq[i]);
@@ -136,6 +339,62 @@ const std::vector<Detect>& ShardedSim::status() const {
   return merged_;
 }
 
+RunStateSnapshot ShardedSim::capture_run_state() const {
+  if (engines_.size() == 1) return engines_[0]->capture_run_state();
+  std::vector<RunStateSnapshot> per(engines_.size());
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    per[s] = engines_[s]->capture_run_state();
+  }
+  RunStateSnapshot out;
+  // Every shard simulates the same good machine; take shard 0's copy.
+  out.flop_good = per[0].flop_good;
+  out.flop_faulty.resize(per[0].flop_faulty.size());
+  for (std::size_t d = 0; d < out.flop_faulty.size(); ++d) {
+    auto& merged = out.flop_faulty[d];
+    for (const RunStateSnapshot& p : per) {
+      merged.insert(merged.end(), p.flop_faulty[d].begin(),
+                    p.flop_faulty[d].end());
+    }
+    // Shards own disjoint fault sets, so this is a merge, not a dedup.
+    std::sort(merged.begin(), merged.end(),
+              [](const FlopFault& a, const FlopFault& b) {
+                return a.fault < b.fault;
+              });
+  }
+  if (!per[0].prev_pins.empty()) {
+    // Each engine only maintains previous values for the faults it owns;
+    // read every fault's entry from its owner shard.
+    out.prev_pins.resize(per[0].prev_pins.size());
+    for (std::size_t id = 0; id < out.prev_pins.size(); ++id) {
+      out.prev_pins[id] =
+          per[part_.shard_of(static_cast<std::uint32_t>(id))].prev_pins[id];
+    }
+  }
+  return out;
+}
+
+void ShardedSim::restore_run_state(const RunStateSnapshot& s,
+                                   const std::vector<Detect>& status) {
+  pool_.parallel_for(engines_.size(), [&](std::size_t i) {
+    engines_[i]->restore_run_state(s, status);
+  });
+  merged_dirty_ = true;
+}
+
+void ShardedSim::set_suspended(const std::vector<std::uint8_t>& suspended) {
+  suspended_ = suspended;
+  for (auto& e : engines_) e->set_suspended(suspended);
+}
+
+void ShardedSim::adopt_status(const std::vector<Detect>& status) {
+  for (auto& e : engines_) e->adopt_status(status);
+  merged_dirty_ = true;
+}
+
+void ShardedSim::reset_peak_elements() {
+  for (auto& e : engines_) e->reset_peak_elements();
+}
+
 void ShardedSim::set_trace(obs::TraceEmitter* trace) {
   trace_ = trace;
   if (trace_ != nullptr) {
@@ -183,6 +442,8 @@ SimStats ShardedSim::stats() const {
   st.model_bytes = model_->bytes();
   st.circuit_bytes = model_->circuit().bytes();
   st.driver = driver_timers_;
+  st.shard_retries = shard_retries_;
+  st.shard_requeues = shard_requeues_;
   st.per_engine.reserve(engines_.size());
   for (const auto& e : engines_) {
     EngineStats es;

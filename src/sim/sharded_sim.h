@@ -17,15 +17,18 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/concurrent_sim.h"
+#include "core/run_state.h"
 #include "core/sim_model.h"
 #include "faults/partition.h"
 #include "obs/counters.h"
 #include "obs/timers.h"
 #include "obs/trace.h"
 #include "patterns/pattern.h"
+#include "resil/containment.h"
 #include "util/memtrack.h"
 #include "util/thread_pool.h"
 
@@ -36,8 +39,17 @@ struct ShardedOptions {
   /// (clamped to the number of faults).  1 reproduces plain ConcurrentSim
   /// with no thread machinery at all.
   unsigned num_threads = 1;
-  /// Per-shard engine configuration.
+  /// Per-shard engine configuration.  A csim.max_elements budget is the
+  /// budget for the *whole* universe: it is divided across the shards.
   CsimOptions csim;
+  /// Shard failure containment (resil/containment.h).  Off by default.
+  resil::ResilOptions resil;
+  /// Initial suspension mask (size num_faults, or empty): marked faults are
+  /// excluded from simulation until set_suspended()/restore_run_state()
+  /// changes the overlay.  The memory-budget multi-pass path constructs
+  /// later passes through this so even the engines' *initial* activation
+  /// stays within budget.
+  std::vector<std::uint8_t> suspended;
 };
 
 /// Activity and footprint of one shard engine.
@@ -74,6 +86,11 @@ struct SimStats {
   obs::PhaseTimers driver;
   std::size_t model_bytes = 0;
   std::size_t circuit_bytes = 0;
+  /// Containment counters: shard vector attempts that were retried after an
+  /// exception or a deadline expiry, and the subset where a hung shard's
+  /// slice was requeued onto a rebuilt engine.  Zero with containment off.
+  std::uint64_t shard_retries = 0;
+  std::uint64_t shard_requeues = 0;
 };
 
 class ShardedSim {
@@ -87,6 +104,9 @@ class ShardedSim {
   /// engines the caller runs over it).
   explicit ShardedSim(std::shared_ptr<const SimModel> model,
                       ShardedOptions opt = {});
+
+  /// Joins any worker threads abandoned by the deadline watchdog.
+  ~ShardedSim();
 
   const SimModel& model() const { return *model_; }
   const FaultPartition& partition() const { return part_; }
@@ -122,6 +142,36 @@ class ShardedSim {
 
   void set_detection_observer(ConcurrentSim::DetectionObserver obs);
 
+  // -- resilience (resil/campaign.h drives these) --------------------------
+
+  /// Merged boundary snapshot over the whole universe: per-shard captures
+  /// combined by ascending fault id.  Shard-count-agnostic -- a snapshot
+  /// captured here restores into a ShardedSim with any other shard count.
+  RunStateSnapshot capture_run_state() const;
+
+  /// Restore every shard from a (whole-universe) snapshot and master status
+  /// table; each engine keeps only the faults it owns and is not suspended.
+  void restore_run_state(const RunStateSnapshot& s,
+                         const std::vector<Detect>& status);
+
+  /// Replace the suspension overlay on every shard (takes effect at the
+  /// next restore_run_state()/reset()); replacement engines built by the
+  /// containment path inherit it.
+  void set_suspended(const std::vector<std::uint8_t>& suspended);
+
+  /// Push a master detection-status table into every shard ahead of a
+  /// reset(): freshly built engines (campaign resume at a sequence
+  /// boundary) must know which faults are already hard-detected so
+  /// dropping keeps them out of the rebuilt lists.
+  void adopt_status(const std::vector<Detect>& status);
+
+  /// Start a fresh element-pool high-water epoch on every shard.
+  void reset_peak_elements();
+
+  /// Containment counters (see SimStats).
+  std::uint64_t shard_retries() const { return shard_retries_; }
+  std::uint64_t shard_requeues() const { return shard_requeues_; }
+
   // -- telemetry -----------------------------------------------------------
   /// Attach a Chrome-trace emitter (obs/trace.h): one track per shard
   /// records a slice per vector (lockstep) or per sequence (coarse run),
@@ -144,12 +194,36 @@ class ShardedSim {
   std::uint32_t driver_tid() const {
     return static_cast<std::uint32_t>(engines_.size());
   }
+  /// Per-shard engine options: default pool pre-size from the shard's slice,
+  /// universe-wide element budget divided across the shards.
+  CsimOptions shard_csim_options(unsigned s) const;
+  /// Build (or rebuild, on the containment path) shard `s`'s engine with the
+  /// current suspension overlay.
+  std::unique_ptr<ConcurrentSim> make_shard_engine(unsigned s) const;
+  /// The containment path: isolation boundary + watchdog + bounded requeue.
+  std::size_t apply_vector_resilient(std::span<const Val> pi_vals);
 
   std::shared_ptr<const SimModel> model_;
   ShardedOptions opt_;
   FaultPartition part_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<ConcurrentSim>> engines_;
+
+  // Current suspension overlay (mirrors what every engine was last given).
+  std::vector<std::uint8_t> suspended_;
+  // Driver-level vector counter: the `vector` coordinate injection specs
+  // address, and the campaign's notion of progress.
+  std::uint64_t vectors_applied_ = 0;
+  std::uint64_t shard_retries_ = 0;
+  std::uint64_t shard_requeues_ = 0;
+  // A hung shard's abandoned worker and engine: the thread still runs (or
+  // sleeps) inside the engine, so both stay alive, parked here, until the
+  // destructor joins them.
+  struct Abandoned {
+    std::unique_ptr<ConcurrentSim> engine;
+    std::thread worker;
+  };
+  std::vector<Abandoned> graveyard_;
 
   ConcurrentSim::DetectionObserver observer_;
   struct Observation {

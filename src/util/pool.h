@@ -22,9 +22,23 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/error.h"
+
 namespace cfs {
 
 inline constexpr std::uint32_t kNullIndex = 0xFFFFFFFFu;
+
+/// Thrown by Pool::alloc() when a live-object budget is set and granting
+/// one more object would exceed it.  The signal the memory-budget
+/// degradation path (resil/campaign.h) catches to switch a campaign into
+/// multi-pass mode instead of aborting or OOM-ing the host.
+struct PoolBudgetError : Error {
+  explicit PoolBudgetError(std::size_t budget)
+      : Error("fault-element pool budget exceeded (" +
+              std::to_string(budget) + " elements)"),
+        budget(budget) {}
+  std::size_t budget;
+};
 
 template <typename T>
 class Pool {
@@ -41,12 +55,17 @@ class Pool {
       static_cast<std::uint32_t>(kChunkSize - 1);
 
   /// Allocate one object (contents unspecified; reset by caller); returns
-  /// its pool index.  Never moves existing objects.
+  /// its pool index.  Never moves existing objects.  Throws PoolBudgetError
+  /// when a budget is set and `live() == budget` already.
   std::uint32_t alloc() {
+    if (budget_ != 0 && live_ >= budget_) throw PoolBudgetError(budget_);
     if (free_head_ != kNullIndex) {
       const std::uint32_t idx = free_head_;
       free_head_ = read_link(idx);
       ++live_;
+      // reset_peak() can start an epoch below size_, so the free-list path
+      // must maintain the high-water mark too.
+      peak_live_ = live_ > peak_live_ ? live_ : peak_live_;
       return idx;
     }
     if (size_ == chunks_.size() * kChunkSize) {
@@ -84,8 +103,18 @@ class Pool {
   /// Objects currently allocated.
   std::size_t live() const { return live_; }
   /// High-water mark of live objects.  Survives reset() (lifetime
-  /// high-water); clear() starts a fresh epoch.
+  /// high-water); clear() and reset_peak() start a fresh epoch.
   std::size_t peak_live() const { return peak_live_; }
+  /// Restart the high-water epoch at the current live count (campaign
+  /// accounting across budget-enforced passes).
+  void reset_peak() { peak_live_ = live_; }
+
+  /// Hard ceiling on live objects; alloc() throws PoolBudgetError rather
+  /// than exceed it.  0 (the default) disables enforcement.  Chunks already
+  /// reserved above the budget are kept -- the budget bounds *live* objects,
+  /// not backing storage.
+  void set_budget(std::size_t max_live) { budget_ = max_live; }
+  std::size_t budget() const { return budget_; }
   /// Slots backed by allocated chunks.
   std::size_t capacity() const { return chunks_.size() * kChunkSize; }
   /// Bytes held by the pool's backing storage (capacity, not just live).
@@ -133,6 +162,7 @@ class Pool {
   std::uint32_t free_head_ = kNullIndex;
   std::size_t live_ = 0;
   std::size_t peak_live_ = 0;
+  std::size_t budget_ = 0;  // 0 = unlimited
 };
 
 }  // namespace cfs

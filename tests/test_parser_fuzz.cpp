@@ -1,0 +1,276 @@
+// .bench parser hardening: diagnostic anchoring (line/column), duplicate
+// and dangling-signal rejection, multi-error collection -- plus a
+// stdlib-only fuzz smoke test: a thousand random mutations of real netlist
+// text must never crash the parser, and whatever it accepts must be a
+// well-formed circuit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/circuit_gen.h"
+#include "gen/iscas_profiles.h"
+#include "netlist/bench_parser.h"
+#include "netlist/bench_writer.h"
+#include "util/error.h"
+
+namespace cfs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+TEST(ParseDiagnostics, CleanInputYieldsCircuitAndNoDiags) {
+  const ParseResult r = parse_bench_diag(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n", "t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.diags.empty());
+  EXPECT_EQ(r.circuit->num_gates(), 3u);  // 2 PIs + the AND
+}
+
+TEST(ParseDiagnostics, DuplicateDefinitionCitesFirstSite) {
+  const ParseResult r = parse_bench_diag(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\ny = OR(a, b)\n", "t");
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.diags.size(), 1u);
+  EXPECT_EQ(r.diags[0].line, 5u);
+  EXPECT_EQ(r.diags[0].col, 1u);
+  EXPECT_NE(r.diags[0].message.find("'y' is already defined (line 4)"),
+            std::string::npos);
+}
+
+TEST(ParseDiagnostics, DuplicateInputRejected) {
+  const ParseResult r =
+      parse_bench_diag("INPUT(a)\nINPUT(a)\nOUTPUT(a)\n", "t");
+  ASSERT_FALSE(r.ok());
+  ASSERT_GE(r.diags.size(), 1u);
+  EXPECT_EQ(r.diags[0].line, 2u);
+  EXPECT_NE(r.diags[0].message.find("already defined (line 1)"),
+            std::string::npos);
+}
+
+TEST(ParseDiagnostics, DanglingFaninAnchoredToReference) {
+  const ParseResult r = parse_bench_diag(
+      "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n", "t");
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.diags.size(), 1u);
+  EXPECT_EQ(r.diags[0].line, 3u);
+  EXPECT_EQ(r.diags[0].col, 12u);  // column of "ghost"
+  EXPECT_NE(r.diags[0].message.find("'ghost' is referenced but never"),
+            std::string::npos);
+}
+
+TEST(ParseDiagnostics, DanglingOutputReported) {
+  const ParseResult r = parse_bench_diag(
+      "INPUT(a)\nOUTPUT(nowhere)\nOUTPUT(y)\ny = NOT(a)\n", "t");
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.diags.size(), 1u);
+  EXPECT_EQ(r.diags[0].line, 2u);
+  EXPECT_NE(r.diags[0].message.find("'nowhere'"), std::string::npos);
+}
+
+TEST(ParseDiagnostics, ForwardReferencesAreLegal) {
+  const ParseResult r = parse_bench_diag(
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(q)\nq = DFF(a)\n", "t");
+  EXPECT_TRUE(r.ok()) << (r.diags.empty() ? "" : r.diags[0].to_string());
+}
+
+TEST(ParseDiagnostics, MultipleErrorsCollectedInSourceOrder) {
+  const ParseResult r = parse_bench_diag("INPUT(a)\n"
+                                         "junk line\n"
+                                         "OUTPUT(y)\n"
+                                         "y = FROB(a)\n"
+                                         "z = AND(a, missing)\n",
+                                         "t");
+  ASSERT_FALSE(r.ok());
+  // bad statement (2), unknown kind (4), dangling 'missing' (5).  'y' and
+  // 'z' are seeded as defined by their diagnosed lines, so no cascade.
+  ASSERT_EQ(r.diags.size(), 3u);
+  EXPECT_EQ(r.diags[0].line, 2u);
+  EXPECT_EQ(r.diags[1].line, 4u);
+  EXPECT_EQ(r.diags[2].line, 5u);
+}
+
+TEST(ParseDiagnostics, EmptyInputReported) {
+  const ParseResult r = parse_bench_diag("  \n# only a comment\n", "t");
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.diags.size(), 1u);
+  EXPECT_EQ(r.diags[0].line, 0u);
+  EXPECT_NE(r.diags[0].message.find("defines no gates"), std::string::npos);
+}
+
+TEST(ParseDiagnostics, ToStringFormatsAnchor) {
+  EXPECT_EQ((ParseDiag{3, 7, "boom"}).to_string(),
+            ".bench line 3, col 7: boom");
+  EXPECT_EQ((ParseDiag{3, 0, "boom"}).to_string(), ".bench line 3: boom");
+  EXPECT_EQ((ParseDiag{0, 0, "boom"}).to_string(), ".bench: boom");
+}
+
+TEST(ParseDiagnostics, ThrowingEntryPointCarriesFirstDiag) {
+  try {
+    (void)parse_bench("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n", "t");
+    FAIL() << "expected cfs::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(ParseDiagnostics, DiagCountIsCapped) {
+  std::string text = "OUTPUT(y)\ny = NOT(x0)\nINPUT(x0)\n";
+  for (int i = 0; i < 300; ++i) text += "bogus statement\n";
+  const ParseResult r = parse_bench_diag(text, "t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.diags.size(), ParseResult::kMaxDiags);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz smoke test (stdlib-only, deterministic)
+// ---------------------------------------------------------------------------
+
+// xorshift64* -- deterministic across platforms, no <random> distribution
+// variance.
+struct Rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1Dull;
+  }
+  std::size_t below(std::size_t n) {
+    return static_cast<std::size_t>(next() % n);
+  }
+};
+
+std::string mutate(const std::string& seed_text, Rng& rng) {
+  std::string t = seed_text;
+  const std::size_t edits = 1 + rng.below(8);
+  for (std::size_t e = 0; e < edits; ++e) {
+    if (t.empty()) break;
+    switch (rng.below(6)) {
+      case 0:  // flip a byte to a random printable-or-control character
+        t[rng.below(t.size())] =
+            static_cast<char>(rng.below(96) + (rng.below(8) == 0 ? 0 : 32));
+        break;
+      case 1:  // delete a span
+        t.erase(rng.below(t.size()), rng.below(16) + 1);
+        break;
+      case 2:  // insert separator soup
+        t.insert(rng.below(t.size()),
+                 std::string("(),=#\n").substr(rng.below(6), 1 + rng.below(2)));
+        break;
+      case 3:  // duplicate a line
+      {
+        const std::size_t at = rng.below(t.size());
+        const std::size_t ls = t.rfind('\n', at);
+        const std::size_t le = t.find('\n', at);
+        const std::string line = t.substr(
+            ls == std::string::npos ? 0 : ls + 1,
+            (le == std::string::npos ? t.size() : le) -
+                (ls == std::string::npos ? 0 : ls + 1));
+        t.insert(le == std::string::npos ? t.size() : le, "\n" + line);
+        break;
+      }
+      case 4:  // truncate
+        t.resize(rng.below(t.size()) + 1);
+        break;
+      case 5:  // swap two halves
+      {
+        const std::size_t cut = rng.below(t.size());
+        t = t.substr(cut) + t.substr(0, cut);
+        break;
+      }
+    }
+  }
+  return t;
+}
+
+void fuzz_one(const std::string& text, const char* what, std::uint64_t i) {
+  const ParseResult r = parse_bench_diag(text, "fuzz");
+  if (r.ok()) {
+    // Whatever survives must be a structurally sound circuit.
+    ASSERT_TRUE(r.diags.empty()) << what << " #" << i;
+    ASSERT_GT(r.circuit->num_gates(), 0u) << what << " #" << i;
+  } else {
+    ASSERT_FALSE(r.diags.empty()) << what << " #" << i;
+    ASSERT_LE(r.diags.size(), ParseResult::kMaxDiags);
+    // Diagnostics stay anchored inside the input.
+    std::size_t lines = 1;
+    for (const char ch : text) lines += ch == '\n';
+    for (const ParseDiag& d : r.diags) {
+      ASSERT_LE(d.line, lines) << what << " #" << i;
+      ASSERT_LE(d.col, text.size() + 1) << what << " #" << i;
+      ASSERT_FALSE(d.message.empty());
+      (void)d.to_string();
+    }
+  }
+  // The throwing entry point agrees with the diagnosing one.
+  if (!r.ok()) {
+    EXPECT_THROW((void)parse_bench(text, "fuzz"), Error)
+        << what << " #" << i;
+  }
+}
+
+TEST(ParserFuzz, ThousandMutationsOfS27NeverCrash) {
+  const std::string seed_text = write_bench(make_benchmark("s27"));
+  ASSERT_TRUE(parse_bench_diag(seed_text, "s27").ok());
+  Rng rng{0x5EEDBA5Eull};
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    fuzz_one(mutate(seed_text, rng), "s27", i);
+  }
+}
+
+TEST(ParserFuzz, MutatedGeneratedCircuitsNeverCrash) {
+  Rng rng{0xFADEDFACEull};
+  for (std::uint64_t g = 0; g < 8; ++g) {
+    GenProfile prof;
+    prof.name = "fz" + std::to_string(g);
+    prof.num_pis = 3 + static_cast<unsigned>(g % 4);
+    prof.num_dffs = 2 + static_cast<unsigned>(g % 3);
+    prof.num_gates = 30 + static_cast<unsigned>(g) * 7;
+    prof.seed = 100 + g;
+    const std::string seed_text = write_bench(generate_circuit(prof));
+    ASSERT_TRUE(parse_bench_diag(seed_text, prof.name).ok()) << prof.name;
+    for (std::uint64_t i = 0; i < 40; ++i) {
+      fuzz_one(mutate(seed_text, rng), prof.name.c_str(), i);
+    }
+  }
+}
+
+TEST(ParserFuzz, AdversarialHandWrittenInputs) {
+  const char* cases[] = {
+      "",
+      "\n\n\n",
+      "(",
+      ")",
+      "=",
+      "a=",
+      "=b",
+      "a==b()",
+      "INPUT",
+      "INPUT()",
+      "INPUT(a",
+      "INPUT(a))",
+      "INPUT((a))",
+      "OUTPUT(,)",
+      "y = AND(,)",
+      "y = AND()",
+      "y = ()",
+      "y = (a)",
+      "y = AND(a,,b)",
+      "x = DFF(a, b)",
+      "INPUT(a)\na = AND(a, a)\nOUTPUT(a)",
+      "# nothing but comments\n#\n#",
+      "y = AND(a, b) = OR(c)",
+      "INPUT(\xFF\xFE)\nOUTPUT(\xFF\xFE)",
+      "INPUT(a)\r\nOUTPUT(y)\r\ny = NOT(a)\r\n",
+  };
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    fuzz_one(cases[i], "adversarial", i);
+  }
+}
+
+}  // namespace
+}  // namespace cfs

@@ -28,6 +28,8 @@
 #include "harness/table.h"
 #include "obs/trace.h"
 #include "netlist/bench_parser.h"
+#include "resil/campaign.h"
+#include "resil/containment.h"
 #include "netlist/bench_writer.h"
 #include "netlist/macro_extract.h"
 #include "patterns/compaction.h"
@@ -195,10 +197,104 @@ void print_shard_stats(const RunResult& r) {
               tot.peak_elements, format_bytes(tot.state_bytes).c_str());
 }
 
+// Resilient campaign path of `cfs sim`: checkpoint/resume, shard failure
+// containment, memory-budget multi-pass degradation (resil/campaign.h).
+// Selected whenever any campaign flag is present.
+int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
+                 Val ff_init, unsigned threads, const TestSuite& tests) {
+  for (const char* bad : {"sample", "collapse", "trace", "stats-json"}) {
+    if (args.has(bad)) {
+      throw Error("--" + std::string(bad) +
+                  " cannot be combined with campaign flags");
+    }
+  }
+  // Transition mode never extracts macros (mirrors run_csim_transition:
+  // csim-mv in transition mode means split lists only).
+  const bool use_macros = (engine == "csim-mv" || engine == "csim-m") &&
+                          !args.has("transition");
+
+  resil::CampaignOptions copt;
+  copt.ff_init = ff_init;
+  copt.sharded.num_threads = threads;
+  copt.sharded.csim.split_lists = engine == "csim-mv" || engine == "csim-v";
+  copt.sharded.csim.max_elements = args.get_u64("max-elements", 0);
+  copt.sharded.resil.max_retries =
+      static_cast<unsigned>(args.get_u64("retries", 0));
+  copt.sharded.resil.deadline_ms =
+      static_cast<std::uint32_t>(args.get_u64("deadline-ms", 0));
+  copt.sharded.resil.backoff_ms =
+      static_cast<std::uint32_t>(args.get_u64("backoff-ms", 1));
+  copt.checkpoint_path = args.get("checkpoint");
+  copt.checkpoint_every = args.get_u64("checkpoint-every", 0);
+  copt.resume_path = args.get("resume");
+  copt.halt_after = args.get_u64("halt-after", 0);
+  copt.sleep_ms = static_cast<std::uint32_t>(args.get_u64("sleep-ms", 0));
+
+  // Sabotage hook for containment testing.  Only contained when --retries
+  // is also given; without it an injected failure aborts the run, which is
+  // the negative control.
+  resil::FaultInjector injector;
+  if (args.has("inject")) {
+    for (const resil::InjectionSpec& spec :
+         resil::FaultInjector::parse(args.get("inject"))) {
+      injector.add(spec);
+    }
+    copt.sharded.resil.injector = &injector;
+  }
+
+  const FaultUniverse u = args.has("transition")
+                              ? FaultUniverse::all_transition(c)
+                              : FaultUniverse::all_stuck_at(c);
+  Stopwatch sw;
+  resil::CampaignResult r;
+  std::string sim_name = engine;
+  if (use_macros) {
+    MacroExtraction ext = extract_macros(c);
+    MacroFaultMap mmap = map_faults_to_macros(c, ext, u);
+    resil::CampaignRunner runner(ext.circuit, u, tests, copt, &mmap);
+    r = runner.run();
+  } else {
+    resil::CampaignRunner runner(c, u, tests, copt);
+    r = runner.run();
+  }
+
+  std::printf("campaign %s on %s: %zu faults, %zu vectors in %zu "
+              "sequences%s\n",
+              sim_name.c_str(), c.name().c_str(), u.size(),
+              tests.total_vectors(), tests.num_sequences(),
+              copt.resume_path.empty() ? "" : " (resumed)");
+  std::printf("coverage  %.2f%% (%zu/%zu hard, %zu potential)\n",
+              r.coverage.pct(), r.coverage.hard, r.coverage.total,
+              r.coverage.potential);
+  std::printf("counters  hard=%llu potential=%llu dropped=%llu\n",
+              static_cast<unsigned long long>(r.detections_hard),
+              static_cast<unsigned long long>(r.detections_potential),
+              static_cast<unsigned long long>(r.faults_dropped));
+  std::printf("digest    %016llx\n",
+              static_cast<unsigned long long>(r.digest()));
+  std::printf("passes    %u, %llu vectors simulated, %llu checkpoints\n",
+              r.passes, static_cast<unsigned long long>(r.vectors),
+              static_cast<unsigned long long>(r.checkpoints_written));
+  std::printf("resil     retries=%llu requeues=%llu peak=%zu elements\n",
+              static_cast<unsigned long long>(r.shard_retries),
+              static_cast<unsigned long long>(r.shard_requeues),
+              r.peak_elements);
+  std::printf("cpu       %.3fs\n", sw.seconds());
+  if (r.halted) {
+    std::printf("halted    after %llu vectors%s\n",
+                static_cast<unsigned long long>(r.vectors),
+                copt.checkpoint_path.empty() ? ""
+                                             : " (checkpoint written)");
+  }
+  return 0;
+}
+
 int cmd_sim(const Args& args) {
   args.allow_only(
       {"engine", "tests", "random", "seed", "reset0", "transition",
-       "verbose", "sample", "collapse", "threads", "trace", "stats-json"});
+       "verbose", "sample", "collapse", "threads", "trace", "stats-json",
+       "checkpoint", "checkpoint-every", "resume", "max-elements", "retries",
+       "deadline-ms", "backoff-ms", "inject", "halt-after", "sleep-ms"});
   const Circuit c = load_circuit(args.positional().at(0));
   const std::string engine = args.get("engine", "csim-mv");
   const Val ff_init = args.has("reset0") ? Val::Zero : Val::X;
@@ -226,6 +322,21 @@ int cmd_sim(const Args& args) {
                            engine == "csim-m" || engine == "csim";
   if (threads > 1 && !csim_engine) {
     throw Error("--threads supports the csim engines only");
+  }
+
+  const bool campaign_mode =
+      args.has("checkpoint") || args.has("checkpoint-every") ||
+      args.has("resume") || args.has("max-elements") || args.has("retries") ||
+      args.has("deadline-ms") || args.has("backoff-ms") ||
+      args.has("inject") || args.has("halt-after") || args.has("sleep-ms");
+  if (campaign_mode) {
+    if (!csim_engine) {
+      throw Error("campaign flags support the csim engines only");
+    }
+    if (args.has("transition") && engine == "csim-m") {
+      throw Error("--transition requires a csim engine");
+    }
+    return run_campaign(args, c, engine, ff_init, threads, tests);
   }
 
   // --trace routes through the sharded driver (one track per shard); with
@@ -366,6 +477,11 @@ int usage() {
       "  sim      <circuit> [--engine=E] [--tests=F|--random=N] [--seed=N]\n"
       "           [--reset0] [--transition] [--verbose] [--threads=N]\n"
       "           [--sample=N | --collapse] [--trace=F] [--stats-json=F]\n"
+      "           campaign flags (resilient path):\n"
+      "           [--checkpoint=F] [--checkpoint-every=N] [--resume=F]\n"
+      "           [--max-elements=K] [--retries=N] [--deadline-ms=N]\n"
+      "           [--backoff-ms=N] [--inject=SPEC] [--halt-after=N]\n"
+      "           [--sleep-ms=N]\n"
       "engines: csim-mv csim-v csim-m csim proofs serial deductive\n"
       "<circuit>: a .bench path, or a built-in profile benchmark name\n",
       stderr);
