@@ -100,13 +100,15 @@ void BM_ConcurrentResequence(benchmark::State& state) {
   opt.compact_pool = state.range(0) != 0;
   ConcurrentSim sim(c, u, opt);
   const PatternSet p = PatternSet::random(c.inputs().size(), 32, 3);
-  std::int64_t vectors = 0;
   for (auto _ : state) {
     sim.reset(Val::Zero);
     for (std::size_t i = 0; i < p.size(); ++i) sim.apply_vector(p[i]);
-    vectors += static_cast<std::int64_t>(p.size());
   }
-  state.SetItemsProcessed(vectors);
+  // One item = one vector (reset amortised in), the same unit
+  // BM_ConcurrentVector reports, so the two items_per_second columns are
+  // directly comparable.
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.size()));
 }
 BENCHMARK(BM_ConcurrentResequence)->Arg(0)->Arg(1);
 

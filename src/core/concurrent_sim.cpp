@@ -4,12 +4,9 @@
 
 #include "faults/transition_model.h"
 #include "util/error.h"
+#include "util/prefetch.h"
 
 namespace cfs {
-
-namespace {
-constexpr std::uint32_t kSentinelId = 0xFFFFFFFFu;
-}
 
 ConcurrentSim::ConcurrentSim(const Circuit& c, const FaultUniverse& u,
                              CsimOptions opt, const MacroFaultMap* mmap)
@@ -84,53 +81,6 @@ ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
 // List primitives
 // ---------------------------------------------------------------------------
 
-void ConcurrentSim::cursor_init(Cursor& cu, std::uint32_t* head) {
-  cu.head = head;
-  cu.prev = kNullIndex;
-  cu.cur = *head;
-  cu.id = pool_[cu.cur].fault_id;
-  cursor_skip_dropped(cu);
-#if CFS_OBS_ENABLED
-  if (cu.id == kSentinelId) {
-    CFS_COUNT(counters_, SentinelHits);
-  } else {
-    CFS_COUNT(counters_, ElementsTraversed);
-  }
-#endif
-}
-
-void ConcurrentSim::cursor_skip_dropped(Cursor& cu) {
-  while (cu.id != kSentinelId && dropped(cu.id)) {
-    // Event-driven fault dropping: unlink while traversing (paper §2.2).
-    CFS_COUNT(counters_, DropUnlinksLazy);
-    CFS_COUNT(counters_, ElementsFreed);
-    const std::uint32_t dead = cu.cur;
-    const std::uint32_t nxt = pool_[dead].next;
-    if (cu.prev == kNullIndex) {
-      *cu.head = nxt;
-    } else {
-      pool_[cu.prev].next = nxt;
-    }
-    pool_.free(dead);
-    cu.cur = nxt;
-    cu.id = pool_[nxt].fault_id;
-  }
-}
-
-void ConcurrentSim::cursor_advance(Cursor& cu) {
-  cu.prev = cu.cur;
-  cu.cur = pool_[cu.cur].next;
-  cu.id = pool_[cu.cur].fault_id;
-  cursor_skip_dropped(cu);
-#if CFS_OBS_ENABLED
-  if (cu.id == kSentinelId) {
-    CFS_COUNT(counters_, SentinelHits);
-  } else {
-    CFS_COUNT(counters_, ElementsTraversed);
-  }
-#endif
-}
-
 void ConcurrentSim::free_list(std::uint32_t& head) {
   std::uint32_t cur = head;
   while (pool_[cur].fault_id != kSentinelId) {
@@ -183,16 +133,20 @@ bool ConcurrentSim::apply_list_inplace(
   bool touched = false;
   std::uint32_t prev = kNullIndex;
   std::uint32_t cur = head;
+  // One resolved element pointer per position: every test and patch below
+  // goes through `e` instead of re-running the pool's chunk indirection.
+  Element* e = &pool_[cur];
   // Free the element `cur` (advancing past it), recording whether its
   // disappearance removes an entry from the old visible sequence.
-  const auto unlink_free = [&](std::uint32_t nxt) {
-    if (dropped(pool_[cur].fault_id)) {
+  const auto unlink_free = [&] {
+    const std::uint32_t nxt = e->next;
+    if (dropped(e->fault_id)) {
       // Lazy event-driven dropping: the fault was never in the visible
       // sequence the change test compares (snapshots skip dropped ids).
       CFS_COUNT(counters_, DropUnlinksLazy);
     } else if (track == ChangeTrack::All ||
                (track == ChangeTrack::VisibleOnly &&
-                state_out(pool_[cur].state) != old_good_out)) {
+                state_out(e->state) != old_good_out)) {
       changed = true;
     }
     if (prev == kNullIndex) {
@@ -203,15 +157,16 @@ bool ConcurrentSim::apply_list_inplace(
     salvage_.push_back(cur);
     touched = true;
     cur = nxt;
+    e = &pool_[cur];
   };
   for (const auto& [id, st] : items) {
-    while (pool_[cur].fault_id < id) unlink_free(pool_[cur].next);
-    if (pool_[cur].fault_id == id) {
+    while (e->fault_id < id) unlink_free();
+    if (e->fault_id == id) {
       // The fault survived: patch its state in place, no pool traffic.
       CFS_COUNT(counters_, ElementsReused);
       CFS_COUNT(counters_, ElementsTraversed);
       if (track != ChangeTrack::None) {
-        const Val old_out = state_out(pool_[cur].state);
+        const Val old_out = state_out(e->state);
         const Val new_out = state_out(st);
         if (track == ChangeTrack::All) {
           changed |= old_out != new_out;
@@ -223,12 +178,17 @@ bool ConcurrentSim::apply_list_inplace(
           }
         }
       }
-      if (pool_[cur].state != st) {
-        pool_[cur].state = st;
+      if (e->state != st) {
+        e->state = st;
         touched = true;
       }
       prev = cur;
-      cur = pool_[cur].next;
+      cur = e->next;
+      e = &pool_[cur];
+      // The survivor walk touches every element exactly once in link order;
+      // fetch the one after the new cursor now so the next iteration's
+      // id-compare does not stall on it.
+      CFS_PREFETCH(&pool_[e->next]);
     } else {
       // New divergence: record the insert against the kept predecessor;
       // the splice itself waits for salvage_flush() so any removal in this
@@ -242,7 +202,7 @@ bool ConcurrentSim::apply_list_inplace(
       }
     }
   }
-  while (pool_[cur].fault_id != kSentinelId) unlink_free(pool_[cur].next);
+  while (e->fault_id != kSentinelId) unlink_free();
   CFS_COUNT(counters_, SentinelHits);
   if (!touched) CFS_COUNT(counters_, ListsUnchanged);
   return changed;
@@ -328,7 +288,7 @@ Val ConcurrentSim::eval_element(GateId g, std::uint32_t fault,
     CFS_COUNT(counters_, MacroTableLookups);
     out = from_code(d.table[state_input_index(st, c_->num_fanins(g))]);
   } else {
-    out = c_->eval(g, st);
+    out = eval_gate(g, st);
   }
   if (d.site_gate == g && d.site_pin == kFaultOutPin &&
       d.type == FaultType::StuckAt && d.table == nullptr) {
@@ -368,12 +328,22 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
     std::uint32_t m = si < site.size() ? site[si] : kSentinelId;
     for (unsigned p = 0; p < nf; ++p) m = std::min(m, fc[p].id);
     if (m == kSentinelId) break;
+    // The descriptor of the minimum fault is needed by eval_element after
+    // the gather below; start its load now.
+    CFS_PREFETCH(&descr_[m]);
 
-    GateState st = 0;
+    // Start from the good pins wholesale (pin codes in good states are
+    // always normalized, so the masked copy equals a per-pin state_get/
+    // state_set rebuild) and override only the diverging pins -- for the
+    // typical fault that diverges on one pin of a wide gate this touches
+    // one 2-bit field instead of all of them.  Advancing a matching cursor
+    // in the same loop fuses the gather and advance passes.
+    GateState st = good & in_mask;
     for (unsigned p = 0; p < nf; ++p) {
-      const Val v = fc[p].id == m ? state_out(pool_[fc[p].cur].state)
-                                  : state_get(good, p);
-      st = state_set(st, p, v);
+      if (fc[p].id == m) {
+        st = state_set(st, p, state_out(pool_[fc[p].cur].state));
+        cursor_advance(fc[p]);
+      }
     }
     const Val out = eval_element(g, m, st);
 
@@ -386,9 +356,6 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
       (opt_.split_lists ? scratch_inv_ : scratch_vis_).emplace_back(m, st);
     }
 
-    for (unsigned p = 0; p < nf; ++p) {
-      if (fc[p].id == m) cursor_advance(fc[p]);
-    }
     if (si < site.size() && site[si] == m) {
       ++si;
       while (si < site.size() && skip_site(site[si])) ++si;
@@ -493,7 +460,7 @@ void ConcurrentSim::commit_good(GateId g, Val v) {
 }
 
 void ConcurrentSim::process_gate(GateId g) {
-  const Val new_good = c_->eval(g, good_state_[g]);
+  const Val new_good = eval_gate(g, good_state_[g]);
   const bool vis_changed = merge_gate(g, new_good);
   if (new_good != state_out(good_state_[g])) {
     commit_good(g, new_good);
@@ -593,7 +560,7 @@ void ConcurrentSim::rebuild_run_state(
       }
     }
     for (GateId g : c_->topo_order()) {
-      const Val v = c_->eval(g, good_state_[g]);
+      const Val v = eval_gate(g, good_state_[g]);
       good_state_[g] = state_set_out(good_state_[g], v);
       for (const Fanout& fo : c_->fanouts(g)) {
         good_state_[fo.gate] = state_set(good_state_[fo.gate], fo.pin, v);

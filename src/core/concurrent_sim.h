@@ -57,6 +57,7 @@
 #include "util/memtrack.h"
 #include "util/packed_state.h"
 #include "util/pool.h"
+#include "util/prefetch.h"
 
 namespace cfs {
 
@@ -211,6 +212,8 @@ class ConcurrentSim {
     GateState state;
   };
 
+  static constexpr std::uint32_t kSentinelId = 0xFFFFFFFFu;
+
   bool dropped(std::uint32_t fault) const {
     return opt_.drop_detected && fault < status_.size() &&
            status_[fault] == Detect::Hard;
@@ -229,18 +232,76 @@ class ConcurrentSim {
   }
 
   // Cursor over a linked fault list with lazy dropping (unlinks dropped
-  // elements as it passes them).
+  // elements as it passes them).  The three primitives are defined here so
+  // the multi-list merge, which calls them once per element, inlines them.
   struct Cursor {
     std::uint32_t* head = nullptr;  // pointer to the head slot
     std::uint32_t prev = kNullIndex;
     std::uint32_t cur = kNullIndex;
     std::uint32_t id = 0xFFFFFFFFu;
   };
-  void cursor_init(Cursor& cu, std::uint32_t* head);
-  void cursor_skip_dropped(Cursor& cu);
-  void cursor_advance(Cursor& cu);
+
+  void cursor_count_step(const Cursor& cu) {
+#if CFS_OBS_ENABLED
+    if (cu.id == kSentinelId) {
+      CFS_COUNT(counters_, SentinelHits);
+    } else {
+      CFS_COUNT(counters_, ElementsTraversed);
+    }
+#endif
+  }
+
+  void cursor_skip_dropped(Cursor& cu) {
+    while (cu.id != kSentinelId && dropped(cu.id)) {
+      // Event-driven fault dropping: unlink while traversing (paper §2.2).
+      CFS_COUNT(counters_, DropUnlinksLazy);
+      CFS_COUNT(counters_, ElementsFreed);
+      const std::uint32_t dead = cu.cur;
+      const std::uint32_t nxt = pool_[dead].next;
+      if (cu.prev == kNullIndex) {
+        *cu.head = nxt;
+      } else {
+        pool_[cu.prev].next = nxt;
+      }
+      pool_.free(dead);
+      cu.cur = nxt;
+      cu.id = pool_[nxt].fault_id;
+    }
+  }
+
+  void cursor_init(Cursor& cu, std::uint32_t* head) {
+    cu.head = head;
+    cu.prev = kNullIndex;
+    cu.cur = *head;
+    cu.id = pool_[cu.cur].fault_id;
+    CFS_PREFETCH(&pool_[pool_[cu.cur].next]);
+    cursor_skip_dropped(cu);
+    cursor_count_step(cu);
+  }
+
+  void cursor_advance(Cursor& cu) {
+    cu.prev = cu.cur;
+    cu.cur = pool_[cu.cur].next;
+    cu.id = pool_[cu.cur].fault_id;
+    // Pull the element after the new one into cache: a multi-list merge
+    // comes back for it one min-selection from now, long enough for the
+    // load to complete.  The sentinel self-links, so the address is valid.
+    CFS_PREFETCH(&pool_[pool_[cu.cur].next]);
+    cursor_skip_dropped(cu);
+    cursor_count_step(cu);
+  }
 
   Val transition_forced(std::uint32_t fault, Val cv) const;
+
+  /// All gate evaluations funnel through here: the flat-table path by
+  /// default (counted as TableEvals), the fold-over-pins oracle under
+  /// CsimOptions::fold_eval.  Bit-identical either way.
+  Val eval_gate(GateId g, GateState st) {
+    if (opt_.fold_eval) return c_->eval_fold(g, st);
+    CFS_COUNT(counters_, TableEvals);
+    return c_->eval(g, st);
+  }
+
   Val eval_element(GateId g, std::uint32_t fault, GateState& state);
   bool merge_gate(GateId g, Val new_good_out);
   void process_gate(GateId g);

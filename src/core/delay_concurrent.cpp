@@ -136,6 +136,7 @@ Val DelayConcurrentSim::eval_element(GateId g, const Element& e) {
     }
   }
   if (has_out_force) return forced_out;
+  CFS_COUNT(counters_, TableEvals);
   return c_->eval(g, s);
 }
 

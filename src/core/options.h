@@ -29,6 +29,12 @@ struct CsimOptions {
   /// kept as the oracle for the differential merge tests.
   bool rebuild_lists = false;
 
+  /// Oracle evaluation path: fold over pins with eval_kind instead of the
+  /// flat per-(kind, arity) lookup tables.  Slower by construction -- kept
+  /// as the reference semantics for the table-vs-fold differential tests;
+  /// outputs are bit-identical either way.
+  bool fold_eval = false;
+
   /// Compact the element pool on reset(): forget the scrambled free list
   /// and rebuild every fault list contiguously in traversal order.  Useful
   /// between test sequences to restore list-order locality.

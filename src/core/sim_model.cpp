@@ -36,9 +36,10 @@ SimModel::SimModel(const Circuit& c, const FaultUniverse& u,
     throw Error("MacroFaultMap does not match the fault universe");
   }
 
-  // Build descriptors and per-gate site-fault arrays.
+  // Build descriptors, then the per-gate site-fault index in CSR form: a
+  // counting pass sizes the offsets, a placement pass fills the flat array.
+  // Ids are placed in ascending order, so each gate's span is sorted.
   descr_.resize(nf);
-  site_faults_.resize(n);
   for (std::uint32_t id = 0; id < nf; ++id) {
     FaultDescriptor& d = descr_[id];
     const Fault& f = u[id];
@@ -59,28 +60,45 @@ SimModel::SimModel(const Circuit& c, const FaultUniverse& u,
     if (d.site_pin != kFaultOutPin && d.site_pin >= c.num_fanins(d.site_gate)) {
       throw Error("fault site pin out of range");
     }
-    if (!d.masked) site_faults_[d.site_gate].push_back(id);
   }
-  // Ids were appended in ascending order, so site arrays are sorted already.
+  site_off_.assign(n + 1, 0);
+  for (std::uint32_t id = 0; id < nf; ++id) {
+    if (!descr_[id].masked) ++site_off_[descr_[id].site_gate + 1];
+  }
+  for (std::size_t g = 0; g < n; ++g) site_off_[g + 1] += site_off_[g];
+  site_flat_.resize(site_off_[n]);
+  {
+    std::vector<std::uint32_t> cursor(site_off_.begin(), site_off_.end() - 1);
+    for (std::uint32_t id = 0; id < nf; ++id) {
+      if (!descr_[id].masked) site_flat_[cursor[descr_[id].site_gate]++] = id;
+    }
+  }
 
+  driver_off_.assign(n + 1, 0);
   if (transition_mode_) {
     site_driver_.resize(nf);
-    faults_by_driver_.resize(n);
     for (std::uint32_t id = 0; id < nf; ++id) {
       const GateId drv = c.fanins(descr_[id].site_gate)[descr_[id].site_pin];
       site_driver_[id] = drv;
-      faults_by_driver_[drv].push_back(id);  // ascending, hence sorted
+      ++driver_off_[drv + 1];
+    }
+    for (std::size_t g = 0; g < n; ++g) driver_off_[g + 1] += driver_off_[g];
+    driver_flat_.resize(driver_off_[n]);
+    std::vector<std::uint32_t> cursor(driver_off_.begin(),
+                                      driver_off_.end() - 1);
+    for (std::uint32_t id = 0; id < nf; ++id) {
+      driver_flat_[cursor[site_driver_[id]]++] = id;  // ascending per driver
     }
   }
 }
 
 std::size_t SimModel::bytes() const {
   std::size_t b = descr_.capacity() * sizeof(FaultDescriptor);
-  for (const auto& v : site_faults_) b += v.capacity() * sizeof(std::uint32_t);
+  b += site_off_.capacity() * sizeof(std::uint32_t);
+  b += site_flat_.capacity() * sizeof(std::uint32_t);
   b += site_driver_.capacity() * sizeof(GateId);
-  for (const auto& v : faults_by_driver_) {
-    b += v.capacity() * sizeof(std::uint32_t);
-  }
+  b += driver_off_.capacity() * sizeof(std::uint32_t);
+  b += driver_flat_.capacity() * sizeof(std::uint32_t);
   if (mmap_) b += mmap_->bytes();
   return b;
 }

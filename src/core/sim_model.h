@@ -59,7 +59,7 @@ class SimModel {
 
   /// Sorted ids of the non-masked faults sited at gate `g`.
   std::span<const std::uint32_t> site_faults(GateId g) const {
-    return site_faults_[g];
+    return {site_flat_.data() + site_off_[g], site_off_[g + 1] - site_off_[g]};
   }
 
   /// Transition mode: the driver gate feeding fault `id`'s site pin.
@@ -68,7 +68,8 @@ class SimModel {
   /// Transition mode: sorted ids of the faults whose site pin is driven by
   /// gate `d` (for the end-of-frame previous-value sweep).
   std::span<const std::uint32_t> faults_by_driver(GateId d) const {
-    return faults_by_driver_[d];
+    return {driver_flat_.data() + driver_off_[d],
+            driver_off_[d + 1] - driver_off_[d]};
   }
 
   /// Bytes held by the model's tables (macro tables included when owned by
@@ -82,9 +83,15 @@ class SimModel {
   bool transition_mode_ = false;
 
   std::vector<FaultDescriptor> descr_;
-  std::vector<std::vector<std::uint32_t>> site_faults_;  // per gate, sorted
-  std::vector<GateId> site_driver_;                      // transition mode
-  std::vector<std::vector<std::uint32_t>> faults_by_driver_;
+  // Per-gate fault-id groupings, CSR-flattened: one contiguous id array plus
+  // per-gate offsets, so a merge's site scan walks a flat span instead of
+  // chasing a vector-of-vectors header (one indirection and one cache line
+  // fewer per processed gate).
+  std::vector<std::uint32_t> site_off_;    // n+1 offsets into site_flat_
+  std::vector<std::uint32_t> site_flat_;   // site fault ids, sorted per gate
+  std::vector<GateId> site_driver_;        // transition mode
+  std::vector<std::uint32_t> driver_off_;  // n+1 offsets into driver_flat_
+  std::vector<std::uint32_t> driver_flat_;
 };
 
 }  // namespace cfs

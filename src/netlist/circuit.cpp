@@ -125,16 +125,30 @@ Circuit::Circuit(CircuitData data)
                    [&](GateId a, GateId b) { return levels_[a] < levels_[b]; });
   if (num_levels_ == 0) num_levels_ = 1;
 
-  // Fast-table pointers for small combinational gates.
-  fast_table_ptr_.assign(n, nullptr);
+  // Per-gate table-eval descriptors: every combinational gate evaluates by
+  // lookup alone.  Macro gates index their own truth table (max_inputs is
+  // capped well below kEvalChunkPins); other kinds share the per-(kind,
+  // arity) registry tables, with gates wider than kEvalChunkPins composing
+  // two chunk reductions through a join table.
+  eval_lo_.assign(n, nullptr);
+  eval_hi_.assign(n, nullptr);
+  eval_join_.assign(n, nullptr);
+  eval_mask_.assign(n, 0);
+  eval_hi_mask_.assign(n, 0);
   for (std::size_t g = 0; g < n; ++g) {
     const GateKind k = kinds_[g];
     const unsigned nf = num_fanins(static_cast<GateId>(g));
-    if (is_combinational(k) && k != GateKind::Macro && nf >= 1 && nf <= 4) {
-      fast_table_ptr_[g] = fast_table(k, nf).data();
-    } else if (k == GateKind::Macro && nf <= 4) {
-      // Macro tables with <=4 inputs can use the same 8-bit indexing path.
-      fast_table_ptr_[g] = tables_[tables_of_[g]].out.data();
+    if (k == GateKind::Macro) {
+      eval_lo_[g] = tables_[tables_of_[g]].out.data();
+      eval_mask_[g] = static_cast<std::uint32_t>(
+          (std::size_t{1} << (2 * nf)) - 1);
+    } else if (is_combinational(k) && nf >= 1) {
+      const EvalTable t = eval_table(k, nf);
+      eval_lo_[g] = t.lo;
+      eval_hi_[g] = t.hi;
+      eval_join_[g] = t.join;
+      eval_mask_[g] = t.lo_mask;
+      eval_hi_mask_[g] = t.hi_mask;
     }
   }
 
@@ -162,7 +176,11 @@ std::size_t Circuit::bytes() const {
   b += po_flag_.capacity();
   b += topo_.capacity() * sizeof(GateId);
   b += tables_of_.capacity() * sizeof(std::uint32_t);
-  b += fast_table_ptr_.capacity() * sizeof(void*);
+  b += eval_lo_.capacity() * sizeof(void*);
+  b += eval_hi_.capacity() * sizeof(void*);
+  b += eval_join_.capacity() * sizeof(void*);
+  b += eval_mask_.capacity() * sizeof(std::uint32_t);
+  b += eval_hi_mask_.capacity() * sizeof(std::uint32_t);
   for (const TruthTable& t : tables_) b += t.bytes();
   return b;
 }

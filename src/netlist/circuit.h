@@ -102,18 +102,35 @@ class Circuit {
   const TruthTable& table(std::uint32_t id) const { return tables_[id]; }
   std::size_t num_tables() const { return tables_.size(); }
 
-  /// Evaluate gate `g` on a packed state (handles Macro gates through their
-  /// tables; Input/Dff return the state's output slot).
+  /// Evaluate gate `g` on a packed state.  Fully table-driven for every
+  /// combinational gate (Macro gates index their truth table, every other
+  /// kind its shared per-(kind, arity) flat table; gates wider than
+  /// kEvalChunkPins compose two chunk reductions through a 16-entry join) --
+  /// no hot-path evaluation ever folds over pins.  Input/Dff return the
+  /// state's output slot.  Bit-identical to eval_fold() by construction.
   Val eval(GateId g, GateState s) const {
+    const std::uint8_t* lo = eval_lo_[g];
+    if (lo == nullptr) return state_out(s);  // Input / Dff
+    const std::uint8_t c0 = lo[static_cast<std::uint32_t>(s) & eval_mask_[g]];
+    const std::uint8_t* hi = eval_hi_[g];
+    if (hi == nullptr) return from_code(c0);
+    const std::uint8_t c1 =
+        hi[static_cast<std::uint32_t>(s >> (2 * kEvalChunkPins)) &
+           eval_hi_mask_[g]];
+    return from_code(eval_join_[g][(c0 << 2) | c1]);
+  }
+
+  /// Fold-based oracle evaluation: the pre-table reference semantics
+  /// (eval_kind over the packed pins; Macro gates still go through their
+  /// truth table, which is their definition).  Kept off the hot paths --
+  /// engines route here only under CsimOptions::fold_eval, and the
+  /// differential tests pin eval() == eval_fold() bit for bit.
+  Val eval_fold(GateId g, GateState s) const {
     const GateKind k = kinds_[g];
-    const unsigned n = num_fanins(g);
     if (k == GateKind::Macro) {
-      return tables_[tables_of_[g]].eval(state_input_index(s, n));
+      return tables_[tables_of_[g]].eval(state_input_index(s, num_fanins(g)));
     }
-    if (is_combinational(k) && n <= 4) {
-      return from_code(fast_table_ptr_[g][s & 0xFF]);
-    }
-    return eval_kind(k, s, n);
+    return eval_kind(k, s, num_fanins(g));
   }
 
   /// Evaluate with an override truth table (functional faults in macro mode).
@@ -146,7 +163,15 @@ class Circuit {
   std::vector<GateId> topo_;
   std::vector<std::uint32_t> tables_of_;
   std::vector<TruthTable> tables_;
-  std::vector<const std::uint8_t*> fast_table_ptr_;  // per gate, or nullptr
+  // Per-gate table-eval descriptors, SoA so the hot loop touches only the
+  // arrays it needs: eval_lo_/eval_mask_ serve every gate up to
+  // kEvalChunkPins (and all Macro gates); the hi/join arrays are consulted
+  // only for wider gates.  Null eval_lo_ marks a source (Input/Dff).
+  std::vector<const std::uint8_t*> eval_lo_;
+  std::vector<const std::uint8_t*> eval_hi_;
+  std::vector<const std::uint8_t*> eval_join_;
+  std::vector<std::uint32_t> eval_mask_;
+  std::vector<std::uint32_t> eval_hi_mask_;
   std::unordered_map<std::string, GateId> by_name_;
   unsigned num_levels_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "netlist/gate.h"
 
 #include <mutex>
+#include <vector>
 
 #include "util/error.h"
 #include "util/strings.h"
@@ -106,6 +107,135 @@ const FastTables& fast_tables() {
 const std::array<std::uint8_t, 256>& fast_table(GateKind k, unsigned nfanins) {
   const unsigned ki = static_cast<unsigned>(k) - 1;
   return fast_tables().tables[ki * 5 + nfanins];
+}
+
+namespace {
+
+// Associative reduction underlying a kind (inversion handled by the join).
+Val reduce_identity(GateKind k) {
+  switch (k) {
+    case GateKind::And:
+    case GateKind::Nand: return Val::One;
+    default: return Val::Zero;
+  }
+}
+
+Val reduce_op(GateKind k, Val a, Val b) {
+  switch (k) {
+    case GateKind::And:
+    case GateKind::Nand: return v_and(a, b);
+    case GateKind::Xor:
+    case GateKind::Xnor: return v_xor(a, b);
+    default: return v_or(a, b);  // Or/Nor; Buf/Not never take the wide path
+  }
+}
+
+constexpr bool inverting(GateKind k) {
+  return k == GateKind::Not || k == GateKind::Nand || k == GateKind::Nor ||
+         k == GateKind::Xnor;
+}
+
+// Reduce `npins` pins of the low bits of an index with kind `k`'s
+// associative op, normalising the invalid code 1 to X per pin.
+Val reduce_pins(GateKind k, std::uint32_t idx, unsigned npins) {
+  Val r = reduce_identity(k);
+  for (unsigned p = 0; p < npins; ++p) {
+    r = reduce_op(k, r, from_code(static_cast<std::uint8_t>(idx >> (2 * p))));
+  }
+  return r;
+}
+
+// Lazily-built shared tables: per (kind, arity) one flat output table for
+// n <= kEvalChunkPins, plus per (kind, chunk arity) reduce tables and a
+// 16-entry join for wider gates.  Built under a mutex, read lock-free ever
+// after (vectors are sized once and never touched again).
+struct EvalTableRegistry {
+  std::mutex mu;
+  // [kind 0..7 == Buf..Xnor][n 0..kEvalChunkPins]; empty until first use.
+  std::vector<std::uint8_t> full[8][kEvalChunkPins + 1];
+  std::vector<std::uint8_t> reduce[8][kEvalChunkPins + 1];
+  std::array<std::uint8_t, 16> join[8];
+  bool join_built[8] = {};
+
+  const std::vector<std::uint8_t>& full_table(unsigned ki, unsigned n) {
+    auto& t = full[ki][n];
+    if (t.empty()) {
+      const GateKind k = static_cast<GateKind>(ki + 1);
+      t.resize(std::size_t{1} << (2 * n));
+      for (std::uint32_t idx = 0; idx < t.size(); ++idx) {
+        GateState s = 0;
+        for (unsigned p = 0; p < n; ++p) {
+          s = state_set(s, p,
+                        from_code(static_cast<std::uint8_t>(idx >> (2 * p))));
+        }
+        t[idx] = code(eval_kind(k, s, n));
+      }
+    }
+    return t;
+  }
+
+  const std::vector<std::uint8_t>& reduce_table(unsigned ki, unsigned n) {
+    auto& t = reduce[ki][n];
+    if (t.empty()) {
+      const GateKind k = static_cast<GateKind>(ki + 1);
+      t.resize(std::size_t{1} << (2 * n));
+      for (std::uint32_t idx = 0; idx < t.size(); ++idx) {
+        t[idx] = code(reduce_pins(k, idx, n));
+      }
+    }
+    return t;
+  }
+
+  const std::array<std::uint8_t, 16>& join_table(unsigned ki) {
+    auto& t = join[ki];
+    if (!join_built[ki]) {
+      const GateKind k = static_cast<GateKind>(ki + 1);
+      for (unsigned a = 0; a < 4; ++a) {
+        for (unsigned b = 0; b < 4; ++b) {
+          Val v = reduce_op(k, from_code(static_cast<std::uint8_t>(a)),
+                            from_code(static_cast<std::uint8_t>(b)));
+          if (inverting(k)) v = v_not(v);
+          t[(a << 2) | b] = code(v);
+        }
+      }
+      join_built[ki] = true;
+    }
+    return t;
+  }
+};
+
+EvalTableRegistry& eval_registry() {
+  static EvalTableRegistry r;
+  return r;
+}
+
+}  // namespace
+
+EvalTable eval_table(GateKind k, unsigned nfanins) {
+  if (!is_combinational(k) || k == GateKind::Macro) {
+    throw Error("eval_table: combinational non-macro kinds only");
+  }
+  if (nfanins < 1 || nfanins > kMaxPins) {
+    throw Error("eval_table: arity out of range");
+  }
+  const unsigned ki = static_cast<unsigned>(k) - 1;
+  EvalTableRegistry& reg = eval_registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  EvalTable t;
+  if (nfanins <= kEvalChunkPins) {
+    const auto& lo = reg.full_table(ki, nfanins);
+    t.lo = lo.data();
+    t.lo_mask = static_cast<std::uint32_t>(lo.size() - 1);
+  } else {
+    const auto& lo = reg.reduce_table(ki, kEvalChunkPins);
+    const auto& hi = reg.reduce_table(ki, nfanins - kEvalChunkPins);
+    t.lo = lo.data();
+    t.lo_mask = static_cast<std::uint32_t>(lo.size() - 1);
+    t.hi = hi.data();
+    t.hi_mask = static_cast<std::uint32_t>(hi.size() - 1);
+    t.join = reg.join_table(ki).data();
+  }
+  return t;
 }
 
 }  // namespace cfs

@@ -65,4 +65,35 @@ Val eval_kind(GateKind k, GateState s, unsigned nfanins);
 /// shared; the returned reference is valid for the program lifetime.
 const std::array<std::uint8_t, 256>& fast_table(GateKind k, unsigned nfanins);
 
+/// Number of pins a single flat table covers.  Gates up to this arity are
+/// one lookup; wider gates split into a low chunk of kEvalChunkPins pins and
+/// a high chunk of the remainder, each reduced by table, joined by a third
+/// 16-entry table.
+inline constexpr unsigned kEvalChunkPins = 8;
+
+/// Resolved table-eval descriptor of one (kind, arity): everything a gate
+/// evaluation needs so that no hot loop ever folds over pins.
+///
+///   nfanins <= kEvalChunkPins : out = from_code(lo[s & lo_mask]); hi == null
+///   nfanins  > kEvalChunkPins : out = from_code(
+///       join[(lo[s & lo_mask] << 2) | hi[(s >> 2*kEvalChunkPins) & hi_mask]])
+///
+/// In the wide form `lo` and `hi` hold pure associative reductions (AND / OR
+/// / XOR of the chunk's pins, no output inversion) and `join` combines the
+/// two chunk codes and applies the kind's inversion.  Every entry normalises
+/// the invalid dual-rail code 1 to X, matching eval_kind()'s state_get
+/// semantics bit for bit.  Pointers are valid for the program lifetime.
+struct EvalTable {
+  const std::uint8_t* lo = nullptr;    ///< 4^min(n, kEvalChunkPins) entries
+  const std::uint8_t* hi = nullptr;    ///< 4^(n - kEvalChunkPins), or null
+  const std::uint8_t* join = nullptr;  ///< 16 entries ((lo_code<<2)|hi_code)
+  std::uint32_t lo_mask = 0;
+  std::uint32_t hi_mask = 0;
+};
+
+/// Table-eval descriptor for combinational kind `k` with `nfanins` pins
+/// (1 <= nfanins <= kMaxPins; Buf/Not only at arity 1).  Tables are built
+/// lazily per (kind, arity) and shared for the program lifetime.
+EvalTable eval_table(GateKind k, unsigned nfanins);
+
 }  // namespace cfs

@@ -46,8 +46,9 @@ enum class Counter : unsigned {
   VisToInvMigrations,  ///< visible elements that converged to invisible
   InvToVisMigrations,  ///< invisible elements that re-diverged to visible
   MacroTableLookups,   ///< functional-fault evaluations via a macro table
+  TableEvals,          ///< hot-path gate evaluations served by a flat table
   EventsScheduled,     ///< gate ids newly entered into the level queue
-  EventsCoalesced,     ///< schedule() calls absorbed by a pending entry
+  BitmapCoalesced,     ///< schedule() ORs absorbed by an already-set bit
   SentinelHits,        ///< list traversals that reached the shared sentinel
   // Fault-level (status transitions; shard-invariant sums).
   DetectionsHard,      ///< faults newly promoted to Detect::Hard
@@ -73,8 +74,9 @@ constexpr std::string_view counter_name(Counter c) {
     case Counter::VisToInvMigrations: return "vis_to_inv_migrations";
     case Counter::InvToVisMigrations: return "inv_to_vis_migrations";
     case Counter::MacroTableLookups: return "macro_table_lookups";
+    case Counter::TableEvals: return "table_evals";
     case Counter::EventsScheduled: return "events_scheduled";
-    case Counter::EventsCoalesced: return "events_coalesced";
+    case Counter::BitmapCoalesced: return "bitmap_coalesced";
     case Counter::SentinelHits: return "sentinel_hits";
     case Counter::DetectionsHard: return "detections_hard";
     case Counter::DetectionsPotential: return "detections_potential";

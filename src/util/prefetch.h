@@ -1,0 +1,16 @@
+// Software-prefetch shim.
+//
+// The concurrent engine's inner loops chase 32-bit pool indices through
+// chunked arenas: the address of the *next* list element is known one full
+// element ahead of its use, which is exactly the window a prefetch hides.
+// CFS_PREFETCH(addr) issues a read prefetch into all cache levels and
+// compiles to nothing on toolchains without the builtin -- it is a hint,
+// never a semantic operation, so callers may pass addresses speculatively
+// (e.g. the slot a sentinel's self-link points at).
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CFS_PREFETCH(addr) __builtin_prefetch((addr), 0 /*read*/, 3 /*keep*/)
+#else
+#define CFS_PREFETCH(addr) ((void)0)
+#endif

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fail on micro-kernel perf regressions against a checked-in baseline.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.20]
+                              [--bench NAME ...]
+
+CURRENT.json is a fresh google-benchmark JSON run (micro_kernels --json=...);
+BASELINE.json is the distilled results/BENCH_PR5.json (or another raw
+google-benchmark JSON -- both shapes are accepted).  A benchmark regresses
+when its real_time exceeds the baseline's by more than the tolerance
+(default 20%).  Benchmarks absent from either side are reported and skipped
+unless explicitly requested with --bench, in which case they fail the run.
+Standard library only.
+"""
+import argparse
+import json
+import sys
+
+
+def extract(doc):
+    """name -> real_time, from either a raw google-benchmark JSON or a
+    distilled BENCH_PR5 baseline."""
+    if "micro_kernels" in doc:  # distilled baseline
+        return {k: v["real_time"] for k, v in doc["micro_kernels"].items()}
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b["real_time"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional slowdown (default 0.20)")
+    ap.add_argument("--bench", action="append", default=[],
+                    help="benchmark name that must be present and pass; "
+                         "repeatable.  Without it, every common name is "
+                         "checked.")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        cur = extract(json.load(f))
+    with open(args.baseline) as f:
+        base = extract(json.load(f))
+
+    names = args.bench if args.bench else sorted(set(cur) & set(base))
+    failures = []
+    for name in names:
+        if name not in cur or name not in base:
+            failures.append(f"{name}: missing from "
+                            f"{'current' if name not in cur else 'baseline'}")
+            continue
+        ratio = cur[name] / base[name]
+        verdict = "ok"
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(f"{name}: {ratio:.3f}x baseline real_time "
+                            f"(tolerance {1.0 + args.tolerance:.2f}x)")
+        print(f"{name}: current {cur[name]:.0f} vs baseline "
+              f"{base[name]:.0f} ({ratio:.3f}x) {verdict}")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for msg in failures:
+            print(f"  {msg}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\n{len(names)} benchmark(s) within "
+          f"{args.tolerance:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()
