@@ -123,10 +123,13 @@ RunResult run_serial(const Circuit& c, const FaultUniverse& u,
 RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
                            const TestSuite& t, CsimVariant variant,
                            unsigned num_threads, Val ff_init,
-                           bool drop_detected, obs::TraceEmitter* trace) {
+                           bool drop_detected, obs::TraceEmitter* trace,
+                           unsigned batch_width) {
   RunResult r;
+  r.batch = batch_width;
   ShardedOptions sopt;
   sopt.num_threads = num_threads;
+  sopt.batch_width = batch_width;
   sopt.csim.split_lists =
       variant == CsimVariant::V || variant == CsimVariant::MV;
   sopt.csim.drop_detected = drop_detected;
@@ -165,10 +168,13 @@ RunResult run_csim_transition_sharded(const Circuit& c,
                                       const TestSuite& t,
                                       unsigned num_threads, Val ff_init,
                                       bool split_lists,
-                                      obs::TraceEmitter* trace) {
+                                      obs::TraceEmitter* trace,
+                                      unsigned batch_width) {
   RunResult r;
+  r.batch = batch_width;
   ShardedOptions sopt;
   sopt.num_threads = num_threads;
+  sopt.batch_width = batch_width;
   sopt.csim.split_lists = split_lists;
   ShardedSim sim(c, u, sopt);
   if (trace != nullptr) sim.set_trace(trace);

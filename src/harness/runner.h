@@ -22,6 +22,7 @@ struct RunResult {
   Coverage cov;
   std::uint64_t activity = 0;  ///< scalar gate evals or word evals
   unsigned threads = 1;        ///< shards actually used (sharded runs)
+  unsigned batch = 1;          ///< pattern-lane width (sharded runs)
   SimStats stats;              ///< per-engine breakdown (csim runs)
   /// Harness-side envelope: the whole-suite Run phase.  The tables' CPU
   /// column and the telemetry export both read this one accumulator.
@@ -60,15 +61,18 @@ RunResult run_csim_transition(const Circuit& c, const FaultUniverse& u,
                               bool split_lists = true);
 
 /// Sharded multi-threaded csim run: `num_threads` shard engines over one
-/// shared SimModel (see sim/sharded_sim.h).  Detection status and coverage
-/// are bit-for-bit identical to the single-threaded variant for any thread
-/// count.  `trace`, when given, receives one Chrome-trace track per shard
-/// (obs/trace.h) and must outlive the call.
+/// shared SimModel (see sim/sharded_sim.h), with `batch_width` pattern
+/// lanes through the packed good machine (ShardedOptions::batch_width) --
+/// the two parallel axes compose freely.  Detection status and coverage
+/// are bit-for-bit identical to the single-threaded, width-1 variant for
+/// any thread count x batch width.  `trace`, when given, receives one
+/// Chrome-trace track per shard (obs/trace.h) and must outlive the call.
 RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
                            const TestSuite& t, CsimVariant variant,
                            unsigned num_threads, Val ff_init = Val::X,
                            bool drop_detected = true,
-                           obs::TraceEmitter* trace = nullptr);
+                           obs::TraceEmitter* trace = nullptr,
+                           unsigned batch_width = 1);
 
 /// Sharded transition-fault run.
 RunResult run_csim_transition_sharded(const Circuit& c,
@@ -77,7 +81,8 @@ RunResult run_csim_transition_sharded(const Circuit& c,
                                       unsigned num_threads,
                                       Val ff_init = Val::X,
                                       bool split_lists = true,
-                                      obs::TraceEmitter* trace = nullptr);
+                                      obs::TraceEmitter* trace = nullptr,
+                                      unsigned batch_width = 1);
 
 // Single-sequence conveniences.
 inline RunResult run_csim(const Circuit& c, const FaultUniverse& u,

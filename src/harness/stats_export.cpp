@@ -37,6 +37,7 @@ void write_run_stats_json(std::ostream& os, const RunMetadata& meta,
   w.field("sim_name", r.sim_name);
   w.field("mode", meta.mode);
   w.field("threads", r.threads);
+  w.field("batch", r.batch);
   w.field("seed", meta.seed);
   w.field("vectors", static_cast<std::uint64_t>(meta.vectors));
   w.field("sequences", static_cast<std::uint64_t>(meta.sequences));

@@ -50,6 +50,8 @@ enum class Counter : unsigned {
   EventsScheduled,     ///< gate ids newly entered into the level queue
   BitmapCoalesced,     ///< schedule() ORs absorbed by an already-set bit
   SentinelHits,        ///< list traversals that reached the shared sentinel
+  BatchWordsEvaluated, ///< packed good-machine Word64 gate evaluations
+  BatchLanesWasted,    ///< idle lanes across packed good-machine steps
   // Fault-level (status transitions; shard-invariant sums).
   DetectionsHard,      ///< faults newly promoted to Detect::Hard
   DetectionsPotential, ///< faults newly promoted to Detect::Potential
@@ -78,6 +80,8 @@ constexpr std::string_view counter_name(Counter c) {
     case Counter::EventsScheduled: return "events_scheduled";
     case Counter::BitmapCoalesced: return "bitmap_coalesced";
     case Counter::SentinelHits: return "sentinel_hits";
+    case Counter::BatchWordsEvaluated: return "batch_words_evaluated";
+    case Counter::BatchLanesWasted: return "batch_lanes_wasted";
     case Counter::DetectionsHard: return "detections_hard";
     case Counter::DetectionsPotential: return "detections_potential";
     case Counter::FaultsDropped: return "faults_dropped";

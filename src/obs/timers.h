@@ -30,6 +30,7 @@ enum class Phase : unsigned {
   DropPass,    ///< PO sampling, detection bookkeeping, lazy drop unlinking
   Clocking,    ///< flip-flop capture and master commit
   ShardMerge,  ///< merging shard verdicts / replaying observations
+  GoodBatch,   ///< packed 64-lane good-machine precomputation (driver)
   Run,         ///< whole-suite envelope (the tables' CPU column)
   kCount
 };
@@ -44,6 +45,7 @@ constexpr std::string_view phase_name(Phase p) {
     case Phase::DropPass: return "drop_pass";
     case Phase::Clocking: return "clocking";
     case Phase::ShardMerge: return "shard_merge";
+    case Phase::GoodBatch: return "good_batch";
     case Phase::Run: return "run";
     case Phase::kCount: break;
   }

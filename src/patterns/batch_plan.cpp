@@ -1,0 +1,71 @@
+#include "patterns/batch_plan.h"
+
+#include <algorithm>
+
+namespace cfs {
+
+BatchPlan BatchPlan::build(const Circuit& c, const TestSuite& t,
+                           unsigned width) {
+  BatchPlan plan;
+  plan.width_ = std::clamp(width, 1u, 64u);
+  plan.comb_ = c.dffs().empty();
+  const auto& seqs = t.sequences();
+
+  auto* band = [&plan]() -> BatchBand* {
+    plan.bands_.emplace_back();
+    return &plan.bands_.back();
+  }();
+  auto flush_if_full = [&](std::size_t full) {
+    if (band->lanes.size() >= full) {
+      plan.bands_.emplace_back();
+      band = &plan.bands_.back();
+    }
+  };
+
+  if (plan.comb_) {
+    // Free batching: every vector is its own lane, `width` lanes per band,
+    // sequence boundaries ignored (an empty sequence still contributes a
+    // zero-length lane so its reset keeps its place in the order).
+    for (std::uint32_t s = 0; s < seqs.size(); ++s) {
+      if (seqs[s].empty()) {
+        flush_if_full(plan.width_);
+        band->lanes.push_back({s, 0, 0});
+        continue;
+      }
+      for (std::uint32_t v = 0; v < seqs[s].size(); ++v) {
+        flush_if_full(plan.width_);
+        band->lanes.push_back({s, v, 1});
+        band->steps = 1;
+      }
+    }
+  } else {
+    // Sequential: one whole sequence per lane, consecutive sequences per
+    // band, lock-stepped to the longest lane.
+    for (std::uint32_t s = 0; s < seqs.size(); ++s) {
+      flush_if_full(plan.width_);
+      const auto n = static_cast<std::uint32_t>(seqs[s].size());
+      band->lanes.push_back({s, 0, n});
+      band->steps = std::max(band->steps, n);
+    }
+  }
+  if (band->lanes.empty()) plan.bands_.pop_back();
+  return plan;
+}
+
+std::size_t BatchPlan::total_vectors() const {
+  std::size_t n = 0;
+  for (const BatchBand& b : bands_) {
+    for (const BatchLane& l : b.lanes) n += l.count;
+  }
+  return n;
+}
+
+std::size_t BatchPlan::packed_steps() const {
+  std::size_t n = 0;
+  for (const BatchBand& b : bands_) {
+    if (b.lanes.size() > 1) n += b.steps;
+  }
+  return n;
+}
+
+}  // namespace cfs

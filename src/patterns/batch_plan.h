@@ -1,0 +1,74 @@
+// Batch planning: group a test suite's vectors into packed 64-lane bands.
+//
+// The packed good machine (sim/batch_good_sim.h) evaluates up to 64 input
+// vectors per Word64; a BatchPlan decides which vectors share a word.  Two
+// regimes, chosen by the circuit:
+//
+//  - Combinational (no flip-flops): a settled state is a pure function of
+//    the current vector, so vectors batch freely -- consecutive suite
+//    vectors become one-vector lanes of a band, `width` per band, even
+//    across sequence boundaries.
+//  - Sequential: a vector's settled state depends on the whole prefix of
+//    its sequence, so lanes can only be *independent sequences*: a band
+//    packs up to `width` consecutive sequences, one whole sequence per
+//    lane, stepping all lanes forward frame by frame (lanes shorter than
+//    the band's step count idle out).  Within a single sequence the plan
+//    falls back to width 1 -- a lone sequence is one single-lane band,
+//    which the driver runs on the scalar path.
+//
+// Traversing a plan band by band, lane by lane, vector by vector
+// reproduces the suite's own (sequence, vector) order exactly; drivers
+// rely on this to keep detection order and deterministic counters
+// bit-identical to the unbatched loop.  Empty sequences are kept as
+// zero-length lanes so per-sequence resets still happen in order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "patterns/pattern.h"
+
+namespace cfs {
+
+/// One lane of a band: vectors [begin, begin+count) of suite sequence
+/// `seq`.  Combinational plans use count <= 1; sequential plans use whole
+/// sequences (begin == 0).
+struct BatchLane {
+  std::uint32_t seq = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t count = 0;
+};
+
+/// A group of lanes evaluated together: step s of the band packs vector
+/// `begin + s` of every lane with `count > s` into one Word64 per signal.
+struct BatchBand {
+  std::vector<BatchLane> lanes;
+  std::uint32_t steps = 0;  ///< max lane count in this band
+};
+
+class BatchPlan {
+ public:
+  /// Plan `t` for circuit `c` at the requested lane width (clamped to
+  /// [1, 64]).  The circuit decides the regime (see file comment).
+  static BatchPlan build(const Circuit& c, const TestSuite& t,
+                         unsigned width);
+
+  std::span<const BatchBand> bands() const { return bands_; }
+  unsigned width() const { return width_; }
+  /// True when the plan batches individual vectors (no flip-flops).
+  bool combinational() const { return comb_; }
+
+  /// Vectors covered by the plan (== t.total_vectors(); sanity checks).
+  std::size_t total_vectors() const;
+  /// Packed Word64 steps summed over multi-lane bands (slab sizing).
+  std::size_t packed_steps() const;
+
+ private:
+  std::vector<BatchBand> bands_;
+  unsigned width_ = 1;
+  bool comb_ = false;
+};
+
+}  // namespace cfs

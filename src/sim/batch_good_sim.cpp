@@ -1,0 +1,106 @@
+#include "sim/batch_good_sim.h"
+
+#include "util/error.h"
+#include "util/packed_state.h"
+
+namespace cfs {
+
+BatchGoodSim::BatchGoodSim(const Circuit& c, Val ff_init)
+    : c_(&c), queue_(c) {
+  out_.resize(c.num_gates());
+  latch_buf_.resize(c.dffs().size());
+  reset(ff_init);
+}
+
+Word64 BatchGoodSim::eval_packed(GateId g) {
+  CFS_COUNT(counters_, BatchWordsEvaluated);
+  const auto fi = c_->fanins(g);
+  const GateKind k = c_->kind(g);
+  switch (k) {
+    case GateKind::Buf:
+      return out_[fi[0]];
+    case GateKind::Not:
+      return w_not(out_[fi[0]]);
+    case GateKind::And:
+    case GateKind::Nand: {
+      Word64 w = out_[fi[0]];
+      for (std::size_t i = 1; i < fi.size(); ++i) w = w_and(w, out_[fi[i]]);
+      return k == GateKind::Nand ? w_not(w) : w;
+    }
+    case GateKind::Or:
+    case GateKind::Nor: {
+      Word64 w = out_[fi[0]];
+      for (std::size_t i = 1; i < fi.size(); ++i) w = w_or(w, out_[fi[i]]);
+      return k == GateKind::Nor ? w_not(w) : w;
+    }
+    case GateKind::Xor:
+    case GateKind::Xnor: {
+      Word64 w = out_[fi[0]];
+      for (std::size_t i = 1; i < fi.size(); ++i) w = w_xor(w, out_[fi[i]]);
+      return k == GateKind::Xnor ? w_not(w) : w;
+    }
+    case GateKind::Macro: {
+      // No word-parallel form: evaluate each lane through the scalar
+      // truth-table path, the same per-lane oracle the fault machines use.
+      Word64 w;
+      GateState st = state_all_x(static_cast<unsigned>(fi.size()));
+      for (unsigned lane = 0; lane < 64; ++lane) {
+        for (std::size_t p = 0; p < fi.size(); ++p) {
+          st = state_set(st, static_cast<unsigned>(p),
+                         w_get(out_[fi[p]], lane));
+        }
+        w_set(w, lane, c_->eval(g, st));
+      }
+      return w;
+    }
+    case GateKind::Input:
+    case GateKind::Dff:
+      break;  // sources are committed, never evaluated
+  }
+  return out_[g];
+}
+
+void BatchGoodSim::commit_output(GateId g, Word64 w) {
+  out_[g] = w;
+  for (const Fanout& fo : c_->fanouts(g)) {
+    if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
+  }
+}
+
+void BatchGoodSim::reset(Val ff_init) {
+  queue_.clear();
+  const Word64 x = splat64(Val::X);
+  for (Word64& w : out_) w = x;
+  const Word64 q0 = splat64(ff_init);
+  for (GateId g : c_->dffs()) out_[g] = q0;
+  for (GateId g : c_->topo_order()) out_[g] = eval_packed(g);
+}
+
+void BatchGoodSim::set_input(unsigned pi_index, Word64 w) {
+  const GateId g = c_->inputs()[pi_index];
+  if (!(out_[g] == w)) commit_output(g, w);
+}
+
+void BatchGoodSim::settle() {
+  queue_.drain([this](GateId g) {
+    const Word64 w = eval_packed(g);
+    if (!(out_[g] == w)) commit_output(g, w);
+  });
+}
+
+void BatchGoodSim::clock() {
+  const auto dffs = c_->dffs();
+  // Phase 1 (master): capture every D word from the settled state.
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    latch_buf_[i] = out_[c_->fanins(dffs[i])[0]];
+  }
+  // Phase 2 (slave): drive Q words and settle the cone.
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    if (!(out_[dffs[i]] == latch_buf_[i])) {
+      commit_output(dffs[i], latch_buf_[i]);
+    }
+  }
+  settle();
+}
+
+}  // namespace cfs

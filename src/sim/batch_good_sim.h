@@ -1,0 +1,83 @@
+// Packed 64-lane three-valued good-machine simulator.
+//
+// Evaluates 64 independent input vectors at once: every gate output is one
+// dual-rail Word64 (util/dualrail.h), lane i of every word belonging to the
+// same vector.  Lane semantics are exactly GoodSim's scalar semantics --
+// reset / set_input / settle / clock follow the same commit-on-change,
+// levelized event-driven discipline over the same LevelQueue, so slicing
+// lane i out of a settled BatchGoodSim yields bit-for-bit the values a
+// GoodSim fed vector i would hold.  The batch driver (sim/sharded_sim.cpp)
+// relies on this to serve per-lane good values to the concurrent fault
+// machines as an oracle.
+//
+// Basic gates reduce with the bitwise w_and/w_or/w_not/w_xor ops; Macro
+// gates have no word-parallel form and evaluate lane by lane through the
+// circuit's truth-table path (the per-lane oracle), which costs no more
+// than 64 scalar evaluations -- exactly what 64 scalar machines would do.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/circuit.h"
+#include "obs/counters.h"
+#include "sim/level_queue.h"
+#include "util/dualrail.h"
+#include "util/logic.h"
+
+namespace cfs {
+
+class BatchGoodSim {
+ public:
+  explicit BatchGoodSim(const Circuit& c, Val ff_init = Val::X);
+
+  const Circuit& circuit() const { return *c_; }
+
+  /// Re-initialise every lane: primary inputs X, flip-flops `ff_init`, all
+  /// gates re-evaluated (one topo sweep), pending events discarded.
+  void reset(Val ff_init = Val::X);
+
+  /// Drive primary input `pi_index` (position in circuit().inputs()) with
+  /// one value per lane.
+  void set_input(unsigned pi_index, Word64 w);
+
+  /// Propagate all pending combinational events (zero-delay settle).
+  void settle();
+
+  /// Latch every DFF from its settled D word, then settle the fanout cone.
+  void clock();
+
+  /// Settled output word of a gate.
+  Word64 value(GateId g) const { return out_[g]; }
+  /// All gate output words, indexed by GateId (slab copy for the driver).
+  std::span<const Word64> values() const { return out_; }
+
+  /// Gates evaluated since construction (activity metric).
+  std::uint64_t events_processed() const { return queue_.processed(); }
+
+  /// Telemetry (BatchWordsEvaluated plus the queue's scheduling counts;
+  /// all-zero when built with CFS_OBS=OFF).
+  obs::Counters counters() const {
+    obs::Counters c = counters_;
+    c.merge(queue_.counters());
+    return c;
+  }
+
+  std::size_t bytes() const {
+    return out_.capacity() * sizeof(Word64) +
+           latch_buf_.capacity() * sizeof(Word64) + queue_.bytes();
+  }
+
+ private:
+  Word64 eval_packed(GateId g);
+  void commit_output(GateId g, Word64 w);
+
+  const Circuit* c_;
+  std::vector<Word64> out_;      // per gate: 64-lane output word
+  LevelQueue queue_;
+  std::vector<Word64> latch_buf_;  // scratch for two-phase DFF latching
+  obs::Counters counters_;
+};
+
+}  // namespace cfs

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <numeric>
 
+#include "patterns/batch_plan.h"
+#include "sim/batch_good_sim.h"
+#include "util/dualrail.h"
 #include "util/error.h"
 #include "util/pool.h"
 
@@ -282,6 +285,15 @@ std::size_t ShardedSim::apply_vector_resilient(std::span<const Val> pi_vals) {
 }
 
 void ShardedSim::run(const TestSuite& t, Val ff_init) {
+  // The batched driver subsumes the lockstep path (it replays per vector,
+  // so observers stay ordered); containment keeps its own per-vector retry
+  // boundary and is left on the scalar paths, where an engine rebuilt
+  // mid-vector never holds a dangling slab pointer.
+  const unsigned bw = std::min(std::max(opt_.batch_width, 1u), 64u);
+  if (bw > 1 && opt_.resil.max_retries == 0) {
+    run_batched(t, ff_init, bw);
+    return;
+  }
   if (observer_ || opt_.resil.max_retries > 0) {
     // Lockstep keeps the observer callback order identical to a
     // single-threaded run, and is what gives the containment path its
@@ -316,6 +328,74 @@ void ShardedSim::run(const TestSuite& t, Val ff_init) {
       ++seq_no;
     }
   });
+  merged_dirty_ = true;
+}
+
+void ShardedSim::run_batched(const TestSuite& t, Val ff_init,
+                             unsigned width) {
+  const Circuit& c = model_->circuit();
+  const BatchPlan plan = BatchPlan::build(c, t, width);
+  const std::size_t ngates = c.num_gates();
+  const std::size_t npis = c.inputs().size();
+  // A band's packed trajectory is held whole (the replay walks it lane by
+  // lane, so it cannot stream); a band that would not fit runs unpacked.
+  constexpr std::size_t kSlabByteCap = std::size_t{512} << 20;
+  BatchGoodSim bsim(c, ff_init);
+  std::vector<Word64> slab;
+  for (const BatchBand& band : plan.bands()) {
+    const bool packed =
+        band.lanes.size() > 1 && band.steps > 0 && ngates > 0 &&
+        std::size_t{band.steps} <= kSlabByteCap / (ngates * sizeof(Word64));
+    if (packed) {
+      // Precompute the whole band's good trajectory: one packed machine
+      // stands in for up to `width` per-shard scalar good machines.
+      obs::ScopedPhase sp(driver_timers_, obs::Phase::GoodBatch);
+      slab.resize(ngates * band.steps);
+      bsim.reset(ff_init);
+      for (std::uint32_t step = 0; step < band.steps; ++step) {
+        std::uint64_t active = 0;
+        for (const BatchLane& lane : band.lanes) active += step < lane.count;
+        CFS_COUNT_N(batch_counters_, BatchLanesWasted, width - active);
+        for (std::size_t pi = 0; pi < npis; ++pi) {
+          Word64 w = splat64(Val::X);
+          for (std::size_t l = 0; l < band.lanes.size(); ++l) {
+            const BatchLane& lane = band.lanes[l];
+            if (step < lane.count) {
+              w_set(w, static_cast<unsigned>(l),
+                    t.sequences()[lane.seq][lane.begin + step][pi]);
+            }
+          }
+          bsim.set_input(static_cast<unsigned>(pi), w);
+        }
+        bsim.settle();
+        std::copy(bsim.values().begin(), bsim.values().end(),
+                  slab.begin() + std::size_t{step} * ngates);
+        if (step + 1 < band.steps) bsim.clock();
+      }
+    }
+    // Replay the lanes in suite order; in a packed band every engine reads
+    // its good values from the lane's slice of the trajectory.
+    for (std::size_t l = 0; l < band.lanes.size(); ++l) {
+      const BatchLane& lane = band.lanes[l];
+      if (lane.count == 0) {
+        reset(ff_init);  // empty sequence: the reset still happens in order
+        continue;
+      }
+      const PatternSet& seq = t.sequences()[lane.seq];
+      for (std::uint32_t v = lane.begin; v < lane.begin + lane.count; ++v) {
+        if (v == 0) reset(ff_init);
+        if (packed) {
+          const Word64* frame =
+              slab.data() + std::size_t{v - lane.begin} * ngates;
+          for (auto& e : engines_) {
+            e->set_good_batch_oracle(frame, static_cast<unsigned>(l));
+          }
+        }
+        apply_vector(seq[v]);
+      }
+    }
+  }
+  batch_counters_.merge(bsim.counters());
   merged_dirty_ = true;
 }
 
@@ -458,6 +538,9 @@ SimStats ShardedSim::stats() const {
     st.total.accumulate(es);
     st.per_engine.push_back(std::move(es));
   }
+  // Driver-side batch telemetry (packed good machine + wasted lanes) has
+  // no owning engine: it appears in the totals only.
+  st.total.counters.merge(batch_counters_);
   return st;
 }
 

@@ -44,6 +44,14 @@ struct ShardedOptions {
   CsimOptions csim;
   /// Shard failure containment (resil/containment.h).  Off by default.
   resil::ResilOptions resil;
+  /// Pattern-lane width for run(): >1 precomputes the good machine for up
+  /// to `batch_width` vectors at a time in one packed 64-lane BatchGoodSim
+  /// (sim/batch_good_sim.h) and serves each engine's good values from the
+  /// shared trajectory -- the second parallelism axis, orthogonal to
+  /// num_threads.  Results are bit-identical for any width (clamped to
+  /// [1, 64]).  Single-lane bands, containment runs (max_retries > 0), and
+  /// the per-vector apply_vector() API always use the scalar path.
+  unsigned batch_width = 1;
   /// Initial suspension mask (size num_faults, or empty): marked faults are
   /// excluded from simulation until set_suspended()/restore_run_state()
   /// changes the overlay.  The memory-budget multi-pass path constructs
@@ -128,10 +136,15 @@ class ShardedSim {
   std::size_t apply_vector(std::span<const Val> pi_vals);
 
   /// Simulate a whole suite: one reset per sequence, vectors in order.
-  /// Without an observer each shard runs the entire suite independently
-  /// (coarse-grained, one fork-join total); with an observer the vectors
-  /// run in lockstep so callbacks stay ordered.  Either path yields the
-  /// same merged status.
+  /// With batch_width > 1 (and containment off) the batched driver runs:
+  /// a BatchPlan groups the suite into packed lanes, one BatchGoodSim
+  /// precomputes each band's good trajectory, and the vectors replay in
+  /// lockstep with every engine reading good values from its lane of the
+  /// slab.  Otherwise, without an observer each shard runs the entire
+  /// suite independently (coarse-grained, one fork-join total); with an
+  /// observer the vectors run in lockstep so callbacks stay ordered.
+  /// Every path yields the same merged status, detection order, and
+  /// deterministic counters.
   void run(const TestSuite& t, Val ff_init = Val::X);
 
   // -- results ------------------------------------------------------------
@@ -189,6 +202,9 @@ class ShardedSim {
   void report_memory(MemStats& ms) const;
 
  private:
+  /// The two-dimensional driver loop (batch_width > 1): packed good-machine
+  /// precompute per band, then per-lane replay with the oracle armed.
+  void run_batched(const TestSuite& t, Val ff_init, unsigned width);
   void replay_observations();
   /// tid of the driver track (one past the shard tracks).
   std::uint32_t driver_tid() const {
@@ -236,6 +252,9 @@ class ShardedSim {
   obs::TraceEmitter* trace_ = nullptr;
   // Merge/replay happen in const accessors; the timers still record them.
   mutable obs::PhaseTimers driver_timers_;
+  // Driver-side batch telemetry: the packed good machine's counters plus
+  // BatchLanesWasted, merged into stats().total (no engine owns them).
+  obs::Counters batch_counters_;
 
   mutable std::vector<Detect> merged_;
   mutable bool merged_dirty_ = true;

@@ -9,7 +9,7 @@
 //                           serial|deductive]
 //                          [--tests=FILE | --random=N] [--seed=N]
 //                          [--reset0] [--transition] [--verbose]
-//                          [--threads=N]
+//                          [--threads=N] [--batch=N|auto]
 //
 // <circuit> is a .bench file path (contains '.' or '/') or the name of a
 // built-in ISCAS-89 profile benchmark (s27, s298, ..., s35932).
@@ -201,7 +201,8 @@ void print_shard_stats(const RunResult& r) {
 // containment, memory-budget multi-pass degradation (resil/campaign.h).
 // Selected whenever any campaign flag is present.
 int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
-                 Val ff_init, unsigned threads, const TestSuite& tests) {
+                 Val ff_init, unsigned threads, unsigned batch,
+                 const TestSuite& tests) {
   for (const char* bad : {"sample", "collapse", "trace", "stats-json"}) {
     if (args.has(bad)) {
       throw Error("--" + std::string(bad) +
@@ -216,6 +217,10 @@ int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
   resil::CampaignOptions copt;
   copt.ff_init = ff_init;
   copt.sharded.num_threads = threads;
+  // Campaigns replay vector-by-vector (checkpoint boundaries demand it), so
+  // the scalar good machine runs regardless; accepting the flag keeps one
+  // command line valid across plain and campaign runs.
+  copt.sharded.batch_width = batch;
   copt.sharded.csim.split_lists = engine == "csim-mv" || engine == "csim-v";
   copt.sharded.csim.max_elements = args.get_u64("max-elements", 0);
   copt.sharded.resil.max_retries =
@@ -292,7 +297,8 @@ int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
 int cmd_sim(const Args& args) {
   args.allow_only(
       {"engine", "tests", "random", "seed", "reset0", "transition",
-       "verbose", "sample", "collapse", "threads", "trace", "stats-json",
+       "verbose", "sample", "collapse", "threads", "batch", "trace",
+       "stats-json",
        "checkpoint", "checkpoint-every", "resume", "max-elements", "retries",
        "deadline-ms", "backoff-ms", "inject", "halt-after", "sleep-ms"});
   const Circuit c = load_circuit(args.positional().at(0));
@@ -301,6 +307,20 @@ int cmd_sim(const Args& args) {
   const unsigned threads =
       static_cast<unsigned>(args.get_u64("threads", 1));
   if (threads == 0) throw Error("--threads must be at least 1");
+
+  // --batch=N picks the pattern-lane width of the packed good machine
+  // (sim/batch_good_sim.h); "auto" means 64 for combinational circuits,
+  // where every vector is independent, and 1 for sequential ones, where
+  // lanes only pack across separate sequences.
+  const std::string batch_spec = args.get("batch", "auto");
+  unsigned batch = 1;
+  if (batch_spec == "auto") {
+    batch = c.dffs().empty() ? 64u : 1u;
+  } else {
+    const std::uint64_t n = args.get_u64("batch", 1);
+    if (n == 0 || n > 64) throw Error("--batch must be 1..64 (or auto)");
+    batch = static_cast<unsigned>(n);
+  }
 
   TestSuite tests;
   if (args.has("tests")) {
@@ -323,6 +343,9 @@ int cmd_sim(const Args& args) {
   if (threads > 1 && !csim_engine) {
     throw Error("--threads supports the csim engines only");
   }
+  if (args.has("batch") && !csim_engine) {
+    throw Error("--batch supports the csim engines only");
+  }
 
   const bool campaign_mode =
       args.has("checkpoint") || args.has("checkpoint-every") ||
@@ -336,7 +359,7 @@ int cmd_sim(const Args& args) {
     if (args.has("transition") && engine == "csim-m") {
       throw Error("--transition requires a csim engine");
     }
-    return run_campaign(args, c, engine, ff_init, threads, tests);
+    return run_campaign(args, c, engine, ff_init, threads, batch, tests);
   }
 
   // --trace routes through the sharded driver (one track per shard); with
@@ -348,7 +371,7 @@ int cmd_sim(const Args& args) {
   }
   obs::TraceEmitter trace;
   obs::TraceEmitter* tr = trace_path.empty() ? nullptr : &trace;
-  const bool sharded = threads > 1 || tr != nullptr;
+  const bool sharded = threads > 1 || batch > 1 || tr != nullptr;
 
   RunResult r;
   if (args.has("transition")) {
@@ -357,7 +380,7 @@ int cmd_sim(const Args& args) {
     }
     const FaultUniverse u = FaultUniverse::all_transition(c);
     r = sharded ? run_csim_transition_sharded(c, u, tests, threads, ff_init,
-                                              engine != "csim", tr)
+                                              engine != "csim", tr, batch)
                 : run_csim_transition(c, u, tests, ff_init,
                                       engine != "csim");
   } else if (args.has("sample")) {
@@ -366,7 +389,7 @@ int cmd_sim(const Args& args) {
         full, sample_faults(full, args.get_u64("sample", 1000),
                             args.get_u64("seed", 1) + 1));
     r = sharded ? run_csim_sharded(c, sub.universe, tests, CsimVariant::V,
-                                   threads, ff_init, true, tr)
+                                   threads, ff_init, true, tr, batch)
                 : run_csim(c, sub.universe, tests, CsimVariant::V, ff_init);
     r.sim_name += " (sampled " + std::to_string(sub.universe.size()) + "/" +
                   std::to_string(full.size()) + ")";
@@ -377,11 +400,13 @@ int cmd_sim(const Args& args) {
     Stopwatch sw;
     ShardedOptions sopt;
     sopt.num_threads = threads;
+    sopt.batch_width = batch;
     ShardedSim sim(c, reps.universe, sopt);
     if (tr != nullptr) sim.set_trace(tr);
     sim.run(tests, ff_init);
     r.cpu_s = sw.seconds();
     r.threads = sim.num_shards();
+    r.batch = batch;
     r.sim_name = "csim-V (collapsed " + std::to_string(reps.universe.size()) +
                  " classes)";
     r.mem_bytes = sim.bytes() + c.bytes();
@@ -392,7 +417,7 @@ int cmd_sim(const Args& args) {
     const FaultUniverse u = FaultUniverse::all_stuck_at(c);
     const auto run_variant = [&](CsimVariant v) {
       return sharded ? run_csim_sharded(c, u, tests, v, threads, ff_init,
-                                        true, tr)
+                                        true, tr, batch)
                      : run_csim(c, u, tests, v, ff_init);
     };
     if (engine == "csim-mv") {
@@ -437,6 +462,10 @@ int cmd_sim(const Args& args) {
     std::printf("threads   %u fault shards over one shared model\n",
                 r.threads);
   }
+  if (r.batch > 1) {
+    std::printf("batch     %u pattern lanes per packed good-machine pass\n",
+                r.batch);
+  }
   if (args.has("verbose")) {
     std::printf("activity  %llu element/word evaluations\n",
                 static_cast<unsigned long long>(r.activity));
@@ -476,7 +505,8 @@ int usage() {
       "  compact  <circuit> --tests=F [--out=F2] [--reset0]\n"
       "  sim      <circuit> [--engine=E] [--tests=F|--random=N] [--seed=N]\n"
       "           [--reset0] [--transition] [--verbose] [--threads=N]\n"
-      "           [--sample=N | --collapse] [--trace=F] [--stats-json=F]\n"
+      "           [--batch=N|auto] [--sample=N | --collapse] [--trace=F]\n"
+      "           [--stats-json=F]\n"
       "           campaign flags (resilient path):\n"
       "           [--checkpoint=F] [--checkpoint-every=N] [--resume=F]\n"
       "           [--max-elements=K] [--retries=N] [--deadline-ms=N]\n"

@@ -31,6 +31,26 @@ def extract(doc):
     return out
 
 
+def num_cpus(doc):
+    """Host core count, from either document shape; None if unrecorded."""
+    for block in (doc.get("context"), doc.get("host"),
+                  doc.get("host_context")):
+        if isinstance(block, dict) and block.get("num_cpus"):
+            return block["num_cpus"]
+    return None
+
+
+def warn_host_mismatch(cur_doc, base_doc):
+    """Timings only transfer between comparable hosts: a core-count
+    mismatch between the run and the baseline does not fail the gate, but
+    it is called out so a surprise ratio can be read correctly."""
+    cur, base = num_cpus(cur_doc), num_cpus(base_doc)
+    if cur is not None and base is not None and cur != base:
+        print(f"warning: host core-count mismatch -- current run on "
+              f"{cur} cpus, baseline recorded on {base}; timing ratios "
+              f"may reflect the machine, not the code", file=sys.stderr)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current")
@@ -44,9 +64,12 @@ def main():
     args = ap.parse_args()
 
     with open(args.current) as f:
-        cur = extract(json.load(f))
+        cur_doc = json.load(f)
     with open(args.baseline) as f:
-        base = extract(json.load(f))
+        base_doc = json.load(f)
+    cur = extract(cur_doc)
+    base = extract(base_doc)
+    warn_host_mismatch(cur_doc, base_doc)
 
     names = args.bench if args.bench else sorted(set(cur) & set(base))
     failures = []

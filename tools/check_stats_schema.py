@@ -5,6 +5,12 @@ Pure-stdlib implementation of the JSON Schema subset the pin actually uses:
 type, properties, required, additionalProperties, items, enum, minimum.
 Exits 0 on success, 1 with a list of violations otherwise.
 
+The pinned shape includes the two-dimensional parallelism fields: meta.batch
+(pattern-lane width, >= 1 next to meta.threads) and the packed good-machine
+counters batch_words_evaluated / batch_lanes_wasted, required in
+totals.counters (zero on scalar runs); the driver timers may carry a
+good_batch phase on batched runs.
+
 Usage: check_stats_schema.py <stats.json> [schema.json]
 """
 import json

@@ -8,7 +8,32 @@ check_bench_regression.py).  Standard library only.
 """
 import argparse
 import json
+import os
 import sys
+
+
+def cpu_model():
+    """Human-readable CPU model from /proc/cpuinfo, or None elsewhere."""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return None
+
+
+def host_block(micro_context):
+    """Explicit host descriptor: benchmark timings only transfer between
+    comparable machines, so the baseline records where it was measured."""
+    host = {
+        "num_cpus": micro_context.get("num_cpus") or os.cpu_count(),
+        "cpu_model": micro_context.get("cpu_model") or cpu_model(),
+    }
+    if "mhz_per_cpu" in micro_context:
+        host["mhz_per_cpu"] = micro_context["mhz_per_cpu"]
+    return host
 
 
 def load(path, required):
@@ -29,14 +54,17 @@ def main():
     ap.add_argument("--scaling", default=None, help="scaling_threads JSON")
     ap.add_argument("--scale", default="unknown",
                     help="CFS_BENCH_SCALE the run used")
+    ap.add_argument("--name", default="BENCH_PR5",
+                    help="baseline tag stored in the output")
     ap.add_argument("--out", required=True, help="output baseline JSON")
     args = ap.parse_args()
 
     micro = load(args.micro, required=True)
     out = {
-        "baseline": "BENCH_PR5",
+        "baseline": args.name,
         "scale": args.scale,
         "host_context": micro.get("context", {}),
+        "host": host_block(micro.get("context", {})),
         "micro_kernels": {},
     }
     for b in micro.get("benchmarks", []):
