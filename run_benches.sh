@@ -39,8 +39,8 @@ for b in table2_circuits table3_deterministic table4_deterministic2 \
   echo "== $b =="
   extra=""
   case $b in
-    # These two also emit machine-readable $OUTDIR/*.json siblings.
-    table2_circuits|scaling_threads) extra="--json=$OUTDIR/$b.json" ;;
+    # These also emit machine-readable $OUTDIR/*.json siblings.
+    table2_circuits|scaling_threads|coverage_curve) extra="--json=$OUTDIR/$b.json" ;;
   esac
   ./build/bench/$b $extra | tee "$OUTDIR/$b.txt"
 done

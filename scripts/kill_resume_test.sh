@@ -13,6 +13,12 @@
 #   4. element budget far below the natural peak: multi-pass degradation,
 #      result unchanged.
 #
+# Phase 1 also streams campaign telemetry (--timeline): because the stream
+# is flushed only at checkpoint boundaries, the kill -9 must leave a
+# well-formed JSONL file ending before the checkpoint the resume restarts
+# from, and the resumed campaign must append a contiguous, duplicate-free
+# continuation covering every vector exactly once.
+#
 # Usage: kill_resume_test.sh /path/to/cfs
 CFS=${1:?usage: kill_resume_test.sh /path/to/cfs}
 TMP=$(mktemp -d)
@@ -38,7 +44,7 @@ REF=$(digest_of "$TMP/full.txt")
 # --sleep-ms paces the campaign (~25ms/vector) so the kill reliably lands
 # mid-run; checkpoints land every 5 vectors.
 "$CFS" "${ARGS[@]}" --checkpoint="$TMP/ck.bin" --checkpoint-every=5 \
-  --sleep-ms=25 > "$TMP/killed.txt" 2>&1 &
+  --timeline="$TMP/tl.jsonl" --sleep-ms=25 > "$TMP/killed.txt" 2>&1 &
 PID=$!
 sleep 1.2
 kill -9 "$PID" 2> /dev/null || {
@@ -48,13 +54,34 @@ kill -9 "$PID" 2> /dev/null || {
 wait "$PID" 2> /dev/null
 [ -f "$TMP/ck.bin" ] || fail "no checkpoint on disk after the kill"
 
-"$CFS" "${ARGS[@]}" --resume="$TMP/ck.bin" > "$TMP/resumed.txt" ||
-  fail "resume failed"
+# The kill landed between flushes: the stream on disk must still be pure
+# well-formed JSONL (whole lines only, nothing torn).
+[ -s "$TMP/tl.jsonl" ] || fail "no timeline stream on disk after the kill"
+python3 - "$TMP/tl.jsonl" <<'EOF' || fail "killed timeline stream is not well-formed JSONL"
+import json, sys
+for line in open(sys.argv[1]):
+    json.loads(line)
+EOF
+
+"$CFS" "${ARGS[@]}" --resume="$TMP/ck.bin" --timeline="$TMP/tl.jsonl" \
+  > "$TMP/resumed.txt" || fail "resume failed"
 RES=$(digest_of "$TMP/resumed.txt")
 [ "$RES" = "$REF" ] || {
   cat "$TMP/resumed.txt" >&2
   fail "kill+resume digest $RES != uninterrupted $REF"
 }
+
+# Killed stream + resumed continuation: every vector sampled exactly once,
+# in order, with no gap and no overlap at the checkpoint seam.
+python3 - "$TMP/tl.jsonl" <<'EOF' || fail "kill+resume timeline stream is not a contiguous sample series"
+import json, sys
+vecs = []
+for line in open(sys.argv[1]):
+    doc = json.loads(line)
+    if "vec" in doc:
+        vecs.append(doc["vec"])
+assert vecs == list(range(96)), f"expected vec 0..95, got {len(vecs)} samples"
+EOF
 
 # --- 2. injected shard exception is contained -----------------------------
 "$CFS" "${ARGS[@]}" --retries=3 --inject=throw:1:7 > "$TMP/inject.txt" ||

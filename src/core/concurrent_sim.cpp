@@ -73,6 +73,7 @@ ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
 
   latch_good_.resize(c_->dffs().size());
   latch_lists_.resize(c_->dffs().size());
+  levels_.resize(c_->num_levels());
 
   reset();
 }
@@ -324,10 +325,17 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
   scratch_inv_.clear();
   const GateState in_mask = input_mask(nf);
 
+#if CFS_OBS_ENABLED
+  std::uint64_t merge_steps = 0;   // merge-loop iterations == element evals
+  std::uint64_t merge_walked = 0;  // source-list elements consumed
+#endif
   for (;;) {
     std::uint32_t m = si < site.size() ? site[si] : kSentinelId;
     for (unsigned p = 0; p < nf; ++p) m = std::min(m, fc[p].id);
     if (m == kSentinelId) break;
+#if CFS_OBS_ENABLED
+    ++merge_steps;
+#endif
     // The descriptor of the minimum fault is needed by eval_element after
     // the gather below; start its load now.
     CFS_PREFETCH(&descr_[m]);
@@ -343,6 +351,9 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
       if (fc[p].id == m) {
         st = state_set(st, p, state_out(pool_[fc[p].cur].state));
         cursor_advance(fc[p]);
+#if CFS_OBS_ENABLED
+        ++merge_walked;
+#endif
       }
     }
     const Val out = eval_element(g, m, st);
@@ -361,6 +372,18 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
       while (si < site.size() && skip_site(site[si])) ++si;
     }
   }
+
+  // Work-attribution heatmaps: where the merge effort lands.  The produced
+  // list length and divergence size are distribution samples; the level
+  // profile pins evals/merges/traversals to the levelized axis.
+  CFS_HIST(hists_, ListLength,
+           static_cast<std::uint64_t>(scratch_vis_.size()) +
+               static_cast<std::uint64_t>(scratch_inv_.size()));
+  CFS_HIST(hists_, DivergenceSize,
+           static_cast<std::uint64_t>(scratch_vis_.size()));
+#if CFS_OBS_ENABLED
+  CFS_LEVEL(levels_, c_->level(g), merge_steps, merge_walked);
+#endif
 
 #if CFS_OBS_ENABLED
   if (opt_.split_lists) {

@@ -51,6 +51,7 @@
 #include "faults/partition.h"
 #include "netlist/circuit.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/timers.h"
 #include "sim/level_queue.h"
 #include "util/dualrail.h"
@@ -214,6 +215,12 @@ class ConcurrentSim {
   /// Per-phase wall-time accumulation (obs/timers.h); engine-internal
   /// phases are recorded only when built with CFS_OBS=ON.
   const obs::PhaseTimers& timers() const { return timers_; }
+  /// Work-attribution distributions (obs/histogram.h): fault-list length
+  /// per merge, divergence size per gate.  All-zero when CFS_OBS=OFF.
+  const obs::HistogramSet& histograms() const { return hists_; }
+  /// Per-level eval/merge/traversal attribution along the levelized
+  /// circuit structure.  All-zero when CFS_OBS=OFF.
+  const obs::LevelProfile& level_profile() const { return levels_; }
   /// Bytes of the fault-element pool alone (the paper's dominant MEM term).
   std::size_t pool_bytes() const { return pool_.bytes(); }
   /// Bytes of this engine's run state (pool, lists, good machine, queue);
@@ -419,6 +426,8 @@ class ConcurrentSim {
   // Mutable: const traversals (visible_at, faulty_value) still count work.
   mutable obs::Counters counters_;
   obs::PhaseTimers timers_;
+  obs::HistogramSet hists_;
+  obs::LevelProfile levels_;  // sized to the circuit's level count
   DetectionObserver observer_;
 };
 

@@ -124,7 +124,7 @@ RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
                            const TestSuite& t, CsimVariant variant,
                            unsigned num_threads, Val ff_init,
                            bool drop_detected, obs::TraceEmitter* trace,
-                           unsigned batch_width) {
+                           unsigned batch_width, obs::Timeline* timeline) {
   RunResult r;
   r.batch = batch_width;
   ShardedOptions sopt;
@@ -138,6 +138,7 @@ RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
 
   auto run_one = [&](ShardedSim& sim, std::size_t extra_bytes) {
     if (trace != nullptr) sim.set_trace(trace);
+    if (timeline != nullptr) sim.set_timeline(timeline);
     {
       obs::ScopedPhase sp(r.run_timers, obs::Phase::Run);
       sim.run(t, ff_init);
@@ -169,7 +170,8 @@ RunResult run_csim_transition_sharded(const Circuit& c,
                                       unsigned num_threads, Val ff_init,
                                       bool split_lists,
                                       obs::TraceEmitter* trace,
-                                      unsigned batch_width) {
+                                      unsigned batch_width,
+                                      obs::Timeline* timeline) {
   RunResult r;
   r.batch = batch_width;
   ShardedOptions sopt;
@@ -178,6 +180,7 @@ RunResult run_csim_transition_sharded(const Circuit& c,
   sopt.csim.split_lists = split_lists;
   ShardedSim sim(c, u, sopt);
   if (trace != nullptr) sim.set_trace(trace);
+  if (timeline != nullptr) sim.set_timeline(timeline);
   {
     obs::ScopedPhase sp(r.run_timers, obs::Phase::Run);
     sim.run(t, ff_init);

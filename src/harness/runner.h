@@ -66,13 +66,16 @@ RunResult run_csim_transition(const Circuit& c, const FaultUniverse& u,
 /// the two parallel axes compose freely.  Detection status and coverage
 /// are bit-for-bit identical to the single-threaded, width-1 variant for
 /// any thread count x batch width.  `trace`, when given, receives one
-/// Chrome-trace track per shard (obs/trace.h) and must outlive the call.
+/// Chrome-trace track per shard (obs/trace.h) and must outlive the call;
+/// `timeline`, when given, samples the run per vector (obs/timeline.h,
+/// forcing the lockstep driver) and must outlive the call too.
 RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
                            const TestSuite& t, CsimVariant variant,
                            unsigned num_threads, Val ff_init = Val::X,
                            bool drop_detected = true,
                            obs::TraceEmitter* trace = nullptr,
-                           unsigned batch_width = 1);
+                           unsigned batch_width = 1,
+                           obs::Timeline* timeline = nullptr);
 
 /// Sharded transition-fault run.
 RunResult run_csim_transition_sharded(const Circuit& c,
@@ -82,7 +85,8 @@ RunResult run_csim_transition_sharded(const Circuit& c,
                                       Val ff_init = Val::X,
                                       bool split_lists = true,
                                       obs::TraceEmitter* trace = nullptr,
-                                      unsigned batch_width = 1);
+                                      unsigned batch_width = 1,
+                                      obs::Timeline* timeline = nullptr);
 
 // Single-sequence conveniences.
 inline RunResult run_csim(const Circuit& c, const FaultUniverse& u,

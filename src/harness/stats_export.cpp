@@ -20,12 +20,16 @@ void write_engine(obs::JsonWriter& w, const EngineStats& e) {
   obs::write_counters(w, e.counters);
   w.key("timers");
   obs::write_timers(w, e.timers);
+  w.key("histograms");
+  obs::write_histograms(w, e.hists);
+  w.key("levels");
+  obs::write_level_profile(w, e.levels);
 }
 
 }  // namespace
 
 void write_run_stats_json(std::ostream& os, const RunMetadata& meta,
-                          const RunResult& r) {
+                          const RunResult& r, const obs::Timeline* timeline) {
   obs::JsonWriter w(os);
   w.begin_object();
   w.field("schema_version", std::uint64_t{1});
@@ -62,6 +66,23 @@ void write_run_stats_json(std::ostream& os, const RunMetadata& meta,
   // Shard-invariant counter sums: identical for any --threads value.
   w.key("deterministic");
   obs::write_deterministic_counters(w, r.stats.total.counters);
+
+  // Time-series samples (obs/timeline.h): always present so the schema
+  // stays fixed; an un-sampled run carries an empty, zero-dimension block.
+  w.key("timeline");
+  if (timeline != nullptr) {
+    timeline->write_json(w);
+  } else {
+    w.begin_object();
+    w.field("every", std::uint64_t{0});
+    w.field("capacity", std::uint64_t{0});
+    w.field("num_shards", std::uint64_t{0});
+    w.field("recorded", std::uint64_t{0});
+    w.key("samples");
+    w.begin_array();
+    w.end_array();
+    w.end_object();
+  }
 
   // Containment counters (resil/containment.h): zero unless the run had
   // shard failure containment enabled and a shard actually failed.
@@ -102,10 +123,10 @@ void write_run_stats_json(std::ostream& os, const RunMetadata& meta,
 }
 
 void save_run_stats_json(const std::string& path, const RunMetadata& meta,
-                         const RunResult& r) {
+                         const RunResult& r, const obs::Timeline* timeline) {
   std::ofstream f(path);
   if (!f) throw Error("cannot write stats file " + path);
-  write_run_stats_json(f, meta, r);
+  write_run_stats_json(f, meta, r, timeline);
   f << '\n';
   if (!f) throw Error("error writing stats file " + path);
 }

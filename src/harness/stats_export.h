@@ -26,12 +26,17 @@ struct RunMetadata {
 /// Serialize one run as the stats document (schema_version 1).  The
 /// "deterministic" block holds only shard-invariant counters -- those are
 /// bit-identical across --threads for a fixed (circuit, tests) pair; the
-/// per-engine blocks carry the full registry.
+/// per-engine blocks carry the full registry plus the work-attribution
+/// histograms and level profile.  `timeline`, when given, fills the
+/// "timeline" block with the sampler's ring (the block is always present;
+/// without a timeline it is empty with zeroed dimensions).
 void write_run_stats_json(std::ostream& os, const RunMetadata& meta,
-                          const RunResult& r);
+                          const RunResult& r,
+                          const obs::Timeline* timeline = nullptr);
 
 /// write_run_stats_json() to a file; throws cfs::Error on I/O failure.
 void save_run_stats_json(const std::string& path, const RunMetadata& meta,
-                         const RunResult& r);
+                         const RunResult& r,
+                         const obs::Timeline* timeline = nullptr);
 
 }  // namespace cfs

@@ -1,0 +1,170 @@
+// Work-attribution heatmaps: power-of-two histograms and per-level
+// profiles.
+//
+// The counter registry (obs/counters.h) answers "how much work" -- this
+// header answers "where" and "how it is distributed".  A `Histogram` is a
+// fixed array of power-of-two buckets (bucket 0 holds the value 0, bucket
+// k>0 holds [2^(k-1), 2^k), the last bucket clamps everything above) plus
+// count/sum/max, so a distribution costs one bit_width and four adds per
+// sample and never allocates.  A `LevelProfile` attributes eval/merge/
+// traversal counts to the circuit's levelized structure -- the axis the
+// CSR model arrays are laid out along -- which is exactly the attribution
+// RIROS-style load balancing and ERASER-style redundancy trimming need.
+//
+// Like the counters, all hot-path recording compiles away under
+// -DCFS_OBS=OFF (CFS_OBS_ENABLED=0): the types stay available so callers
+// need no #ifdefs, but the engines never touch them and the machine code
+// is identical to the bare build.  Recording is deterministic where its
+// inputs are: histogram contents measure *work*, which is shard-dependent
+// (see counters.h on determinism classes), so they live outside the
+// stats document's deterministic block.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "obs/counters.h"  // CFS_OBS_ENABLED
+
+namespace cfs::obs {
+
+/// Power-of-two-bucket histogram of uint64 samples.  Plain aggregate:
+/// copy, merge, compare.
+struct Histogram {
+  /// Bucket 0: value 0.  Bucket k in [1, 31]: values [2^(k-1), 2^k).
+  /// Bucket 32 (the last): everything >= 2^31 (overflow clamp).
+  static constexpr std::size_t kNumBuckets = 33;
+
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  static constexpr unsigned bucket_of(std::uint64_t v) {
+    const unsigned w = static_cast<unsigned>(std::bit_width(v));
+    return w < kNumBuckets ? w : kNumBuckets - 1;
+  }
+  /// Smallest value of bucket `b`.
+  static constexpr std::uint64_t bucket_lo(unsigned b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Largest value of bucket `b` (the last bucket is unbounded).
+  static constexpr std::uint64_t bucket_hi(unsigned b) {
+    if (b == 0) return 0;
+    if (b >= kNumBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++buckets[bucket_of(v)];
+    ++count;
+    sum += v;
+    if (v > max) max = v;
+  }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  void merge(const Histogram& o) {
+    for (std::size_t i = 0; i < kNumBuckets; ++i) buckets[i] += o.buckets[i];
+    count += o.count;
+    sum += o.sum;
+    if (o.max > max) max = o.max;
+  }
+  void reset() {
+    buckets.fill(0);
+    count = sum = max = 0;
+  }
+  bool operator==(const Histogram&) const = default;
+};
+
+/// The named distributions one engine maintains.
+enum class Hist : unsigned {
+  ListLength,      ///< produced fault-list length per multi-list merge
+  DivergenceSize,  ///< visible (diverging) machines per processed gate
+  kCount
+};
+
+inline constexpr std::size_t kNumHists = static_cast<std::size_t>(Hist::kCount);
+
+constexpr std::string_view hist_name(Hist h) {
+  switch (h) {
+    case Hist::ListLength: return "list_length";
+    case Hist::DivergenceSize: return "divergence_size";
+    case Hist::kCount: break;
+  }
+  return "?";
+}
+
+/// One engine's histogram block.
+struct HistogramSet {
+  std::array<Histogram, kNumHists> h{};
+
+  const Histogram& get(Hist which) const {
+    return h[static_cast<std::size_t>(which)];
+  }
+  void record(Hist which, std::uint64_t v) {
+    h[static_cast<std::size_t>(which)].record(v);
+  }
+  void merge(const HistogramSet& o) {
+    for (std::size_t i = 0; i < kNumHists; ++i) h[i].merge(o.h[i]);
+  }
+  void reset() {
+    for (Histogram& hist : h) hist.reset();
+  }
+  bool operator==(const HistogramSet&) const = default;
+};
+
+/// Per-level work attribution: how many gate evaluations, multi-list
+/// merges, and fault-list element traversals happened at each level of the
+/// levelized circuit.  Levels are where the concurrent machinery's cost
+/// concentrates and shifts as faults drop; the CSR model arrays are laid
+/// out along the same axis.
+struct LevelProfile {
+  std::vector<std::uint64_t> evals;       ///< faulty-machine evaluations
+  std::vector<std::uint64_t> merges;      ///< merge_gate invocations
+  std::vector<std::uint64_t> traversals;  ///< merge-loop element steps
+
+  std::size_t num_levels() const { return merges.size(); }
+
+  void resize(std::size_t nl) {
+    evals.resize(nl, 0);
+    merges.resize(nl, 0);
+    traversals.resize(nl, 0);
+  }
+  void bump(std::size_t lvl, std::uint64_t nevals, std::uint64_t ntrav) {
+    evals[lvl] += nevals;
+    merges[lvl] += 1;
+    traversals[lvl] += ntrav;
+  }
+  void merge(const LevelProfile& o) {
+    if (o.num_levels() > num_levels()) resize(o.num_levels());
+    for (std::size_t i = 0; i < o.merges.size(); ++i) {
+      evals[i] += o.evals[i];
+      merges[i] += o.merges[i];
+      traversals[i] += o.traversals[i];
+    }
+  }
+  void reset() {
+    std::fill(evals.begin(), evals.end(), 0);
+    std::fill(merges.begin(), merges.end(), 0);
+    std::fill(traversals.begin(), traversals.end(), 0);
+  }
+  bool operator==(const LevelProfile&) const = default;
+};
+
+}  // namespace cfs::obs
+
+// Hot-path recording macros, compiled away with the counters.  `hs` is a
+// HistogramSet lvalue, `which` an unqualified Hist enumerator; `lp` is a
+// LevelProfile lvalue already sized to the circuit's level count.
+#if CFS_OBS_ENABLED
+#define CFS_HIST(hs, which, v) (hs).record(::cfs::obs::Hist::which, (v))
+#define CFS_LEVEL(lp, lvl, nevals, ntrav) (lp).bump((lvl), (nevals), (ntrav))
+#else
+#define CFS_HIST(hs, which, v) ((void)0)
+#define CFS_LEVEL(lp, lvl, nevals, ntrav) ((void)0)
+#endif

@@ -117,6 +117,51 @@ void write_deterministic_counters(JsonWriter& w, const Counters& c) {
   w.end_object();
 }
 
+void write_histograms(JsonWriter& w, const HistogramSet& hs) {
+  w.begin_object();
+  for (std::size_t i = 0; i < kNumHists; ++i) {
+    const auto which = static_cast<Hist>(i);
+    const Histogram& h = hs.get(which);
+    w.key(hist_name(which));
+    w.begin_object();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.field("max", h.max);
+    w.field("mean", h.mean());
+    w.key("buckets");
+    w.begin_array();
+    for (unsigned b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      w.begin_object();
+      w.field("lo", Histogram::bucket_lo(b));
+      w.field("hi", Histogram::bucket_hi(b));
+      w.field("n", h.buckets[b]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_level_profile(JsonWriter& w, const LevelProfile& lp) {
+  w.begin_object();
+  w.field("num_levels", static_cast<std::uint64_t>(lp.num_levels()));
+  w.key("evals");
+  w.begin_array();
+  for (const std::uint64_t v : lp.evals) w.value(v);
+  w.end_array();
+  w.key("merges");
+  w.begin_array();
+  for (const std::uint64_t v : lp.merges) w.value(v);
+  w.end_array();
+  w.key("traversals");
+  w.begin_array();
+  for (const std::uint64_t v : lp.traversals) w.value(v);
+  w.end_array();
+  w.end_object();
+}
+
 void write_timers(JsonWriter& w, const PhaseTimers& t, bool all_phases) {
   w.begin_object();
   for (std::size_t i = 0; i < kNumPhases; ++i) {

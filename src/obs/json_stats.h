@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/counters.h"
+#include "obs/histogram.h"
 #include "obs/timers.h"
 
 namespace cfs::obs {
@@ -66,5 +67,14 @@ void write_deterministic_counters(JsonWriter& w, const Counters& c);
 /// `all_phases` forces every phase (schema-stable totals block).
 void write_timers(JsonWriter& w, const PhaseTimers& t,
                   bool all_phases = false);
+
+/// {"list_length": {"count": n, "sum": s, "max": m, "mean": x,
+///  "buckets": [{"lo": l, "hi": h, "n": c}, ...]}, ...} -- every named
+/// distribution; empty buckets are elided so documents stay small.
+void write_histograms(JsonWriter& w, const HistogramSet& hs);
+
+/// {"num_levels": n, "evals": [...], "merges": [...], "traversals":
+///  [...]} -- per-level work attribution along the levelized axis.
+void write_level_profile(JsonWriter& w, const LevelProfile& lp);
 
 }  // namespace cfs::obs

@@ -1,0 +1,110 @@
+#include "obs/progress.h"
+
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace cfs::obs {
+
+namespace {
+
+// Redraw throttles: a TTY refreshes smoothly, a pipe gets sparse lines.
+constexpr auto kTtyInterval = std::chrono::milliseconds(50);
+constexpr auto kPipeInterval = std::chrono::seconds(2);
+
+void format_eta(char* buf, std::size_t n, double seconds) {
+  if (seconds < 0) {
+    std::snprintf(buf, n, "--");
+  } else if (seconds < 90) {
+    std::snprintf(buf, n, "%.0fs", seconds);
+  } else if (seconds < 5400) {
+    std::snprintf(buf, n, "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buf, n, "%.1fh", seconds / 3600.0);
+  }
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::uint64_t total_vectors, int force_tty)
+    : total_(total_vectors),
+      tty_(force_tty >= 0 ? force_tty != 0 : ::isatty(2) != 0),
+      start_(std::chrono::steady_clock::now()),
+      last_print_(start_ - kPipeInterval) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::attach(Timeline& tl) {
+  tl.set_observer([this](const TimelineSample& s) { update(s); });
+}
+
+std::string ProgressMeter::render(const TimelineSample& s) const {
+  const std::uint64_t done = s.vec + 1;
+  const double cov =
+      universe_ == 0 ? 0.0
+                     : 100.0 * static_cast<double>(s.hard) /
+                           static_cast<double>(universe_);
+  const double secs = static_cast<double>(s.t_us) * 1e-6;
+  const double rate = secs > 0 ? static_cast<double>(done) / secs : 0.0;
+  const double eta =
+      (total_ > done && rate > 0)
+          ? static_cast<double>(total_ - done) / rate
+          : (total_ == 0 ? -1.0 : 0.0);
+  // Imbalance: heaviest shard's live-fault weight over the balanced share.
+  std::uint64_t max_live = 0, sum_live = 0;
+  for (const ShardSample& sh : s.shards) {
+    sum_live += sh.live_faults;
+    if (sh.live_faults > max_live) max_live = sh.live_faults;
+  }
+  const double imb =
+      sum_live == 0 ? 1.0
+                    : static_cast<double>(max_live) *
+                          static_cast<double>(s.shards.size()) /
+                          static_cast<double>(sum_live);
+
+  char etabuf[16];
+  format_eta(etabuf, sizeof etabuf, eta);
+  char line[192];
+  if (total_ > 0) {
+    std::snprintf(line, sizeof line,
+                  "cfs %5.1f%% cov | vec %" PRIu64 "/%" PRIu64
+                  " | %.0f vec/s | eta %s | hard %" PRIu64 " | imb %.2f",
+                  cov, done, total_, rate, etabuf, s.hard, imb);
+  } else {
+    std::snprintf(line, sizeof line,
+                  "cfs %5.1f%% cov | vec %" PRIu64 " | %.0f vec/s | hard %" PRIu64
+                  " | imb %.2f",
+                  cov, done, rate, s.hard, imb);
+  }
+  return line;
+}
+
+void ProgressMeter::update(const TimelineSample& s) {
+  if (universe_ == 0) universe_ = s.hard + s.live_faults;
+  const auto now = std::chrono::steady_clock::now();
+  const auto interval = tty_ ? kTtyInterval : kPipeInterval;
+  const bool last = total_ > 0 && s.vec + 1 >= total_;
+  if (!last && now - last_print_ < interval) return;
+  last_print_ = now;
+  const std::string line = render(s);
+  if (tty_) {
+    // \r redraw; trailing clear-to-eol spaces cover a shrinking line.
+    std::fprintf(stderr, "\r%s   \r%s", line.c_str(), line.c_str());
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  std::fflush(stderr);
+  printed_ = true;
+}
+
+void ProgressMeter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (printed_ && tty_) {
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+  }
+}
+
+}  // namespace cfs::obs

@@ -1,0 +1,52 @@
+// Live progress line for interactive campaigns (`--progress`).
+//
+// A `ProgressMeter` is a Timeline observer: each recorded sample updates a
+// single status line on stderr -- coverage %, vectors done / total,
+// throughput, ETA, and the shard-imbalance ratio (max shard live-fault
+// weight over the balanced share; 1.00 = perfectly even).  On a TTY the
+// line redraws in place with `\r` (throttled so a fast campaign does not
+// saturate the terminal); on a pipe it degrades to occasional plain lines
+// so logs stay readable.  The meter writes only to stderr and never
+// touches stdout, where reports and digests go.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/timeline.h"
+
+namespace cfs::obs {
+
+class ProgressMeter {
+ public:
+  /// `total_vectors` drives the percentage and ETA (0 = unknown: the meter
+  /// shows counts and rate only).  `force_tty` pins the output style for
+  /// tests; by default isatty(stderr) decides.
+  explicit ProgressMeter(std::uint64_t total_vectors, int force_tty = -1);
+  ~ProgressMeter();
+
+  /// Timeline observer entry point (driver thread only).
+  void update(const TimelineSample& s);
+
+  /// Erase/terminate the live line (called once, at end of run).  Safe to
+  /// call when nothing was ever printed.
+  void finish();
+
+  /// Attach to a timeline as its observer.
+  void attach(Timeline& tl);
+
+  /// One rendered status line (no \r or \n) -- exposed for tests.
+  std::string render(const TimelineSample& s) const;
+
+ private:
+  std::uint64_t total_;
+  std::uint64_t universe_ = 0;  ///< inferred from the first sample
+  bool tty_;
+  bool printed_ = false;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_print_;
+};
+
+}  // namespace cfs::obs

@@ -1,11 +1,29 @@
 #include "obs/trace.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 
 #include "obs/json_stats.h"
 #include "util/error.h"
 
 namespace cfs::obs {
+
+void ensure_writable(const std::string& path, const std::string& what) {
+  // Append mode: never truncates existing content (a resumed campaign's
+  // timeline stream must survive the probe).  If the probe had to create
+  // the file, remove it again -- emitters create their files lazily, and
+  // an aborted run should not leave an empty artifact behind.
+  const bool existed = std::ifstream(path).good();
+  std::ofstream f(path, std::ios::app);
+  if (!f) {
+    throw Error("cannot open " + what + " file " + path + " for writing: " +
+                std::strerror(errno));
+  }
+  f.close();
+  if (!existed) std::remove(path.c_str());
+}
 
 TraceEmitter::TraceEmitter() : t0_(std::chrono::steady_clock::now()) {}
 
@@ -30,6 +48,13 @@ void TraceEmitter::instant(std::uint32_t tid, const std::string& name,
                            std::uint64_t ts_us) {
   std::lock_guard<std::mutex> lk(mu_);
   events_.push_back(Event{'i', tid, ts_us, 0, name});
+}
+
+void TraceEmitter::counter(
+    std::uint32_t tid, const std::string& name, std::uint64_t ts_us,
+    std::vector<std::pair<std::string, std::uint64_t>> series) {
+  std::lock_guard<std::mutex> lk(mu_);
+  events_.push_back(Event{'C', tid, ts_us, 0, name, std::move(series)});
 }
 
 std::size_t TraceEmitter::num_events() const {
@@ -61,6 +86,20 @@ void TraceEmitter::write(std::ostream& os) const {
       w.key("name");
       w.value(e.name);
       w.end_object();
+    } else if (e.ph == 'C') {
+      w.key("ph");
+      w.value("C");
+      w.key("name");
+      w.value(e.name);
+      w.key("ts");
+      w.value(e.ts);
+      w.key("args");
+      w.begin_object();
+      for (const auto& [series, v] : e.series) {
+        w.key(series);
+        w.value(v);
+      }
+      w.end_object();
     } else {
       w.key("ph");
       w.value(std::string(1, e.ph));
@@ -84,10 +123,16 @@ void TraceEmitter::write(std::ostream& os) const {
 
 void TraceEmitter::save(const std::string& path) const {
   std::ofstream f(path);
-  if (!f) throw Error("cannot write trace file " + path);
+  if (!f) {
+    throw Error("cannot write trace file " + path + ": " +
+                std::strerror(errno));
+  }
   write(f);
   f << '\n';
-  if (!f) throw Error("error writing trace file " + path);
+  if (!f) {
+    throw Error("error writing trace file " + path + ": " +
+                std::strerror(errno));
+  }
 }
 
 }  // namespace cfs::obs

@@ -13,9 +13,17 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cfs::obs {
+
+/// Fail fast on output paths: probe that `path` can be created/appended
+/// (without truncating existing content) and throw cfs::Error carrying the
+/// OS diagnostic if not.  Emitters open their files lazily -- often only
+/// at save time, after a long run -- so CLI front-ends call this up front
+/// to reject a bad --trace/--timeline path before burning the simulation.
+void ensure_writable(const std::string& path, const std::string& what);
 
 class TraceEmitter {
  public:
@@ -36,6 +44,13 @@ class TraceEmitter {
   void instant(std::uint32_t tid, const std::string& name,
                std::uint64_t ts_us);
 
+  /// Counter event: a named track of stacked series values at `ts_us`
+  /// (chrome://tracing renders these as area charts under the thread
+  /// tracks).  The timeline sampler emits coverage / live-fault /
+  /// live-element series through this.
+  void counter(std::uint32_t tid, const std::string& name, std::uint64_t ts_us,
+               std::vector<std::pair<std::string, std::uint64_t>> series);
+
   std::size_t num_events() const;
 
   /// Serialize the whole trace as a chrome://tracing JSON object.
@@ -45,11 +60,13 @@ class TraceEmitter {
 
  private:
   struct Event {
-    char ph;  // 'X', 'i', or 'M'
+    char ph;  // 'X', 'i', 'M', or 'C'
     std::uint32_t tid;
     std::uint64_t ts;
     std::uint64_t dur;
     std::string name;
+    // 'C' only: the counter series (name, value) pairs.
+    std::vector<std::pair<std::string, std::uint64_t>> series;
   };
 
   std::chrono::steady_clock::time_point t0_;

@@ -86,6 +86,10 @@ void CampaignRunner::build_sim() {
       ShardedOptions so = opt_.sharded;
       so.suspended = suspended_;
       sim_ = std::make_unique<ShardedSim>(model_, std::move(so));
+      // Samples carry suite positions: a resumed campaign's timeline
+      // continues where the interrupted one left off.
+      if (opt_.timeline != nullptr) sim_->set_timeline(opt_.timeline, pos_);
+      if (opt_.trace != nullptr) sim_->set_trace(opt_.trace);
       return;
     } catch (const PoolBudgetError&) {
       // Even the initial activation does not fit: park half the universe
@@ -202,6 +206,10 @@ CampaignCheckpoint CampaignRunner::make_checkpoint() const {
 void CampaignRunner::write_checkpoint() {
   save_checkpoint(opt_.checkpoint_path, make_checkpoint());
   ++checkpoints_;
+  // Flush the timeline stream only at checkpoint boundaries: everything on
+  // disk precedes the checkpoint a kill would resume from, so the resumed
+  // campaign appends a contiguous, duplicate-free continuation.
+  if (opt_.timeline != nullptr) opt_.timeline->flush();
 }
 
 CampaignResult CampaignRunner::run() {
@@ -216,6 +224,9 @@ CampaignResult CampaignRunner::run() {
   const auto& seqs = suite_.sequences();
 
   const auto finish = [&](bool halted) {
+    // Orderly exits drain the sample buffer (a checkpoint, when one was
+    // just written, already covers everything flushed here).
+    if (opt_.timeline != nullptr) opt_.timeline->flush();
     CampaignResult res;
     res.status = status_;
     res.detected_at = detected_at_;

@@ -63,6 +63,17 @@ struct CampaignOptions {
   /// is unusably small).
   unsigned max_passes = 32;
 
+  /// Optional telemetry, both owned by the caller and outliving run().
+  /// The timeline samples every vector (vec coordinate = suite position,
+  /// continuing seamlessly across a resume) and, when streaming, is
+  /// flushed exactly at checkpoint boundaries: a kill -9 leaves a JSONL
+  /// stream whose last sample precedes the checkpoint the campaign
+  /// resumes from, so resume appends a contiguous continuation.  The
+  /// trace emitter records shard slices and counter tracks as in plain
+  /// sharded runs.
+  obs::Timeline* timeline = nullptr;
+  obs::TraceEmitter* trace = nullptr;
+
   /// Test hooks.  halt_after stops the campaign after N cumulative vectors
   /// (0 = run to completion) -- with a checkpoint path set, a final
   /// checkpoint is written first, so halt+resume mimics kill+resume

@@ -102,17 +102,24 @@ std::size_t ShardedSim::apply_vector(std::span<const Val> pi_vals) {
     return apply_vector_resilient(pi_vals);
   }
   const std::size_t k = engines_.size();
+  const std::uint64_t vec_no = vec_base_ + vectors_applied_;
+  const bool sampling = timeline_ != nullptr && timeline_->want(vec_no);
+  const std::uint64_t started_us = sampling ? timeline_->now_us() : 0;
   std::vector<std::size_t> newly(k, 0);
   pool_.parallel_for(k, [&](std::size_t s) {
     shard_obs_[s].clear();
-    const std::uint64_t t0 = trace_ ? trace_->now_us() : 0;
+    const bool timing = trace_ != nullptr || sampling;
+    const std::uint64_t t0 =
+        timing ? (trace_ ? trace_->now_us() : timeline_->now_us()) : 0;
     if (opt_.resil.injector != nullptr) {
       opt_.resil.injector->maybe_fire(static_cast<unsigned>(s),
                                       vectors_applied_);
     }
     newly[s] = engines_[s]->apply_vector(pi_vals);
+    const std::uint64_t t1 =
+        timing ? (trace_ ? trace_->now_us() : timeline_->now_us()) : 0;
+    if (sampling) shard_latency_us_[s] = t1 - t0;
     if (trace_) {
-      const std::uint64_t t1 = trace_->now_us();
       const auto tid = static_cast<std::uint32_t>(s);
       trace_->complete(tid, "vector", t0, t1 - t0);
       if (newly[s] > 0) {
@@ -123,6 +130,7 @@ std::size_t ShardedSim::apply_vector(std::span<const Val> pi_vals) {
   ++vectors_applied_;
   merged_dirty_ = true;
   if (observer_) replay_observations();
+  if (sampling) record_sample(vec_no, started_us);
   std::size_t total = 0;
   for (std::size_t n : newly) total += n;  // shards are disjoint: exact sum
   return total;
@@ -151,11 +159,15 @@ std::size_t ShardedSim::apply_vector_resilient(std::span<const Val> pi_vals) {
     ConcurrentSim* engine = nullptr;
     std::shared_ptr<const std::vector<Val>> pis;
     std::size_t newly = 0;
+    std::uint64_t latency_us = 0;
     std::exception_ptr error;
     bool done = false;  // guarded by the round's Sync::mu
   };
 
   const std::uint64_t vec_no = vectors_applied_;
+  const std::uint64_t sample_vec = vec_base_ + vectors_applied_;
+  const bool sampling = timeline_ != nullptr && timeline_->want(sample_vec);
+  const std::uint64_t started_us = sampling ? timeline_->now_us() : 0;
   std::vector<std::size_t> newly(k, 0);
   std::vector<std::size_t> pending(k);
   std::iota(pending.begin(), pending.end(), std::size_t{0});
@@ -176,12 +188,17 @@ std::size_t ShardedSim::apply_vector_resilient(std::span<const Val> pi_vals) {
       tasks[i] = task;
       resil::FaultInjector* inj = opt_.resil.injector;
       threads[i] = std::thread([task, sync, inj, shard, vec_no] {
+        const auto t0 = std::chrono::steady_clock::now();
         try {
           if (inj != nullptr) inj->maybe_fire(shard, vec_no);
           task->newly = task->engine->apply_vector(*task->pis);
         } catch (...) {
           task->error = std::current_exception();
         }
+        task->latency_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
         {
           std::lock_guard<std::mutex> lk(sync->mu);
           task->done = true;
@@ -233,6 +250,7 @@ std::size_t ShardedSim::apply_vector_resilient(std::span<const Val> pi_vals) {
       threads[i].join();
       if (!tasks[i]->error) {
         newly[s] = tasks[i]->newly;
+        if (sampling) shard_latency_us_[s] = tasks[i]->latency_us;
         continue;
       }
       bool is_budget = false;
@@ -279,6 +297,7 @@ std::size_t ShardedSim::apply_vector_resilient(std::span<const Val> pi_vals) {
 
   ++vectors_applied_;
   merged_dirty_ = true;
+  if (sampling) record_sample(sample_vec, started_us);
   std::size_t total = 0;
   for (std::size_t n : newly) total += n;  // shards are disjoint: exact sum
   return total;
@@ -294,10 +313,11 @@ void ShardedSim::run(const TestSuite& t, Val ff_init) {
     run_batched(t, ff_init, bw);
     return;
   }
-  if (observer_ || opt_.resil.max_retries > 0) {
+  if (observer_ || opt_.resil.max_retries > 0 || timeline_ != nullptr) {
     // Lockstep keeps the observer callback order identical to a
-    // single-threaded run, and is what gives the containment path its
-    // per-vector retry boundary.
+    // single-threaded run, gives the containment path its per-vector retry
+    // boundary, and gives the timeline sampler its per-vector sample
+    // points (the coarse path has no driver-visible vector boundary).
     for (const PatternSet& seq : t.sequences()) {
       reset(ff_init);
       for (std::size_t i = 0; i < seq.size(); ++i) apply_vector(seq[i]);
@@ -486,6 +506,73 @@ void ShardedSim::set_trace(obs::TraceEmitter* trace) {
   }
 }
 
+void ShardedSim::set_timeline(obs::Timeline* timeline,
+                              std::uint64_t vec_base) {
+  timeline_ = timeline;
+  vec_base_ = vec_base;
+  if (timeline_ != nullptr) {
+    timeline_->set_num_shards(num_shards());
+    shard_latency_us_.assign(engines_.size(), 0);
+    sample_scratch_.shards.resize(engines_.size());
+  }
+}
+
+void ShardedSim::record_sample(std::uint64_t vec_no,
+                               std::uint64_t started_us) {
+  obs::TimelineSample& s = sample_scratch_;
+  s.vec = vec_no;
+  // Deterministic section: read the merged master status -- each fault's
+  // verdict comes from its owner shard, so these values are bit-identical
+  // for any --threads/--batch combination (and need no counters, so they
+  // survive CFS_OBS=OFF builds).
+  const std::vector<Detect>& st = status();
+  for (obs::ShardSample& sh : s.shards) sh.live_faults = 0;
+  std::uint64_t hard = 0, potential = 0;
+  for (std::uint32_t id = 0; id < st.size(); ++id) {
+    if (st[id] == Detect::Hard) {
+      ++hard;
+    } else {
+      ++s.shards[part_.shard_of(id)].live_faults;
+      if (st[id] == Detect::Potential) ++potential;
+    }
+  }
+  s.hard = hard;
+  s.potential = potential;
+  s.live_faults = st.size() - hard;
+  // Work + wall sections: machine effort and timing, shard-dependent.
+  std::uint64_t dropped = 0, live_el = 0, trav = 0, gates = 0;
+  for (std::size_t i = 0; i < engines_.size(); ++i) {
+    const ConcurrentSim& e = *engines_[i];
+    dropped += e.faults_dropped();
+    const std::uint64_t le = e.live_elements();
+    s.shards[i].live_elements = le;
+    s.shards[i].latency_us = shard_latency_us_[i];
+    live_el += le;
+    trav += e.counters().get(obs::Counter::ElementsTraversed);
+    gates += e.gates_processed();
+  }
+  s.dropped = dropped;
+  s.live_elements = live_el;
+  s.traversals = trav;
+  s.gates = gates;
+  s.t_us = timeline_->now_us();
+  s.latency_us = s.t_us >= started_us ? s.t_us - started_us : 0;
+  timeline_->record(s);
+  if (trace_ != nullptr) {
+    // Counter tracks: area charts of the drain, alongside the slices.
+    const std::uint64_t ts = trace_->now_us();
+    trace_->counter(driver_tid(), "detections", ts,
+                    {{"hard", hard}, {"potential", potential}});
+    trace_->counter(driver_tid(), "pool", ts,
+                    {{"live_elements", live_el}});
+    for (std::size_t i = 0; i < s.shards.size(); ++i) {
+      trace_->counter(static_cast<std::uint32_t>(i), "load", ts,
+                      {{"live_faults", s.shards[i].live_faults},
+                       {"live_elements", s.shards[i].live_elements}});
+    }
+  }
+}
+
 void ShardedSim::set_detection_observer(ConcurrentSim::DetectionObserver obs) {
   observer_ = std::move(obs);
   for (std::size_t s = 0; s < engines_.size(); ++s) {
@@ -535,6 +622,8 @@ SimStats ShardedSim::stats() const {
     es.state_bytes = e->state_bytes();
     es.counters = e->counters();
     es.timers = e->timers();
+    es.hists = e->histograms();
+    es.levels = e->level_profile();
     st.total.accumulate(es);
     st.per_engine.push_back(std::move(es));
   }

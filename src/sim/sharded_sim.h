@@ -25,6 +25,8 @@
 #include "core/sim_model.h"
 #include "faults/partition.h"
 #include "obs/counters.h"
+#include "obs/histogram.h"
+#include "obs/timeline.h"
 #include "obs/timers.h"
 #include "obs/trace.h"
 #include "patterns/pattern.h"
@@ -70,8 +72,11 @@ struct EngineStats {
   std::size_t state_bytes = 0;
   obs::Counters counters;    ///< telemetry registry (obs/counters.h)
   obs::PhaseTimers timers;   ///< per-phase wall time (obs/timers.h)
+  obs::HistogramSet hists;   ///< work distributions (obs/histogram.h)
+  obs::LevelProfile levels;  ///< per-level attribution (obs/histogram.h)
 
-  /// Field-wise accumulation (counters and timers merge element-wise).
+  /// Field-wise accumulation (counters, timers, histograms, and level
+  /// profiles merge element-wise).
   void accumulate(const EngineStats& o) {
     gates_processed += o.gates_processed;
     elements_evaluated += o.elements_evaluated;
@@ -81,6 +86,8 @@ struct EngineStats {
     state_bytes += o.state_bytes;
     counters.merge(o.counters);
     timers.merge(o.timers);
+    hists.merge(o.hists);
+    levels.merge(o.levels);
   }
 };
 
@@ -193,6 +200,17 @@ class ShardedSim {
   /// observes.
   void set_trace(obs::TraceEmitter* trace);
 
+  /// Attach a time-series sampler (obs/timeline.h): every wanted vector
+  /// records one sample -- merged detections, per-shard live-fault weight
+  /// and apply_vector latency, pool population, counter totals.  The
+  /// timeline's shard width is fixed here.  `vec_base` offsets the sample
+  /// vector coordinate (a resumed campaign continues its suite position).
+  /// Sampling forces run() onto the lockstep path so every vector is a
+  /// sample point.  Pass nullptr to detach.  The timeline must outlive the
+  /// runs it observes.
+  void set_timeline(obs::Timeline* timeline, std::uint64_t vec_base = 0);
+  obs::Timeline* timeline() const { return timeline_; }
+
   // -- statistics ----------------------------------------------------------
   SimStats stats() const;
   /// Total footprint: every shard's run state plus the shared model once.
@@ -218,6 +236,9 @@ class ShardedSim {
   std::unique_ptr<ConcurrentSim> make_shard_engine(unsigned s) const;
   /// The containment path: isolation boundary + watchdog + bounded requeue.
   std::size_t apply_vector_resilient(std::span<const Val> pi_vals);
+  /// Assemble and record one timeline sample for the vector that just
+  /// completed (driver thread; merged status is the deterministic source).
+  void record_sample(std::uint64_t vec_no, std::uint64_t started_us);
 
   std::shared_ptr<const SimModel> model_;
   ShardedOptions opt_;
@@ -250,6 +271,12 @@ class ShardedSim {
   std::vector<std::vector<Observation>> shard_obs_;  // per shard, per vector
 
   obs::TraceEmitter* trace_ = nullptr;
+  obs::Timeline* timeline_ = nullptr;
+  std::uint64_t vec_base_ = 0;
+  // Per-shard apply_vector wall time of the last sampled vector, and a
+  // preallocated sample the driver refills (no allocation per sample).
+  std::vector<std::uint64_t> shard_latency_us_;
+  obs::TimelineSample sample_scratch_;
   // Merge/replay happen in const accessors; the timers still record them.
   mutable obs::PhaseTimers driver_timers_;
   // Driver-side batch telemetry: the packed good machine's counters plus

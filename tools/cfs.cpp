@@ -26,6 +26,8 @@
 #include "harness/runner.h"
 #include "harness/stats_export.h"
 #include "harness/table.h"
+#include "obs/progress.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "netlist/bench_parser.h"
 #include "resil/campaign.h"
@@ -203,7 +205,7 @@ void print_shard_stats(const RunResult& r) {
 int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
                  Val ff_init, unsigned threads, unsigned batch,
                  const TestSuite& tests) {
-  for (const char* bad : {"sample", "collapse", "trace", "stats-json"}) {
+  for (const char* bad : {"sample", "collapse", "stats-json"}) {
     if (args.has(bad)) {
       throw Error("--" + std::string(bad) +
                   " cannot be combined with campaign flags");
@@ -235,6 +237,27 @@ int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
   copt.halt_after = args.get_u64("halt-after", 0);
   copt.sleep_ms = static_cast<std::uint32_t>(args.get_u64("sleep-ms", 0));
 
+  // Telemetry rides along: fail fast on unwritable paths (the files
+  // themselves are created lazily, after work has been done).
+  const std::string trace_path = args.get("trace");
+  obs::TraceEmitter trace;
+  if (!trace_path.empty()) {
+    obs::ensure_writable(trace_path, "trace");
+    copt.trace = &trace;
+  }
+  const std::string timeline_path = args.get("timeline");
+  obs::Timeline timeline(4096, args.get_u64("sample-every", 1));
+  obs::ProgressMeter meter(tests.total_vectors());
+  if (!timeline_path.empty()) {
+    obs::ensure_writable(timeline_path, "timeline");
+    timeline.stream_to(timeline_path);
+    copt.timeline = &timeline;
+  }
+  if (args.has("progress")) {
+    meter.attach(timeline);
+    copt.timeline = &timeline;
+  }
+
   // Sabotage hook for containment testing.  Only contained when --retries
   // is also given; without it an injected failure aborts the run, which is
   // the negative control.
@@ -262,6 +285,7 @@ int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
     resil::CampaignRunner runner(c, u, tests, copt);
     r = runner.run();
   }
+  meter.finish();
 
   std::printf("campaign %s on %s: %zu faults, %zu vectors in %zu "
               "sequences%s\n",
@@ -291,6 +315,15 @@ int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
                 copt.checkpoint_path.empty() ? ""
                                              : " (checkpoint written)");
   }
+  if (copt.trace != nullptr) {
+    trace.save(trace_path);
+    std::printf("trace     %s (%zu events, chrome://tracing)\n",
+                trace_path.c_str(), trace.num_events());
+  }
+  if (!timeline_path.empty()) {
+    std::printf("timeline  %s (%llu samples)\n", timeline_path.c_str(),
+                static_cast<unsigned long long>(timeline.recorded()));
+  }
   return 0;
 }
 
@@ -298,7 +331,7 @@ int cmd_sim(const Args& args) {
   args.allow_only(
       {"engine", "tests", "random", "seed", "reset0", "transition",
        "verbose", "sample", "collapse", "threads", "batch", "trace",
-       "stats-json",
+       "stats-json", "timeline", "progress", "sample-every",
        "checkpoint", "checkpoint-every", "resume", "max-elements", "retries",
        "deadline-ms", "backoff-ms", "inject", "halt-after", "sleep-ms"});
   const Circuit c = load_circuit(args.positional().at(0));
@@ -362,16 +395,44 @@ int cmd_sim(const Args& args) {
     return run_campaign(args, c, engine, ff_init, threads, batch, tests);
   }
 
-  // --trace routes through the sharded driver (one track per shard); with
-  // --threads=1 that driver *is* the plain engine, so tracing is available
-  // for every csim run.
+  // --trace and --timeline/--progress route through the sharded driver
+  // (one track per shard, one sample per vector); with --threads=1 that
+  // driver *is* the plain engine, so both are available for every csim
+  // run.  Output paths are probed up front (obs::ensure_writable) so a
+  // typo'd path fails before the simulation, not after it.
   const std::string trace_path = args.get("trace");
   if (!trace_path.empty() && !csim_engine) {
     throw Error("--trace supports the csim engines only");
   }
+  if (!trace_path.empty()) obs::ensure_writable(trace_path, "trace");
   obs::TraceEmitter trace;
   obs::TraceEmitter* tr = trace_path.empty() ? nullptr : &trace;
-  const bool sharded = threads > 1 || batch > 1 || tr != nullptr;
+
+  const std::string timeline_path = args.get("timeline");
+  const bool progress = args.has("progress");
+  const std::string stats_path = args.get("stats-json");
+  if ((!timeline_path.empty() || progress) && !csim_engine) {
+    throw Error("--timeline/--progress support the csim engines only");
+  }
+  if (!stats_path.empty()) obs::ensure_writable(stats_path, "stats");
+  obs::Timeline timeline(4096, args.get_u64("sample-every", 1));
+  obs::ProgressMeter meter(tests.total_vectors());
+  obs::Timeline* tl = nullptr;
+  if (!timeline_path.empty()) {
+    obs::ensure_writable(timeline_path, "timeline");
+    timeline.stream_to(timeline_path);
+    tl = &timeline;
+  }
+  if (progress) {
+    meter.attach(timeline);
+    tl = &timeline;
+  }
+  // --stats-json fills its "timeline" block from the same sampler (csim
+  // engines only; the baselines have no sharded driver to sample).
+  if (!stats_path.empty() && csim_engine) tl = &timeline;
+
+  const bool sharded =
+      threads > 1 || batch > 1 || tr != nullptr || tl != nullptr;
 
   RunResult r;
   if (args.has("transition")) {
@@ -380,7 +441,8 @@ int cmd_sim(const Args& args) {
     }
     const FaultUniverse u = FaultUniverse::all_transition(c);
     r = sharded ? run_csim_transition_sharded(c, u, tests, threads, ff_init,
-                                              engine != "csim", tr, batch)
+                                              engine != "csim", tr, batch,
+                                              tl)
                 : run_csim_transition(c, u, tests, ff_init,
                                       engine != "csim");
   } else if (args.has("sample")) {
@@ -389,7 +451,7 @@ int cmd_sim(const Args& args) {
         full, sample_faults(full, args.get_u64("sample", 1000),
                             args.get_u64("seed", 1) + 1));
     r = sharded ? run_csim_sharded(c, sub.universe, tests, CsimVariant::V,
-                                   threads, ff_init, true, tr, batch)
+                                   threads, ff_init, true, tr, batch, tl)
                 : run_csim(c, sub.universe, tests, CsimVariant::V, ff_init);
     r.sim_name += " (sampled " + std::to_string(sub.universe.size()) + "/" +
                   std::to_string(full.size()) + ")";
@@ -403,6 +465,7 @@ int cmd_sim(const Args& args) {
     sopt.batch_width = batch;
     ShardedSim sim(c, reps.universe, sopt);
     if (tr != nullptr) sim.set_trace(tr);
+    if (tl != nullptr) sim.set_timeline(tl);
     sim.run(tests, ff_init);
     r.cpu_s = sw.seconds();
     r.threads = sim.num_shards();
@@ -417,7 +480,7 @@ int cmd_sim(const Args& args) {
     const FaultUniverse u = FaultUniverse::all_stuck_at(c);
     const auto run_variant = [&](CsimVariant v) {
       return sharded ? run_csim_sharded(c, u, tests, v, threads, ff_init,
-                                        true, tr, batch)
+                                        true, tr, batch, tl)
                      : run_csim(c, u, tests, v, ff_init);
     };
     if (engine == "csim-mv") {
@@ -451,6 +514,7 @@ int cmd_sim(const Args& args) {
     }
   }
 
+  meter.finish();
   std::printf("%s on %s: %zu vectors in %zu sequences\n", r.sim_name.c_str(),
               c.name().c_str(), tests.total_vectors(),
               tests.num_sequences());
@@ -476,7 +540,11 @@ int cmd_sim(const Args& args) {
     std::printf("trace     %s (%zu events, chrome://tracing)\n",
                 trace_path.c_str(), trace.num_events());
   }
-  const std::string stats_path = args.get("stats-json");
+  if (!timeline_path.empty()) {
+    timeline.flush();
+    std::printf("timeline  %s (%llu samples)\n", timeline_path.c_str(),
+                static_cast<unsigned long long>(timeline.recorded()));
+  }
   if (!stats_path.empty()) {
     RunMetadata meta;
     meta.circuit = c.name();
@@ -487,7 +555,7 @@ int cmd_sim(const Args& args) {
     meta.vectors = tests.total_vectors();
     meta.sequences = tests.num_sequences();
     meta.ff_init = ff_init == Val::Zero ? "0" : "X";
-    save_run_stats_json(stats_path, meta, r);
+    save_run_stats_json(stats_path, meta, r, tl);
     std::printf("stats     %s\n", stats_path.c_str());
   }
   return 0;
@@ -506,7 +574,8 @@ int usage() {
       "  sim      <circuit> [--engine=E] [--tests=F|--random=N] [--seed=N]\n"
       "           [--reset0] [--transition] [--verbose] [--threads=N]\n"
       "           [--batch=N|auto] [--sample=N | --collapse] [--trace=F]\n"
-      "           [--stats-json=F]\n"
+      "           [--stats-json=F] [--timeline=F] [--progress]\n"
+      "           [--sample-every=N]\n"
       "           campaign flags (resilient path):\n"
       "           [--checkpoint=F] [--checkpoint-every=N] [--resume=F]\n"
       "           [--max-elements=K] [--retries=N] [--deadline-ms=N]\n"

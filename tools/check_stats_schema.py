@@ -11,6 +11,14 @@ counters batch_words_evaluated / batch_lanes_wasted, required in
 totals.counters (zero on scalar runs); the driver timers may carry a
 good_batch phase on batched runs.
 
+It also pins the telemetry blocks (obs/timeline.h, obs/histogram.h): a
+top-level "timeline" object (always present; zero-dimension and empty when
+the run was not sampled) and, in totals and every engines[] entry, the
+work-attribution "histograms" (list_length / divergence_size, power-of-two
+buckets with zero buckets elided) and per-level "levels" profile.  Under
+-DCFS_OBS=OFF these blocks still exist but carry only zeros -- the schema
+deliberately does not require non-zero counts.
+
 Usage: check_stats_schema.py <stats.json> [schema.json]
 """
 import json

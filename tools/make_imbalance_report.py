@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Distill a timeline JSONL stream into a shard-imbalance report.
+
+Reads the per-vector samples `cfs sim --timeline=F` streams (header line
+plus one JSON object per sampled vector, each carrying a per-shard
+`shards` array of live-fault weight / pool population / latency) and
+reduces them to the evidence the dynamic-rebalancing ROADMAP item needs:
+how unevenly the static fault partition loads the shards, and how that
+imbalance drifts as detected faults drop out of the lists.
+
+Imbalance ratio for one sample: the heaviest shard's weight divided by
+the balanced share (sum / num_shards).  1.0 = perfectly even; K = one
+shard carries everything.  Reported for the deterministic live-fault
+weight (thread-invariant, the quantity a rebalancer would partition on)
+and for wall-clock shard latency (host-dependent corroboration).
+
+Usage:
+  make_imbalance_report.py TIMELINE.jsonl --out REPORT.json \
+      [--circuit NAME] [--meta KEY=VALUE ...]
+
+Stdlib only; exits 1 on malformed input.
+"""
+import argparse
+import json
+import sys
+
+
+def ratio(weights):
+    total = sum(weights)
+    if total == 0:
+        return 1.0
+    return max(weights) * len(weights) / total
+
+
+def quantile(sorted_vals, q):
+    if not sorted_vals:
+        return 0.0
+    i = min(len(sorted_vals) - 1, int(q * (len(sorted_vals) - 1) + 0.5))
+    return sorted_vals[i]
+
+
+def summarize(samples, num_shards):
+    per_shard = []
+    for k in range(num_shards):
+        live = [s["shards"][k]["live_faults"] for s in samples]
+        elems = [s["shards"][k]["live_elements"] for s in samples]
+        lat = [s["shards"][k]["latency_us"] for s in samples]
+        per_shard.append({
+            "shard": k,
+            "first_live_faults": live[0],
+            "final_live_faults": live[-1],
+            "mean_live_faults": sum(live) / len(live),
+            "mean_live_elements": sum(elems) / len(elems),
+            "total_latency_us": sum(lat),
+        })
+
+    live_ratios = sorted(
+        ratio([sh["live_faults"] for sh in s["shards"]]) for s in samples)
+    elem_ratios = sorted(
+        ratio([sh["live_elements"] for sh in s["shards"]]) for s in samples)
+    lat_ratios = sorted(
+        ratio([sh["latency_us"] for sh in s["shards"]]) for s in samples)
+    first = samples[0]
+    last = samples[-1]
+    return per_shard, {
+        # Fault count per shard: what a static partitioner equalizes.
+        "live_faults": {
+            "first_vector": ratio([sh["live_faults"]
+                                   for sh in first["shards"]]),
+            "final_vector": ratio([sh["live_faults"]
+                                   for sh in last["shards"]]),
+            "median": quantile(live_ratios, 0.5),
+            "p90": quantile(live_ratios, 0.9),
+            "max": live_ratios[-1],
+        },
+        # Pool population per shard: the actual concurrent-machinery work
+        # weight -- equal fault counts can still load shards unevenly.
+        "live_elements": {
+            "first_vector": ratio([sh["live_elements"]
+                                   for sh in first["shards"]]),
+            "final_vector": ratio([sh["live_elements"]
+                                   for sh in last["shards"]]),
+            "median": quantile(elem_ratios, 0.5),
+            "p90": quantile(elem_ratios, 0.9),
+            "max": elem_ratios[-1],
+        },
+        "latency_us": {
+            "median": quantile(lat_ratios, 0.5),
+            "p90": quantile(lat_ratios, 0.9),
+            "max": lat_ratios[-1],
+        },
+    }
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="shard-imbalance report from a timeline JSONL stream")
+    ap.add_argument("timeline", help="JSONL stream from cfs sim --timeline=F")
+    ap.add_argument("--out", required=True, help="report JSON path")
+    ap.add_argument("--circuit", default="", help="circuit name for the meta")
+    ap.add_argument("--meta", action="append", default=[],
+                    metavar="KEY=VALUE", help="extra meta fields (repeat)")
+    args = ap.parse_args(argv[1:])
+
+    header = None
+    samples = []
+    with open(args.timeline) as f:
+        for n, line in enumerate(f, 1):
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"FAIL {args.timeline}:{n}: {e}", file=sys.stderr)
+                return 1
+            if "timeline" in doc:
+                header = doc  # stream-open marker; last one wins on resume
+            elif "vec" in doc:
+                samples.append(doc)
+    if not samples:
+        print(f"FAIL {args.timeline}: no samples", file=sys.stderr)
+        return 1
+    num_shards = len(samples[0]["shards"])
+    if num_shards == 0 or any(len(s["shards"]) != num_shards
+                              for s in samples):
+        print(f"FAIL {args.timeline}: inconsistent shards arrays",
+              file=sys.stderr)
+        return 1
+
+    per_shard, imbalance = summarize(samples, num_shards)
+    meta = {"circuit": args.circuit, "num_shards": num_shards,
+            "vectors_sampled": len(samples),
+            "first_vec": samples[0]["vec"], "last_vec": samples[-1]["vec"],
+            "every": header["every"] if header else 1}
+    for kv in args.meta:
+        key, _, value = kv.partition("=")
+        meta[key] = value
+    report = {
+        "meta": meta,
+        "coverage": {
+            "hard": samples[-1]["hard"],
+            "potential": samples[-1]["potential"],
+            "live_faults": samples[-1]["live_faults"],
+        },
+        "per_shard": per_shard,
+        "imbalance": imbalance,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    live = imbalance["live_faults"]
+    print(f"OK {args.out}: {num_shards} shards, {len(samples)} samples, "
+          f"live-fault imbalance first {live['first_vector']:.2f} -> "
+          f"final {live['final_vector']:.2f} (max {live['max']:.2f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
