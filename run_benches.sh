@@ -35,15 +35,19 @@ mkdir -p "$OUTDIR"
 for b in table2_circuits table3_deterministic table4_deterministic2 \
          table5_random table6_transition ablation_macro ablation_split \
          ablation_dropping ablation_collapse coverage_curve \
-         scaling_threads; do
+         scaling_threads scaling_rebalance; do
   echo "== $b =="
   extra=""
   case $b in
     # These also emit machine-readable $OUTDIR/*.json siblings.
     table2_circuits|scaling_threads|coverage_curve) extra="--json=$OUTDIR/$b.json" ;;
+    # Static-vs-dynamic partitioning baseline; gated by
+    # tools/check_scaling_gate.py (core-count-guarded in CI).
+    scaling_rebalance) extra="--json=$OUTDIR/BENCH_PR8_scaling.json" ;;
   esac
   ./build/bench/$b $extra | tee "$OUTDIR/$b.txt"
 done
+python3 tools/check_scaling_gate.py "$OUTDIR/BENCH_PR8_scaling.json"
 ./build/bench/micro_kernels --benchmark_min_time=$MICRO_MIN_TIME \
   --json="$OUTDIR/micro_kernels.json" | tee "$OUTDIR/micro_kernels.txt"
 

@@ -5,7 +5,10 @@
 #
 #   1. kill -9 mid-campaign, resume from the last checkpoint: the resumed
 #      run's digest (coverage + detection order) must equal an
-#      uninterrupted run's.
+#      uninterrupted run's.  The killed campaign runs with --rebalance=3
+#      against checkpoints every 5 vectors, so kills land between a
+#      dynamic repartition and the next checkpoint -- the checkpoint is
+#      partition-agnostic and the resumed digest must not care.
 #   2. forced shard failure (--inject): contained, retried exactly once,
 #      result unchanged.
 #   3. stalled shard (--inject=stall) under the deadline watchdog: slice
@@ -40,10 +43,23 @@ ARGS=(sim s298 --random=96 --seed=9 --threads=2)
 REF=$(digest_of "$TMP/full.txt")
 [ -n "$REF" ] || fail "no digest in reference output"
 
+# An uninterrupted campaign with dynamic rebalancing: repartitioning only
+# moves faults between shards, so the digest must match the static run's.
+"$CFS" "${ARGS[@]}" --retries=0 --rebalance=3 > "$TMP/rebal.txt" ||
+  fail "rebalanced campaign failed"
+[ "$(digest_of "$TMP/rebal.txt")" = "$REF" ] ||
+  fail "rebalanced digest differs from static run"
+grep -q 'rebalances=' "$TMP/rebal.txt" || {
+  cat "$TMP/rebal.txt" >&2
+  fail "rebalanced campaign reported no rebal line"
+}
+
 # --- 1. kill -9 mid-run, then resume --------------------------------------
 # --sleep-ms paces the campaign (~25ms/vector) so the kill reliably lands
-# mid-run; checkpoints land every 5 vectors.
+# mid-run; checkpoints land every 5 vectors, repartitions every 3, so the
+# kill falls between a rebalance and the next checkpoint.
 "$CFS" "${ARGS[@]}" --checkpoint="$TMP/ck.bin" --checkpoint-every=5 \
+  --rebalance=3 \
   --timeline="$TMP/tl.jsonl" --sleep-ms=25 > "$TMP/killed.txt" 2>&1 &
 PID=$!
 sleep 1.2
@@ -63,7 +79,11 @@ for line in open(sys.argv[1]):
     json.loads(line)
 EOF
 
+# Resume under a *different* policy (auto instead of every-3): checkpoints
+# carry no partition state, so the resumed leg may rebalance on its own
+# schedule and the digest must still match.
 "$CFS" "${ARGS[@]}" --resume="$TMP/ck.bin" --timeline="$TMP/tl.jsonl" \
+  --rebalance=auto --rebalance-threshold=1.05 \
   > "$TMP/resumed.txt" || fail "resume failed"
 RES=$(digest_of "$TMP/resumed.txt")
 [ "$RES" = "$REF" ] || {

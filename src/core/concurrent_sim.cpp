@@ -717,6 +717,46 @@ void ConcurrentSim::set_suspended(const std::vector<std::uint8_t>& suspended) {
   }
 }
 
+void ConcurrentSim::set_shard(const FaultPartition& part,
+                              unsigned shard_index) {
+  const std::size_t nf = model_->num_faults();
+  if (part.num_faults() != nf) {
+    throw Error("FaultPartition does not match the fault universe");
+  }
+  if (shard_index >= part.num_shards()) {
+    throw Error("shard index out of range");
+  }
+  base_excluded_.assign(nf, 0);
+  for (std::uint32_t id = 0; id < nf; ++id) {
+    base_excluded_[id] = part.shard_of(id) == shard_index ? 0 : 1;
+  }
+  excluded_ = base_excluded_;
+}
+
+void ConcurrentSim::accumulate_live_weights(
+    std::vector<std::uint64_t>& w) const {
+  if (w.size() != model_->num_faults()) {
+    throw Error("accumulate_live_weights: weight vector does not cover the "
+                "universe");
+  }
+  const std::size_t n = c_->num_gates();
+  for (std::size_t g = 0; g < n; ++g) {
+    for (std::uint32_t head : {head_vis_[g], head_inv_[g]}) {
+      std::uint32_t cur = head;
+      while (pool_[cur].fault_id != kSentinelId) {
+        const std::uint32_t id = pool_[cur].fault_id;
+        if (!dropped(id)) ++w[id];
+        cur = pool_[cur].next;
+      }
+    }
+  }
+}
+
+void ConcurrentSim::reserve_elements(std::size_t n) {
+  if (opt_.max_elements != 0) n = std::min(n, opt_.max_elements + 1);
+  pool_.reserve(n);
+}
+
 void ConcurrentSim::set_inputs(std::span<const Val> pi_vals) {
   const auto pis = c_->inputs();
   if (pi_vals.size() != pis.size()) {

@@ -135,6 +135,26 @@ class ConcurrentSim {
   /// memory-budget path parks the remainder of the universe here.
   void set_suspended(const std::vector<std::uint8_t>& suspended);
 
+  /// Re-derive the shard-ownership exclusion base from `part` (the dynamic
+  /// rebalancer repartitions ownership mid-run).  Resets the suspension
+  /// overlay: callers reapply it via set_suspended(), then rebuild the
+  /// lists via restore_run_state() before the next vector.
+  void set_shard(const FaultPartition& part, unsigned shard_index);
+
+  /// Add each live (non-dropped) fault-list element held by this engine to
+  /// its fault's slot in `w` (size num_faults; throws otherwise).  A
+  /// fault's element count is a pure function of the good machine and its
+  /// own divergences -- independent of which shard simulates it -- so
+  /// per-shard accumulations compose into the partition-invariant weight
+  /// vector the rebalancer packs on.
+  void accumulate_live_weights(std::vector<std::uint64_t>& w) const;
+
+  /// Grow the element arena to `n` slots (never shrinks; an enforced
+  /// budget caps the growth).  Re-applies the constructor's pre-size
+  /// policy after a repartition changes this engine's share of the
+  /// universe.
+  void reserve_elements(std::size_t n);
+
   /// Start a fresh element-pool high-water epoch (campaign accounting
   /// across budget-enforced passes).
   void reset_peak_elements() { pool_.reset_peak(); }

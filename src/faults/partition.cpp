@@ -1,5 +1,8 @@
 #include "faults/partition.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "util/error.h"
 
 namespace cfs {
@@ -12,6 +15,46 @@ FaultPartition::FaultPartition(std::size_t num_faults, unsigned num_shards)
   for (std::uint32_t id = 0; id < num_faults_; ++id) {
     shards_[id % num_shards_].push_back(id);
   }
+}
+
+std::size_t FaultPartition::partition_by_weight(
+    const std::vector<std::uint64_t>& weights) {
+  if (weights.size() != num_faults_) {
+    throw Error("FaultPartition::partition_by_weight: expected " +
+                std::to_string(num_faults_) + " weights, got " +
+                std::to_string(weights.size()));
+  }
+  // LPT order: heaviest first, fault id breaks ties.  The order is a pure
+  // function of the weight vector, so the packing is too.
+  std::vector<std::uint32_t> order(num_faults_);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&weights](std::uint32_t a, std::uint32_t b) {
+              if (weights[a] != weights[b]) return weights[a] > weights[b];
+              return a < b;
+            });
+
+  std::vector<std::uint32_t> next(num_faults_);
+  std::vector<std::uint64_t> load(num_shards_, 0);
+  for (std::uint32_t id : order) {
+    unsigned best = 0;
+    for (unsigned s = 1; s < num_shards_; ++s) {
+      if (load[s] < load[best]) best = s;  // lowest index wins ties
+    }
+    next[id] = best;
+    load[best] += weights[id];
+  }
+
+  std::size_t moved = 0;
+  for (std::uint32_t id = 0; id < num_faults_; ++id) {
+    if (next[id] != shard_of(id)) ++moved;
+  }
+  owner_ = std::move(next);
+  for (auto& s : shards_) s.clear();
+  for (std::uint32_t id = 0; id < num_faults_; ++id) {
+    shards_[owner_[id]].push_back(id);  // ascending id: shard() stays sorted
+  }
+  return moved;
 }
 
 std::vector<Detect> FaultPartition::merge(
@@ -29,7 +72,7 @@ std::vector<Detect> FaultPartition::merge(
   }
   std::vector<Detect> out(num_faults_);
   for (std::uint32_t id = 0; id < num_faults_; ++id) {
-    out[id] = (*per_shard[id % num_shards_])[id];
+    out[id] = (*per_shard[shard_of(id)])[id];
   }
   return out;
 }

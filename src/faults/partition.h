@@ -3,11 +3,18 @@
 // Once the good machine is fixed, every faulty machine is independent: the
 // concurrent simulator's verdict for a fault does not depend on which other
 // faults share its engine.  Any disjoint cover of the universe is therefore
-// a correct unit of parallelism.  Faults are assigned round-robin by id
-// (`id % num_shards`): shard sizes differ by at most one, the faults of a
-// hot site spread across shards, and the assignment is a pure function of
+// a correct unit of parallelism.  Faults start out assigned round-robin by
+// id (`id % num_shards`): shard sizes differ by at most one, the faults of
+// a hot site spread across shards, and the assignment is a pure function of
 // (universe size, shard count) -- so a sharded run is reproducible without
 // storing the partition.
+//
+// The partition can later be *re*-weighted: `partition_by_weight` replaces
+// the round-robin assignment with a greedy LPT (longest-processing-time)
+// bin packing over caller-supplied per-fault weights (live fault-list
+// elements in practice).  The packing is a pure function of the weight
+// vector -- ties broken by fault id and by lowest shard index -- so two
+// runs that observe the same weights repartition identically.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +34,12 @@ class FaultPartition {
   std::size_t num_faults() const { return num_faults_; }
 
   /// Shard owning fault `id`.
-  unsigned shard_of(std::uint32_t id) const { return id % num_shards_; }
+  unsigned shard_of(std::uint32_t id) const {
+    return owner_.empty() ? id % num_shards_ : owner_[id];
+  }
+
+  /// True once partition_by_weight has replaced the round-robin map.
+  bool weighted() const { return !owner_.empty(); }
 
   /// Sorted fault ids owned by shard `s`.
   const std::vector<std::uint32_t>& shard(unsigned s) const {
@@ -35,8 +47,17 @@ class FaultPartition {
   }
 
   /// Faults owned by shard `s` (the per-shard universe size; used to size
-  /// element pools before the first vector runs).
+  /// element pools before the first vector runs and again after each
+  /// repartition).
   std::size_t shard_size(unsigned s) const { return shards_[s].size(); }
+
+  /// Reassign ownership by greedy LPT bin packing of `weights` (one
+  /// non-negative weight per fault; size must equal num_faults(), throws
+  /// otherwise).  Faults are placed heaviest-first (ties: lower id first)
+  /// onto the least-loaded shard (ties: lowest shard index), which is
+  /// deterministic for a given weight vector.  Returns the number of
+  /// faults whose owner changed.
+  std::size_t partition_by_weight(const std::vector<std::uint64_t>& weights);
 
   /// Deterministic merge of shard-local detection arrays: each fault's
   /// status is read from its owner shard, so the result is independent of
@@ -49,6 +70,8 @@ class FaultPartition {
   std::size_t num_faults_;
   unsigned num_shards_;
   std::vector<std::vector<std::uint32_t>> shards_;
+  // Per-fault owner shard; empty while the round-robin map is in force.
+  std::vector<std::uint32_t> owner_;
 };
 
 }  // namespace cfs

@@ -124,12 +124,14 @@ RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
                            const TestSuite& t, CsimVariant variant,
                            unsigned num_threads, Val ff_init,
                            bool drop_detected, obs::TraceEmitter* trace,
-                           unsigned batch_width, obs::Timeline* timeline) {
+                           unsigned batch_width, obs::Timeline* timeline,
+                           const RebalancePolicy& rebalance) {
   RunResult r;
   r.batch = batch_width;
   ShardedOptions sopt;
   sopt.num_threads = num_threads;
   sopt.batch_width = batch_width;
+  sopt.rebalance = rebalance;
   sopt.csim.split_lists =
       variant == CsimVariant::V || variant == CsimVariant::MV;
   sopt.csim.drop_detected = drop_detected;
@@ -171,12 +173,14 @@ RunResult run_csim_transition_sharded(const Circuit& c,
                                       bool split_lists,
                                       obs::TraceEmitter* trace,
                                       unsigned batch_width,
-                                      obs::Timeline* timeline) {
+                                      obs::Timeline* timeline,
+                                      const RebalancePolicy& rebalance) {
   RunResult r;
   r.batch = batch_width;
   ShardedOptions sopt;
   sopt.num_threads = num_threads;
   sopt.batch_width = batch_width;
+  sopt.rebalance = rebalance;
   sopt.csim.split_lists = split_lists;
   ShardedSim sim(c, u, sopt);
   if (trace != nullptr) sim.set_trace(trace);

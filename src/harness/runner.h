@@ -69,13 +69,16 @@ RunResult run_csim_transition(const Circuit& c, const FaultUniverse& u,
 /// Chrome-trace track per shard (obs/trace.h) and must outlive the call;
 /// `timeline`, when given, samples the run per vector (obs/timeline.h,
 /// forcing the lockstep driver) and must outlive the call too.
+/// `rebalance` configures dynamic ownership repartitioning
+/// (sim/sharded_sim.h) -- bit-identical results for every policy.
 RunResult run_csim_sharded(const Circuit& c, const FaultUniverse& u,
                            const TestSuite& t, CsimVariant variant,
                            unsigned num_threads, Val ff_init = Val::X,
                            bool drop_detected = true,
                            obs::TraceEmitter* trace = nullptr,
                            unsigned batch_width = 1,
-                           obs::Timeline* timeline = nullptr);
+                           obs::Timeline* timeline = nullptr,
+                           const RebalancePolicy& rebalance = {});
 
 /// Sharded transition-fault run.
 RunResult run_csim_transition_sharded(const Circuit& c,
@@ -86,7 +89,8 @@ RunResult run_csim_transition_sharded(const Circuit& c,
                                       bool split_lists = true,
                                       obs::TraceEmitter* trace = nullptr,
                                       unsigned batch_width = 1,
-                                      obs::Timeline* timeline = nullptr);
+                                      obs::Timeline* timeline = nullptr,
+                                      const RebalancePolicy& rebalance = {});
 
 // Single-sequence conveniences.
 inline RunResult run_csim(const Circuit& c, const FaultUniverse& u,

@@ -92,6 +92,15 @@ void write_run_stats_json(std::ostream& os, const RunMetadata& meta,
   w.field("shard_requeues", r.stats.shard_requeues);
   w.end_object();
 
+  // Dynamic-rebalancing counters (sim/sharded_sim.h): zero unless the run
+  // enabled --rebalance and the policy actually fired.
+  w.key("rebalance");
+  w.begin_object();
+  w.field("rebalances", r.stats.rebalances);
+  w.field("faults_migrated", r.stats.faults_migrated);
+  w.field("elements_migrated", r.stats.elements_migrated);
+  w.end_object();
+
   // Harness envelope + driver-side phases (merge/replay).
   w.key("timers");
   w.begin_object();

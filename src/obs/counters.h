@@ -52,6 +52,9 @@ enum class Counter : unsigned {
   SentinelHits,        ///< list traversals that reached the shared sentinel
   BatchWordsEvaluated, ///< packed good-machine Word64 gate evaluations
   BatchLanesWasted,    ///< idle lanes across packed good-machine steps
+  Rebalances,          ///< dynamic ownership repartitions (driver)
+  FaultsMigrated,      ///< faults whose owner shard changed in a repartition
+  ElementsMigrated,    ///< live elements carried by migrated faults
   // Fault-level (status transitions; shard-invariant sums).
   DetectionsHard,      ///< faults newly promoted to Detect::Hard
   DetectionsPotential, ///< faults newly promoted to Detect::Potential
@@ -82,6 +85,9 @@ constexpr std::string_view counter_name(Counter c) {
     case Counter::SentinelHits: return "sentinel_hits";
     case Counter::BatchWordsEvaluated: return "batch_words_evaluated";
     case Counter::BatchLanesWasted: return "batch_lanes_wasted";
+    case Counter::Rebalances: return "rebalances";
+    case Counter::FaultsMigrated: return "faults_migrated";
+    case Counter::ElementsMigrated: return "elements_migrated";
     case Counter::DetectionsHard: return "detections_hard";
     case Counter::DetectionsPotential: return "detections_potential";
     case Counter::FaultsDropped: return "faults_dropped";

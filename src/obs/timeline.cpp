@@ -39,6 +39,7 @@ void Timeline::record(const TimelineSample& s) {
   slot.live_elements = s.live_elements;
   slot.traversals = s.traversals;
   slot.gates = s.gates;
+  slot.rebalances = s.rebalances;
   slot.t_us = s.t_us;
   slot.latency_us = s.latency_us;
   // Slot shard vectors were sized by set_num_shards(); element-wise copy
@@ -116,6 +117,7 @@ void Timeline::write_sample_json(JsonWriter& w, const TimelineSample& s) {
   w.field("live_elements", s.live_elements);
   w.field("traversals", s.traversals);
   w.field("gates", s.gates);
+  w.field("rebalances", s.rebalances);
   w.field("t_us", s.t_us);
   w.field("latency_us", s.latency_us);
   w.key("shards");

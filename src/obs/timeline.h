@@ -56,6 +56,7 @@ struct TimelineSample {
   std::uint64_t live_elements = 0;  ///< summed pool live elements
   std::uint64_t traversals = 0;     ///< cumulative ElementsTraversed
   std::uint64_t gates = 0;          ///< cumulative gates processed
+  std::uint64_t rebalances = 0;     ///< cumulative dynamic repartitions
   // Wall section: never deterministic.
   std::uint64_t t_us = 0;        ///< since Timeline construction
   std::uint64_t latency_us = 0;  ///< driver wall time of this vector

@@ -241,6 +241,9 @@ CampaignResult CampaignRunner::run() {
     res.shard_retries = sim_->shard_retries();
     res.shard_requeues = sim_->shard_requeues();
     res.peak_elements = sim_->stats().total.peak_elements;
+    res.rebalances = sim_->rebalances();
+    res.faults_migrated = sim_->faults_migrated();
+    res.elements_migrated = sim_->elements_migrated();
     return res;
   };
 

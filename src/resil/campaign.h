@@ -105,6 +105,12 @@ struct CampaignResult {
   std::uint64_t shard_retries = 0;    ///< containment retry attempts
   std::uint64_t shard_requeues = 0;   ///< hung-shard slice requeues
   std::size_t peak_elements = 0;      ///< summed shard pool high-water
+  /// Dynamic-rebalancing activity (this process only -- a resumed campaign
+  /// rebuilds its simulator, and with it these work-telemetry counters;
+  /// the digest is invariant to both).
+  std::uint64_t rebalances = 0;
+  std::uint64_t faults_migrated = 0;
+  std::uint64_t elements_migrated = 0;
 
   /// FNV-1a over (status, detected_at): one number that pins coverage AND
   /// detection order, for cheap resume-vs-uninterrupted comparisons.

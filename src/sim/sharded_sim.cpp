@@ -131,6 +131,7 @@ std::size_t ShardedSim::apply_vector(std::span<const Val> pi_vals) {
   merged_dirty_ = true;
   if (observer_) replay_observations();
   if (sampling) record_sample(vec_no, started_us);
+  maybe_rebalance();
   std::size_t total = 0;
   for (std::size_t n : newly) total += n;  // shards are disjoint: exact sum
   return total;
@@ -298,6 +299,7 @@ std::size_t ShardedSim::apply_vector_resilient(std::span<const Val> pi_vals) {
   ++vectors_applied_;
   merged_dirty_ = true;
   if (sampling) record_sample(sample_vec, started_us);
+  maybe_rebalance();
   std::size_t total = 0;
   for (std::size_t n : newly) total += n;  // shards are disjoint: exact sum
   return total;
@@ -313,11 +315,15 @@ void ShardedSim::run(const TestSuite& t, Val ff_init) {
     run_batched(t, ff_init, bw);
     return;
   }
-  if (observer_ || opt_.resil.max_retries > 0 || timeline_ != nullptr) {
+  const bool rebalancing = opt_.rebalance.mode != RebalancePolicy::Mode::Off &&
+                           num_shards() > 1;
+  if (observer_ || opt_.resil.max_retries > 0 || timeline_ != nullptr ||
+      rebalancing) {
     // Lockstep keeps the observer callback order identical to a
     // single-threaded run, gives the containment path its per-vector retry
-    // boundary, and gives the timeline sampler its per-vector sample
-    // points (the coarse path has no driver-visible vector boundary).
+    // boundary, and gives the timeline sampler and the rebalancer their
+    // per-vector boundaries (the coarse path has no driver-visible vector
+    // boundary to repartition at).
     for (const PatternSet& seq : t.sequences()) {
       reset(ff_init);
       for (std::size_t i = 0; i < seq.size(); ++i) apply_vector(seq[i]);
@@ -481,6 +487,103 @@ void ShardedSim::restore_run_state(const RunStateSnapshot& s,
   merged_dirty_ = true;
 }
 
+double ShardedSim::imbalance_ratio() const {
+  std::uint64_t total = 0, heaviest = 0;
+  for (const auto& e : engines_) {
+    const std::uint64_t le = e->live_elements();
+    total += le;
+    heaviest = std::max(heaviest, le);
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(heaviest) * engines_.size() /
+         static_cast<double>(total);
+}
+
+void ShardedSim::maybe_rebalance() {
+  if (engines_.size() <= 1) return;
+  const RebalancePolicy& rp = opt_.rebalance;
+  switch (rp.mode) {
+    case RebalancePolicy::Mode::Off:
+      return;
+    case RebalancePolicy::Mode::Every:
+      if (rp.every == 0 || vectors_applied_ % rp.every != 0) return;
+      break;
+    case RebalancePolicy::Mode::Auto:
+      if (vectors_applied_ - last_rebalance_vec_ < rp.cooldown) return;
+      if (imbalance_ratio() < rp.threshold) return;
+      break;
+  }
+  rebalance_now();
+}
+
+std::size_t ShardedSim::rebalance_now() {
+  const std::size_t k = engines_.size();
+  if (k <= 1) return 0;
+  obs::ScopedPhase sp(driver_timers_, obs::Phase::Rebalance);
+  const std::uint64_t t0 = trace_ ? trace_->now_us() : 0;
+  const std::size_t nf = part_.num_faults();
+
+  // Snapshot under the *old* ownership: capture_run_state reads each
+  // fault's entry from its owner shard, so it must run before the
+  // partition changes.  status() is cached; copy it out because restore
+  // invalidates the merge.
+  RunStateSnapshot snap = capture_run_state();
+  const std::vector<Detect> master = status();
+
+  // Per-fault live-element counts are partition-invariant: each engine
+  // contributes the elements of the faults it owns, and a fault's list
+  // structure does not depend on which shard simulates it.
+  std::vector<std::uint64_t> elems(nf, 0);
+  for (const auto& e : engines_) e->accumulate_live_weights(elems);
+
+  // Pack on element counts, but give every live fault a floor of one unit:
+  // a currently element-free live fault still costs its share of future
+  // activations, and the floor keeps the fault *counts* from collapsing
+  // onto one shard when most weights are zero.
+  std::vector<std::uint64_t> weights = elems;
+  for (std::uint32_t id = 0; id < nf; ++id) {
+    const bool parked = !suspended_.empty() && suspended_[id];
+    if (master[id] != Detect::Hard && !parked) {
+      weights[id] = std::max<std::uint64_t>(weights[id], 1);
+    }
+  }
+
+  std::vector<std::uint32_t> old_owner(nf);
+  for (std::uint32_t id = 0; id < nf; ++id) old_owner[id] = part_.shard_of(id);
+  const std::size_t moved = part_.partition_by_weight(weights);
+  std::uint64_t moved_elems = 0;
+  for (std::uint32_t id = 0; id < nf; ++id) {
+    if (part_.shard_of(id) != old_owner[id]) moved_elems += elems[id];
+  }
+
+  // Point every engine at its new slice (ownership base first, then the
+  // suspension overlay on top), grow its pool to the new share, and
+  // rebuild from the snapshot.  restore_run_state re-derives the lists
+  // under the new masks, so the run continues bit-identically.
+  for (std::size_t s = 0; s < k; ++s) {
+    engines_[s]->set_shard(part_, static_cast<unsigned>(s));
+    engines_[s]->set_suspended(suspended_);
+    engines_[s]->reserve_elements(part_.shard_size(s) + 1);
+  }
+  restore_run_state(snap, master);
+
+  ++rebalances_;
+  faults_migrated_ += moved;
+  elements_migrated_ += moved_elems;
+  last_rebalance_vec_ = vectors_applied_;
+  CFS_COUNT(batch_counters_, Rebalances);
+  CFS_COUNT_N(batch_counters_, FaultsMigrated, moved);
+  CFS_COUNT_N(batch_counters_, ElementsMigrated, moved_elems);
+  if (trace_ != nullptr) {
+    trace_->complete(driver_tid(), "rebalance", t0, trace_->now_us() - t0);
+    trace_->instant(driver_tid(),
+                    "rebalance: " + std::to_string(moved) + " faults, " +
+                        std::to_string(moved_elems) + " elements",
+                    trace_->now_us());
+  }
+  return moved;
+}
+
 void ShardedSim::set_suspended(const std::vector<std::uint8_t>& suspended) {
   suspended_ = suspended;
   for (auto& e : engines_) e->set_suspended(suspended);
@@ -555,6 +658,7 @@ void ShardedSim::record_sample(std::uint64_t vec_no,
   s.live_elements = live_el;
   s.traversals = trav;
   s.gates = gates;
+  s.rebalances = rebalances_;
   s.t_us = timeline_->now_us();
   s.latency_us = s.t_us >= started_us ? s.t_us - started_us : 0;
   timeline_->record(s);
@@ -611,6 +715,9 @@ SimStats ShardedSim::stats() const {
   st.driver = driver_timers_;
   st.shard_retries = shard_retries_;
   st.shard_requeues = shard_requeues_;
+  st.rebalances = rebalances_;
+  st.faults_migrated = faults_migrated_;
+  st.elements_migrated = elements_migrated_;
   st.per_engine.reserve(engines_.size());
   for (const auto& e : engines_) {
     EngineStats es;

@@ -36,6 +36,28 @@
 
 namespace cfs {
 
+/// When and how to repartition fault ownership mid-run.  Rebalancing only
+/// moves faults between shards -- each fault's simulation is independent of
+/// its shard, so the merged status, detection order, campaign digest, and
+/// deterministic counters are bit-identical for every policy; only the
+/// work/wall telemetry changes.
+struct RebalancePolicy {
+  enum class Mode {
+    Off,   ///< static round-robin partition for the whole run
+    Auto,  ///< repartition when live-element imbalance crosses `threshold`
+    Every  ///< repartition unconditionally every `every` vectors
+  };
+  Mode mode = Mode::Off;
+  /// Auto: minimum ratio of (heaviest shard's live elements) to the
+  /// balanced share before a repartition fires.  1.0 fires on any skew.
+  double threshold = 1.25;
+  /// Auto: vectors to wait after a rebalance before considering another
+  /// (a repartition costs roughly one capture + restore; let it pay off).
+  std::uint64_t cooldown = 8;
+  /// Every: period in vectors (>= 1).
+  std::uint64_t every = 16;
+};
+
 struct ShardedOptions {
   /// Worker threads; the universe is split into the same number of shards
   /// (clamped to the number of faults).  1 reproduces plain ConcurrentSim
@@ -54,6 +76,12 @@ struct ShardedOptions {
   /// [1, 64]).  Single-lane bands, containment runs (max_retries > 0), and
   /// the per-vector apply_vector() API always use the scalar path.
   unsigned batch_width = 1;
+  /// Dynamic shard rebalancing (no-op with a single shard).  At the end of
+  /// a vector, when the policy triggers, the driver captures the merged
+  /// boundary snapshot, repartitions ownership by live-element weight
+  /// (greedy LPT), and restores every shard -- same machinery as a
+  /// checkpoint restore, so the run continues bit-identically.
+  RebalancePolicy rebalance;
   /// Initial suspension mask (size num_faults, or empty): marked faults are
   /// excluded from simulation until set_suspended()/restore_run_state()
   /// changes the overlay.  The memory-budget multi-pass path constructs
@@ -106,6 +134,12 @@ struct SimStats {
   /// slice was requeued onto a rebuilt engine.  Zero with containment off.
   std::uint64_t shard_retries = 0;
   std::uint64_t shard_requeues = 0;
+  /// Dynamic-rebalancing counters: repartitions performed, faults whose
+  /// owner shard changed, and the live elements those faults carried at
+  /// migration time.  Zero with rebalancing off (or one shard).
+  std::uint64_t rebalances = 0;
+  std::uint64_t faults_migrated = 0;
+  std::uint64_t elements_migrated = 0;
 };
 
 class ShardedSim {
@@ -192,6 +226,27 @@ class ShardedSim {
   std::uint64_t shard_retries() const { return shard_retries_; }
   std::uint64_t shard_requeues() const { return shard_requeues_; }
 
+  // -- dynamic rebalancing --------------------------------------------------
+
+  /// Repartition fault ownership by live-element weight right now: capture
+  /// the merged boundary snapshot, LPT-pack the per-fault live-element
+  /// counts into num_shards() bins, refresh every engine's ownership mask
+  /// (suspension overlay reapplied), and restore.  Must be called at a
+  /// vector boundary.  No-op (returns 0) with a single shard.  Returns the
+  /// number of faults migrated.  The policy calls this automatically; it is
+  /// public for tests and explicit schedules.
+  std::size_t rebalance_now();
+
+  /// Live-element imbalance across shards right now: heaviest shard over
+  /// the balanced share (1.0 = even, num_shards() = one shard carries
+  /// everything).  The quantity RebalancePolicy::threshold tests.
+  double imbalance_ratio() const;
+
+  /// Rebalancing counters (see SimStats).
+  std::uint64_t rebalances() const { return rebalances_; }
+  std::uint64_t faults_migrated() const { return faults_migrated_; }
+  std::uint64_t elements_migrated() const { return elements_migrated_; }
+
   // -- telemetry -----------------------------------------------------------
   /// Attach a Chrome-trace emitter (obs/trace.h): one track per shard
   /// records a slice per vector (lockstep) or per sequence (coarse run),
@@ -239,6 +294,9 @@ class ShardedSim {
   /// Assemble and record one timeline sample for the vector that just
   /// completed (driver thread; merged status is the deterministic source).
   void record_sample(std::uint64_t vec_no, std::uint64_t started_us);
+  /// End-of-vector policy check: rebalance_now() when the configured
+  /// trigger (auto threshold + cooldown, or every-N) fires.
+  void maybe_rebalance();
 
   std::shared_ptr<const SimModel> model_;
   ShardedOptions opt_;
@@ -253,6 +311,11 @@ class ShardedSim {
   std::uint64_t vectors_applied_ = 0;
   std::uint64_t shard_retries_ = 0;
   std::uint64_t shard_requeues_ = 0;
+  // Dynamic-rebalancing counters and the auto policy's cooldown anchor.
+  std::uint64_t rebalances_ = 0;
+  std::uint64_t faults_migrated_ = 0;
+  std::uint64_t elements_migrated_ = 0;
+  std::uint64_t last_rebalance_vec_ = 0;
   // A hung shard's abandoned worker and engine: the thread still runs (or
   // sleeps) inside the engine, so both stay alive, parked here, until the
   // destructor joins them.
@@ -279,8 +342,9 @@ class ShardedSim {
   obs::TimelineSample sample_scratch_;
   // Merge/replay happen in const accessors; the timers still record them.
   mutable obs::PhaseTimers driver_timers_;
-  // Driver-side batch telemetry: the packed good machine's counters plus
-  // BatchLanesWasted, merged into stats().total (no engine owns them).
+  // Driver-side telemetry: the packed good machine's counters plus
+  // BatchLanesWasted and the rebalance counters, merged into stats().total
+  // (no engine owns them).
   obs::Counters batch_counters_;
 
   mutable std::vector<Detect> merged_;

@@ -10,10 +10,12 @@
 //                          [--tests=FILE | --random=N] [--seed=N]
 //                          [--reset0] [--transition] [--verbose]
 //                          [--threads=N] [--batch=N|auto]
+//                          [--rebalance=off|auto|N] [--rebalance-threshold=R]
 //
 // <circuit> is a .bench file path (contains '.' or '/') or the name of a
 // built-in ISCAS-89 profile benchmark (s27, s298, ..., s35932).
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <string>
 
@@ -199,6 +201,40 @@ void print_shard_stats(const RunResult& r) {
               tot.peak_elements, format_bytes(tot.state_bytes).c_str());
 }
 
+// --rebalance=off|auto|N picks the dynamic shard-rebalancing policy
+// (sim/sharded_sim.h): off keeps the static round-robin partition, auto
+// repartitions when the live-element imbalance ratio crosses
+// --rebalance-threshold (default 1.25), and a number N repartitions
+// unconditionally every N vectors.  Results are bit-identical for every
+// policy; only the work/wall telemetry changes.
+RebalancePolicy parse_rebalance(const Args& args) {
+  RebalancePolicy rp;
+  const std::string spec = args.get("rebalance", "off");
+  if (spec == "off") {
+    rp.mode = RebalancePolicy::Mode::Off;
+  } else if (spec == "auto") {
+    rp.mode = RebalancePolicy::Mode::Auto;
+  } else {
+    if (spec.empty() ||
+        spec.find_first_not_of("0123456789") != std::string::npos ||
+        spec == "0") {
+      throw Error("--rebalance must be off, auto, or a period N >= 1");
+    }
+    rp.mode = RebalancePolicy::Mode::Every;
+    rp.every = std::stoull(spec);
+  }
+  if (args.has("rebalance-threshold")) {
+    const std::string t = args.get("rebalance-threshold");
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (end == t.c_str() || *end != '\0' || !(v >= 1.0)) {
+      throw Error("--rebalance-threshold must be a number >= 1.0");
+    }
+    rp.threshold = v;
+  }
+  return rp;
+}
+
 // Resilient campaign path of `cfs sim`: checkpoint/resume, shard failure
 // containment, memory-budget multi-pass degradation (resil/campaign.h).
 // Selected whenever any campaign flag is present.
@@ -223,6 +259,7 @@ int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
   // the scalar good machine runs regardless; accepting the flag keeps one
   // command line valid across plain and campaign runs.
   copt.sharded.batch_width = batch;
+  copt.sharded.rebalance = parse_rebalance(args);
   copt.sharded.csim.split_lists = engine == "csim-mv" || engine == "csim-v";
   copt.sharded.csim.max_elements = args.get_u64("max-elements", 0);
   copt.sharded.resil.max_retries =
@@ -308,6 +345,12 @@ int run_campaign(const Args& args, const Circuit& c, const std::string& engine,
               static_cast<unsigned long long>(r.shard_retries),
               static_cast<unsigned long long>(r.shard_requeues),
               r.peak_elements);
+  if (r.rebalances > 0) {
+    std::printf("rebal     rebalances=%llu faults=%llu elements=%llu\n",
+                static_cast<unsigned long long>(r.rebalances),
+                static_cast<unsigned long long>(r.faults_migrated),
+                static_cast<unsigned long long>(r.elements_migrated));
+  }
   std::printf("cpu       %.3fs\n", sw.seconds());
   if (r.halted) {
     std::printf("halted    after %llu vectors%s\n",
@@ -332,6 +375,7 @@ int cmd_sim(const Args& args) {
       {"engine", "tests", "random", "seed", "reset0", "transition",
        "verbose", "sample", "collapse", "threads", "batch", "trace",
        "stats-json", "timeline", "progress", "sample-every",
+       "rebalance", "rebalance-threshold",
        "checkpoint", "checkpoint-every", "resume", "max-elements", "retries",
        "deadline-ms", "backoff-ms", "inject", "halt-after", "sleep-ms"});
   const Circuit c = load_circuit(args.positional().at(0));
@@ -379,6 +423,11 @@ int cmd_sim(const Args& args) {
   if (args.has("batch") && !csim_engine) {
     throw Error("--batch supports the csim engines only");
   }
+  if ((args.has("rebalance") || args.has("rebalance-threshold")) &&
+      !csim_engine) {
+    throw Error("--rebalance supports the csim engines only");
+  }
+  const RebalancePolicy rpol = parse_rebalance(args);
 
   const bool campaign_mode =
       args.has("checkpoint") || args.has("checkpoint-every") ||
@@ -442,7 +491,7 @@ int cmd_sim(const Args& args) {
     const FaultUniverse u = FaultUniverse::all_transition(c);
     r = sharded ? run_csim_transition_sharded(c, u, tests, threads, ff_init,
                                               engine != "csim", tr, batch,
-                                              tl)
+                                              tl, rpol)
                 : run_csim_transition(c, u, tests, ff_init,
                                       engine != "csim");
   } else if (args.has("sample")) {
@@ -451,7 +500,8 @@ int cmd_sim(const Args& args) {
         full, sample_faults(full, args.get_u64("sample", 1000),
                             args.get_u64("seed", 1) + 1));
     r = sharded ? run_csim_sharded(c, sub.universe, tests, CsimVariant::V,
-                                   threads, ff_init, true, tr, batch, tl)
+                                   threads, ff_init, true, tr, batch, tl,
+                                   rpol)
                 : run_csim(c, sub.universe, tests, CsimVariant::V, ff_init);
     r.sim_name += " (sampled " + std::to_string(sub.universe.size()) + "/" +
                   std::to_string(full.size()) + ")";
@@ -463,6 +513,7 @@ int cmd_sim(const Args& args) {
     ShardedOptions sopt;
     sopt.num_threads = threads;
     sopt.batch_width = batch;
+    sopt.rebalance = rpol;
     ShardedSim sim(c, reps.universe, sopt);
     if (tr != nullptr) sim.set_trace(tr);
     if (tl != nullptr) sim.set_timeline(tl);
@@ -480,7 +531,7 @@ int cmd_sim(const Args& args) {
     const FaultUniverse u = FaultUniverse::all_stuck_at(c);
     const auto run_variant = [&](CsimVariant v) {
       return sharded ? run_csim_sharded(c, u, tests, v, threads, ff_init,
-                                        true, tr, batch, tl)
+                                        true, tr, batch, tl, rpol)
                      : run_csim(c, u, tests, v, ff_init);
     };
     if (engine == "csim-mv") {
@@ -530,6 +581,13 @@ int cmd_sim(const Args& args) {
     std::printf("batch     %u pattern lanes per packed good-machine pass\n",
                 r.batch);
   }
+  if (r.stats.rebalances > 0) {
+    std::printf("rebal     %llu repartitions, %llu faults (%llu elements) "
+                "migrated\n",
+                static_cast<unsigned long long>(r.stats.rebalances),
+                static_cast<unsigned long long>(r.stats.faults_migrated),
+                static_cast<unsigned long long>(r.stats.elements_migrated));
+  }
   if (args.has("verbose")) {
     std::printf("activity  %llu element/word evaluations\n",
                 static_cast<unsigned long long>(r.activity));
@@ -576,6 +634,7 @@ int usage() {
       "           [--batch=N|auto] [--sample=N | --collapse] [--trace=F]\n"
       "           [--stats-json=F] [--timeline=F] [--progress]\n"
       "           [--sample-every=N]\n"
+      "           [--rebalance=off|auto|N] [--rebalance-threshold=R]\n"
       "           campaign flags (resilient path):\n"
       "           [--checkpoint=F] [--checkpoint-every=N] [--resume=F]\n"
       "           [--max-elements=K] [--retries=N] [--deadline-ms=N]\n"

@@ -19,6 +19,11 @@ buckets with zero buckets elided) and per-level "levels" profile.  Under
 -DCFS_OBS=OFF these blocks still exist but carry only zeros -- the schema
 deliberately does not require non-zero counts.
 
+The dynamic-rebalancing telemetry (sim/sharded_sim.h) is pinned too: a
+top-level "rebalance" object (rebalances / faults_migrated /
+elements_migrated, zero unless --rebalance fired) and a cumulative
+"rebalances" field in every timeline sample's work section.
+
 Usage: check_stats_schema.py <stats.json> [schema.json]
 """
 import json

@@ -16,7 +16,13 @@ and for wall-clock shard latency (host-dependent corroboration).
 
 Usage:
   make_imbalance_report.py TIMELINE.jsonl --out REPORT.json \
-      [--circuit NAME] [--meta KEY=VALUE ...]
+      [--window N] [--circuit NAME] [--meta KEY=VALUE ...]
+
+--window=N adds a "window" block summarizing only the last N samples.
+The full-run medians average over the early vectors where any partition
+is still near-even; the tail window isolates the late-campaign state --
+the skew a static partition degrades into, or the ~1.0 a dynamic
+rebalancer holds it at.
 
 Stdlib only; exits 1 on malformed input.
 """
@@ -97,6 +103,8 @@ def main(argv):
         description="shard-imbalance report from a timeline JSONL stream")
     ap.add_argument("timeline", help="JSONL stream from cfs sim --timeline=F")
     ap.add_argument("--out", required=True, help="report JSON path")
+    ap.add_argument("--window", type=int, default=0, metavar="N",
+                    help="also summarize only the last N samples")
     ap.add_argument("--circuit", default="", help="circuit name for the meta")
     ap.add_argument("--meta", action="append", default=[],
                     metavar="KEY=VALUE", help="extra meta fields (repeat)")
@@ -139,10 +147,21 @@ def main(argv):
             "hard": samples[-1]["hard"],
             "potential": samples[-1]["potential"],
             "live_faults": samples[-1]["live_faults"],
+            "rebalances": samples[-1].get("rebalances", 0),
         },
         "per_shard": per_shard,
         "imbalance": imbalance,
     }
+    if args.window > 0:
+        tail = samples[-args.window:]
+        tail_per_shard, tail_imbalance = summarize(tail, num_shards)
+        report["window"] = {
+            "size": len(tail),
+            "first_vec": tail[0]["vec"],
+            "last_vec": tail[-1]["vec"],
+            "per_shard": tail_per_shard,
+            "imbalance": tail_imbalance,
+        }
     with open(args.out, "w") as f:
         json.dump(report, f, indent=2)
         f.write("\n")
@@ -150,6 +169,11 @@ def main(argv):
     print(f"OK {args.out}: {num_shards} shards, {len(samples)} samples, "
           f"live-fault imbalance first {live['first_vector']:.2f} -> "
           f"final {live['final_vector']:.2f} (max {live['max']:.2f})")
+    if args.window > 0:
+        w = report["window"]["imbalance"]
+        print(f"   last {report['window']['size']} samples: live-element "
+              f"skew median {w['live_elements']['median']:.2f}, latency "
+              f"skew median {w['latency_us']['median']:.2f}")
     return 0
 
 
