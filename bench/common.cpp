@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "patterns/tgen.h"
 
@@ -67,6 +68,11 @@ JsonReport::JsonReport(int argc, char** argv, std::string_view bench_name) {
   writer_->begin_object();
   writer_->field("bench", bench_name);
   writer_->field("scale", scale());
+  // The capture host's core count travels with every baseline: gates that
+  // need real parallelism (tools/check_scaling_gate.py) must be able to
+  // tell a measured win from a single-core artifact.
+  writer_->field("host_hw_threads",
+                 std::uint64_t{std::thread::hardware_concurrency()});
   writer_->key("rows");
   writer_->begin_array();
 }

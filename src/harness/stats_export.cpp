@@ -1,8 +1,9 @@
 #include "harness/stats_export.h"
 
-#include <fstream>
+#include <sstream>
 
 #include "obs/json_stats.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace cfs {
@@ -133,11 +134,12 @@ void write_run_stats_json(std::ostream& os, const RunMetadata& meta,
 
 void save_run_stats_json(const std::string& path, const RunMetadata& meta,
                          const RunResult& r, const obs::Timeline* timeline) {
-  std::ofstream f(path);
-  if (!f) throw Error("cannot write stats file " + path);
-  write_run_stats_json(f, meta, r, timeline);
-  f << '\n';
-  if (!f) throw Error("error writing stats file " + path);
+  // Atomic replace (tmp+rename): a crash mid-export leaves the previous
+  // stats file (or none), never a torn JSON document.
+  std::ostringstream os;
+  write_run_stats_json(os, meta, r, timeline);
+  os << '\n';
+  obs::atomic_write(path, os.str(), "stats");
 }
 
 }  // namespace cfs

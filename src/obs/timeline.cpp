@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/json_stats.h"
+#include "obs/trace.h"
 #include "util/error.h"
 
 namespace cfs::obs {
@@ -90,8 +91,17 @@ void Timeline::append_stream_line(const TimelineSample& s) {
 
 void Timeline::flush() {
   if (stream_path_.empty() || stream_buffer_.empty()) return;
-  // Lazy open, append mode: the first flush creates the file; a campaign
-  // resume continues the same stream in place.
+  // First flush with no file on disk: create it atomically (tmp+rename)
+  // so a kill during the very first write never leaves a torn stream.
+  if (!stream_opened_ && !std::ifstream(stream_path_).good()) {
+    atomic_write(stream_path_, stream_buffer_, "timeline stream");
+    stream_opened_ = true;
+    stream_buffer_.clear();
+    return;
+  }
+  // Later flushes (and a campaign resume continuing an existing stream)
+  // append whole lines in place; JSONL consumers tolerate a torn tail
+  // line, and checkpoint-aligned flushing keeps the stream duplicate-free.
   std::ofstream f(stream_path_, std::ios::app);
   if (!f) {
     throw Error("cannot write timeline stream " + stream_path_ + ": " +

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "obs/json_stats.h"
 #include "util/error.h"
@@ -23,6 +24,29 @@ void ensure_writable(const std::string& path, const std::string& what) {
   }
   f.close();
   if (!existed) std::remove(path.c_str());
+}
+
+void atomic_write(const std::string& path, const std::string& content,
+                  const std::string& what) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw Error("cannot write " + what + " temp file " + tmp + ": " +
+                std::strerror(errno));
+  }
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != content.size() || !closed) {
+    std::remove(tmp.c_str());
+    throw Error("error writing " + what + " temp file " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string why = std::strerror(errno);
+    std::remove(tmp.c_str());
+    throw Error("cannot rename " + what + " file into place at " + path +
+                ": " + why);
+  }
 }
 
 TraceEmitter::TraceEmitter() : t0_(std::chrono::steady_clock::now()) {}
@@ -122,17 +146,10 @@ void TraceEmitter::write(std::ostream& os) const {
 }
 
 void TraceEmitter::save(const std::string& path) const {
-  std::ofstream f(path);
-  if (!f) {
-    throw Error("cannot write trace file " + path + ": " +
-                std::strerror(errno));
-  }
-  write(f);
-  f << '\n';
-  if (!f) {
-    throw Error("error writing trace file " + path + ": " +
-                std::strerror(errno));
-  }
+  std::ostringstream os;
+  write(os);
+  os << '\n';
+  atomic_write(path, os.str(), "trace");
 }
 
 }  // namespace cfs::obs

@@ -25,6 +25,14 @@ namespace cfs::obs {
 /// to reject a bad --trace/--timeline path before burning the simulation.
 void ensure_writable(const std::string& path, const std::string& what);
 
+/// Atomically replace `path` with `content`: fully write a sibling temp
+/// file, then rename it into place (the same protocol as resil/ snapshot
+/// writes).  A crash mid-export leaves either the old file or the new one,
+/// never a torn artifact.  Throws cfs::Error ("<what> file ...") on any I/O
+/// failure, with the temp file removed.
+void atomic_write(const std::string& path, const std::string& content,
+                  const std::string& what);
+
 class TraceEmitter {
  public:
   TraceEmitter();

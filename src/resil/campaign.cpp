@@ -35,6 +35,13 @@ CampaignRunner::CampaignRunner(const Circuit& c, const FaultUniverse& u,
       model_(std::make_shared<SimModel>(c, u, mmap)),
       suite_fp_(suite_fingerprint(t)) {}
 
+CampaignRunner::CampaignRunner(std::shared_ptr<const SimModel> model,
+                               const TestSuite& t, CampaignOptions opt)
+    : suite_(t),
+      opt_(std::move(opt)),
+      model_(std::move(model)),
+      suite_fp_(suite_fingerprint(t)) {}
+
 void CampaignRunner::start_fresh() {
   const std::size_t nf = model_->num_faults();
   status_.assign(nf, Detect::None);
@@ -204,7 +211,9 @@ CampaignCheckpoint CampaignRunner::make_checkpoint() const {
 }
 
 void CampaignRunner::write_checkpoint() {
-  save_checkpoint(opt_.checkpoint_path, make_checkpoint());
+  checkpoint_write_retries_ += save_checkpoint_retry(
+      opt_.checkpoint_path, make_checkpoint(),
+      {opt_.checkpoint_retries, opt_.checkpoint_backoff_ms});
   ++checkpoints_;
   // Flush the timeline stream only at checkpoint boundaries: everything on
   // disk precedes the checkpoint a kill would resume from, so the resumed
@@ -223,7 +232,7 @@ CampaignResult CampaignRunner::run() {
   const bool budgeted = opt_.sharded.csim.max_elements != 0;
   const auto& seqs = suite_.sequences();
 
-  const auto finish = [&](bool halted) {
+  const auto finish = [&](bool halted, bool stopped = false) {
     // Orderly exits drain the sample buffer (a checkpoint, when one was
     // just written, already covers everything flushed here).
     if (opt_.timeline != nullptr) opt_.timeline->flush();
@@ -237,7 +246,9 @@ CampaignResult CampaignRunner::run() {
     res.passes = pass_ + 1;
     res.vectors = vectors_run_;
     res.checkpoints_written = checkpoints_;
+    res.checkpoint_write_retries = checkpoint_write_retries_;
     res.halted = halted;
+    res.stopped = stopped;
     res.shard_retries = sim_->shard_retries();
     res.shard_requeues = sim_->shard_requeues();
     res.peak_elements = sim_->stats().total.peak_elements;
@@ -297,6 +308,13 @@ CampaignResult CampaignRunner::run() {
         if (opt_.halt_after != 0 && pos_ >= opt_.halt_after) {
           if (!opt_.checkpoint_path.empty()) write_checkpoint();
           return finish(/*halted=*/true);
+        }
+        if (opt_.stop != nullptr &&
+            opt_.stop->load(std::memory_order_relaxed)) {
+          // Graceful drain: persist the boundary just reached so the session
+          // resumes bit-identically, then report halted+stopped.
+          if (!opt_.checkpoint_path.empty()) write_checkpoint();
+          return finish(/*halted=*/true, /*stopped=*/true);
         }
       }
     }

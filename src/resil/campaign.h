@@ -32,6 +32,7 @@
 // fault no matter how the work was scheduled.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -62,6 +63,18 @@ struct CampaignOptions {
   /// Upper bound on memory-budget passes; exceeded = cfs::Error (the budget
   /// is unusably small).
   unsigned max_passes = 32;
+
+  /// Checkpoint-write resilience: a failed save is retried up to
+  /// checkpoint_retries times with exponential backoff before the
+  /// CheckpointIoError surfaces (resil/snapshot.h SaveRetryOptions).
+  unsigned checkpoint_retries = 3;
+  std::uint32_t checkpoint_backoff_ms = 1;
+
+  /// Cooperative stop flag (not owned, may be null).  Checked after every
+  /// vector; when it reads true the campaign writes a final checkpoint (if a
+  /// path is set) and returns with halted+stopped set -- the graceful-drain
+  /// primitive the service layer builds SIGTERM handling on.
+  const std::atomic<bool>* stop = nullptr;
 
   /// Optional telemetry, both owned by the caller and outliving run().
   /// The timeline samples every vector (vec coordinate = suite position,
@@ -101,7 +114,11 @@ struct CampaignResult {
   std::uint32_t passes = 1;           ///< memory-budget passes used
   std::uint64_t vectors = 0;          ///< vectors simulated (all passes)
   std::uint64_t checkpoints_written = 0;
-  bool halted = false;                ///< stopped by halt_after
+  /// Failed checkpoint-save attempts that the bounded retry/backoff policy
+  /// absorbed (each eventually succeeded; exhaustion throws instead).
+  std::uint64_t checkpoint_write_retries = 0;
+  bool halted = false;                ///< stopped by halt_after or stop flag
+  bool stopped = false;               ///< stopped by the cooperative flag
   std::uint64_t shard_retries = 0;    ///< containment retry attempts
   std::uint64_t shard_requeues = 0;   ///< hung-shard slice requeues
   std::size_t peak_elements = 0;      ///< summed shard pool high-water
@@ -124,6 +141,12 @@ class CampaignRunner {
   /// with ConcurrentSim.
   CampaignRunner(const Circuit& c, const FaultUniverse& u, const TestSuite& t,
                  CampaignOptions opt, const MacroFaultMap* mmap = nullptr);
+
+  /// Share an already-built model (the service's model cache): the runner
+  /// holds a reference, so the model may outlive the objects it was built
+  /// from as long as `model` owns them (see svc::ModelCache).
+  CampaignRunner(std::shared_ptr<const SimModel> model, const TestSuite& t,
+                 CampaignOptions opt);
 
   /// Run (or resume) the campaign to completion or halt_after.
   CampaignResult run();
@@ -167,6 +190,7 @@ class CampaignRunner {
 
   std::uint64_t vectors_run_ = 0;
   std::uint64_t checkpoints_ = 0;
+  std::uint64_t checkpoint_write_retries_ = 0;
   std::uint64_t suite_fp_ = 0;
   bool resumed_mid_sequence_ = false;
 };

@@ -36,18 +36,32 @@ struct InjectedShardFailure : Error {
               " at vector " + std::to_string(vector)) {}
 };
 
-/// One scripted failure: on shard `shard`, right before it simulates the
-/// driver's vector number `vector`, either throw or stall for `stall_ms`.
-/// Fires at most `times` times (a stall that repeats past the retry budget
-/// would otherwise hang the campaign it is supposed to exercise).
+/// One scripted failure.  Shard faults (`Throw`, `Stall`) fire on shard
+/// `shard` right before it simulates the driver's vector number `vector`:
+/// either throw or stall for `stall_ms`.  I/O faults (`ShortWrite`,
+/// `Enospc`, `RenameFail`) sabotage checkpoint writes instead: they fire on
+/// the `vector`-th (0-based) snapshot save attempt of the process and every
+/// later one while budget remains.  All specs fire at most `times` times (a
+/// fault that repeats past the retry budget would otherwise hang the
+/// campaign it is supposed to exercise).
 struct InjectionSpec {
-  enum class Action : std::uint8_t { Throw, Stall };
+  enum class Action : std::uint8_t {
+    Throw, Stall, ShortWrite, Enospc, RenameFail
+  };
   Action action = Action::Throw;
   unsigned shard = 0;
   std::uint64_t vector = 0;
   std::uint32_t stall_ms = 0;
   std::uint32_t times = 1;
+
+  static bool is_io(Action a) {
+    return a == Action::ShortWrite || a == Action::Enospc ||
+           a == Action::RenameFail;
+  }
 };
+
+/// What an I/O injection wants to happen to the current snapshot save.
+enum class IoFail : std::uint8_t { None, ShortWrite, Enospc, RenameFail };
 
 /// Test-only sabotage hook.  ShardedSim calls maybe_fire() from every shard
 /// worker when an injector is configured; production runs never construct
@@ -68,6 +82,7 @@ class FaultInjector {
     {
       std::lock_guard<std::mutex> lk(mu_);
       for (Armed& a : specs_) {
+        if (InjectionSpec::is_io(a.spec.action)) continue;
         if (a.spec.shard != shard || a.spec.vector != vector) continue;
         if (a.fired >= a.spec.times) continue;
         ++a.fired;
@@ -84,6 +99,28 @@ class FaultInjector {
     if (do_throw) throw InjectedShardFailure(shard, vector);
   }
 
+  /// Called by resil::save_checkpoint() once per save attempt (when this
+  /// injector is installed via set_snapshot_injector).  Consumes one firing
+  /// of the first armed I/O spec whose `vector` (the 0-based save ordinal)
+  /// has been reached.  Counting attempts here -- retries included -- lets a
+  /// spec like `enospc:0:2` fail the first two attempts and then let the
+  /// bounded-retry path succeed on the third.
+  IoFail maybe_fail_save() {
+    std::lock_guard<std::mutex> lk(mu_);
+    const std::uint64_t n = io_saves_++;
+    for (Armed& a : specs_) {
+      if (!InjectionSpec::is_io(a.spec.action)) continue;
+      if (n < a.spec.vector || a.fired >= a.spec.times) continue;
+      ++a.fired;
+      switch (a.spec.action) {
+        case InjectionSpec::Action::ShortWrite: return IoFail::ShortWrite;
+        case InjectionSpec::Action::Enospc: return IoFail::Enospc;
+        default: return IoFail::RenameFail;
+      }
+    }
+    return IoFail::None;
+  }
+
   /// Total injections that have fired (all specs).
   std::uint64_t fired() const {
     std::lock_guard<std::mutex> lk(mu_);
@@ -95,7 +132,9 @@ class FaultInjector {
   /// Parse a comma-separated spec list, each entry
   ///   throw:SHARD:VECTOR[:TIMES]
   ///   stall:SHARD:VECTOR:MS[:TIMES]
-  /// e.g. "throw:1:3" or "stall:0:2:400,throw:2:5:2".  Throws cfs::Error on
+  ///   short-write:NTH[:TIMES] | enospc:NTH[:TIMES] | rename-fail:NTH[:TIMES]
+  /// e.g. "throw:1:3", "stall:0:2:400,throw:2:5:2", or "enospc:0:2" (fail
+  /// the first two checkpoint save attempts).  Throws cfs::Error on
   /// malformed input.  This is the grammar behind the CLI's --inject flag.
   /// (Returns specs rather than an injector: the mutex member makes the
   /// class itself immovable.)
@@ -137,9 +176,20 @@ class FaultInjector {
         spec.vector = num(f[2]);
         spec.stall_ms = static_cast<std::uint32_t>(num(f[3]));
         if (f.size() == 5) spec.times = static_cast<std::uint32_t>(num(f[4]));
+      } else if ((f[0] == "short-write" || f[0] == "enospc" ||
+                  f[0] == "rename-fail") &&
+                 (f.size() == 2 || f.size() == 3)) {
+        spec.action = f[0] == "short-write"
+                          ? InjectionSpec::Action::ShortWrite
+                          : f[0] == "enospc" ? InjectionSpec::Action::Enospc
+                                             : InjectionSpec::Action::RenameFail;
+        spec.vector = num(f[1]);
+        if (f.size() == 3) spec.times = static_cast<std::uint32_t>(num(f[2]));
       } else {
-        throw Error("--inject: expected throw:SHARD:VEC[:TIMES] or "
-                    "stall:SHARD:VEC:MS[:TIMES], got '" + entry + "'");
+        throw Error("--inject: expected throw:SHARD:VEC[:TIMES], "
+                    "stall:SHARD:VEC:MS[:TIMES], or "
+                    "short-write|enospc|rename-fail:NTH[:TIMES], got '" +
+                    entry + "'");
       }
       out.push_back(spec);
     }
@@ -153,6 +203,7 @@ class FaultInjector {
   };
   mutable std::mutex mu_;
   std::vector<Armed> specs_;
+  std::uint64_t io_saves_ = 0;  ///< snapshot save attempts observed
 };
 
 /// Shard failure containment configuration (carried by ShardedOptions).

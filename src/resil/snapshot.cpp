@@ -1,8 +1,12 @@
 #include "resil/snapshot.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include "resil/containment.h"
 #include "resil/crc32.h"
 
 namespace cfs::resil {
@@ -55,6 +59,11 @@ struct Reader {
   }
 };
 
+// Process-wide snapshot sabotage hook (set_snapshot_injector).  Atomic so
+// concurrent session workers saving checkpoints race cleanly; the injector
+// itself is internally locked.
+std::atomic<FaultInjector*> g_snapshot_injector{nullptr};
+
 std::uint8_t val_code(Val v) { return static_cast<std::uint8_t>(v); }
 
 Val val_from(std::uint8_t c) {
@@ -73,6 +82,10 @@ Detect detect_from(std::uint8_t c) {
 }
 
 }  // namespace
+
+void set_snapshot_injector(FaultInjector* injector) {
+  g_snapshot_injector.store(injector, std::memory_order_release);
+}
 
 std::uint64_t suite_fingerprint(const TestSuite& t) {
   std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a
@@ -138,20 +151,52 @@ void save_checkpoint(const std::string& path, const CampaignCheckpoint& ck) {
 
   // Atomic replace: fully write a sibling temp file, then rename.  A crash
   // or kill at any point leaves either the old checkpoint or the new one.
+  // The injected faults below simulate each real failure mode at the same
+  // point it would actually occur, including temp-file cleanup.
+  const IoFail inject = g_snapshot_injector.load(std::memory_order_acquire)
+                            ? g_snapshot_injector.load()->maybe_fail_save()
+                            : IoFail::None;
   const std::string tmp = path + ".tmp";
+  if (inject == IoFail::Enospc) {
+    throw CheckpointIoError("cannot write checkpoint temp file '" + tmp +
+                            "': no space left on device (injected)");
+  }
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    throw Error("cannot write checkpoint temp file '" + tmp + "'");
+    throw CheckpointIoError("cannot write checkpoint temp file '" + tmp +
+                            "'");
   }
-  const std::size_t written = std::fwrite(file.data(), 1, file.size(), f);
-  const bool ok = written == file.size() && std::fclose(f) == 0;
-  if (!ok) {
+  const std::size_t want =
+      inject == IoFail::ShortWrite ? file.size() / 2 : file.size();
+  const std::size_t written = std::fwrite(file.data(), 1, want, f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != file.size() || !closed) {
     std::remove(tmp.c_str());
-    throw Error("short write to checkpoint temp file '" + tmp + "'");
+    throw CheckpointIoError("short write to checkpoint temp file '" + tmp +
+                            "'");
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (inject == IoFail::RenameFail ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw Error("cannot rename checkpoint into place at '" + path + "'");
+    throw CheckpointIoError("cannot rename checkpoint into place at '" +
+                            path + "'");
+  }
+}
+
+std::uint64_t save_checkpoint_retry(const std::string& path,
+                                    const CampaignCheckpoint& ck,
+                                    const SaveRetryOptions& opt) {
+  std::uint64_t retried = 0;
+  for (unsigned attempt = 0;; ++attempt) {
+    try {
+      save_checkpoint(path, ck);
+      return retried;
+    } catch (const CheckpointIoError&) {
+      if (attempt >= opt.retries) throw;
+      ++retried;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::uint64_t{opt.backoff_ms} << attempt));
+    }
   }
 }
 

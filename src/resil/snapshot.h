@@ -35,6 +35,32 @@ struct SnapshotError : Error {
   using Error::Error;
 };
 
+/// save_checkpoint() throws this on any I/O failure -- short write, failed
+/// create, failed rename -- so callers can retry transient storage trouble
+/// (save_checkpoint_retry below) without also retrying programming errors.
+struct CheckpointIoError : Error {
+  using Error::Error;
+};
+
+class FaultInjector;  // resil/containment.h
+
+/// Install a process-wide snapshot-write sabotage hook (test/chaos only;
+/// pass nullptr to disarm).  When set, every save_checkpoint() attempt
+/// consults injector->maybe_fail_save() and simulates the returned I/O
+/// fault: a short write to the temp file, an out-of-space create, or a
+/// failed rename -- each surfaced as CheckpointIoError with the temp file
+/// cleaned up, exactly like the real failure would be.
+void set_snapshot_injector(FaultInjector* injector);
+
+/// Bounded retry policy for checkpoint writes: a failed save is retried
+/// with exponential backoff (backoff_ms, 2*backoff_ms, ...) before the
+/// CheckpointIoError surfaces.  Storage hiccups -- NFS blips, transient
+/// ENOSPC -- should not kill a campaign that can simply try again.
+struct SaveRetryOptions {
+  unsigned retries = 3;          ///< additional attempts after the first
+  std::uint32_t backoff_ms = 1;  ///< base backoff, doubling per attempt
+};
+
 inline constexpr std::uint32_t kSnapshotMagic = 0x01534643u;  // "CFS\x01"
 inline constexpr std::uint32_t kSnapshotVersion = 1;
 /// detected_at value for a fault with no hard detection yet.
@@ -74,8 +100,16 @@ struct CampaignCheckpoint {
 /// different vector stream is refused.
 std::uint64_t suite_fingerprint(const TestSuite& t);
 
-/// Serialize + atomically replace `path`.  Throws cfs::Error on I/O failure.
+/// Serialize + atomically replace `path`.  Throws CheckpointIoError on I/O
+/// failure (injected or real).
 void save_checkpoint(const std::string& path, const CampaignCheckpoint& ck);
+
+/// save_checkpoint() with the bounded retry/backoff policy.  Returns the
+/// number of failed attempts that were retried (0 = first try stuck);
+/// rethrows the last CheckpointIoError once the budget is exhausted.
+std::uint64_t save_checkpoint_retry(const std::string& path,
+                                    const CampaignCheckpoint& ck,
+                                    const SaveRetryOptions& opt = {});
 
 /// Load and validate header + CRC.  Throws SnapshotError on missing file,
 /// bad magic, unsupported version, truncation, or checksum mismatch.

@@ -1,0 +1,69 @@
+#include "svc/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace cfs::svc {
+
+Client::~Client() { close(); }
+
+void Client::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    throw Error("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw Error(std::string("socket: ") + std::strerror(errno));
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    close();
+    throw Error("cannot connect to cfsd at " + socket_path + ": " + why);
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  dec_ = FrameDecoder();
+}
+
+std::string Client::request(const std::string& payload) {
+  if (fd_ < 0) throw Error("not connected");
+  const std::string frame = encode_frame(payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error(std::string("write to cfsd failed: ") +
+                  std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  while (!dec_.take(resp)) {
+    const ssize_t n = ::read(fd_, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw Error("connection to cfsd closed mid-request");
+    }
+    dec_.feed(buf, static_cast<std::size_t>(n));
+  }
+  return resp;
+}
+
+JsonValue Client::call(const std::string& payload) {
+  return json_parse(request(payload));
+}
+
+}  // namespace cfs::svc

@@ -1,0 +1,41 @@
+// Minimal blocking client for the cfsd wire protocol: connect to the
+// daemon's AF_UNIX socket, send one JSON request per call, read the
+// matching response.  Used by `cfs connect` and the chaos tests.
+#pragma once
+
+#include <string>
+
+#include "svc/wire.h"
+
+namespace cfs::svc {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to the daemon socket; throws cfs::Error with the OS
+  /// diagnostic (e.g. the daemon is not running) on failure.
+  void connect(const std::string& socket_path);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send `payload` as one frame and block for the next response frame.
+  /// Throws cfs::Error on transport failure (daemon died mid-request) and
+  /// ProtocolError if the daemon's response violates framing.
+  std::string request(const std::string& payload);
+
+  /// request() + parse: returns the response JSON.  Error responses
+  /// ({"ok":false,...}) are returned, not thrown -- callers branch on the
+  /// structured code.
+  JsonValue call(const std::string& payload);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder dec_;
+};
+
+}  // namespace cfs::svc

@@ -1,0 +1,445 @@
+#include "svc/wire.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace cfs::svc {
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& what) {
+  throw ProtocolError("bad_request", what);
+}
+
+[[noreturn]] void bad_json(const std::string& what) {
+  throw ProtocolError("bad_json", what);
+}
+
+// Recursive-descent JSON parser over a bounded text.  Depth is tracked
+// explicitly so a "[[[[..." bomb raises bad_json long before the C++ stack
+// is at risk.
+struct Parser {
+  const char* p;
+  const char* end;
+  unsigned depth = 0;
+
+  void skip_ws() {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  char peek() {
+    if (p >= end) bad_json("unexpected end of JSON input");
+    return *p;
+  }
+
+  void expect(char c) {
+    if (p >= end || *p != c) {
+      bad_json(std::string("expected '") + c + "' in JSON input");
+    }
+    ++p;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (static_cast<std::size_t>(end - p) < n) return false;
+    if (std::memcmp(p, lit, n) != 0) return false;
+    p += n;
+    return true;
+  }
+
+  JsonValue value() {
+    if (++depth > kMaxJsonDepth) bad_json("JSON nesting too deep");
+    skip_ws();
+    const char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      v = object();
+    } else if (c == '[') {
+      v = array();
+    } else if (c == '"') {
+      v = JsonValue(string());
+    } else if (c == 't') {
+      if (!literal("true")) bad_json("bad literal");
+      v = JsonValue(true);
+    } else if (c == 'f') {
+      if (!literal("false")) bad_json("bad literal");
+      v = JsonValue(false);
+    } else if (c == 'n') {
+      if (!literal("null")) bad_json("bad literal");
+      v = JsonValue();
+    } else if (c == '-' || (c >= '0' && c <= '9')) {
+      v = JsonValue(number());
+    } else {
+      bad_json(std::string("unexpected character '") + c + "' in JSON");
+    }
+    --depth;
+    return v;
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject o;
+    skip_ws();
+    if (peek() == '}') {
+      ++p;
+      return JsonValue(std::move(o));
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') bad_json("expected object key string");
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      o[std::move(key)] = value();
+      skip_ws();
+      const char c = peek();
+      ++p;
+      if (c == '}') return JsonValue(std::move(o));
+      if (c != ',') bad_json("expected ',' or '}' in JSON object");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray a;
+    skip_ws();
+    if (peek() == ']') {
+      ++p;
+      return JsonValue(std::move(a));
+    }
+    for (;;) {
+      a.push_back(value());
+      skip_ws();
+      const char c = peek();
+      ++p;
+      if (c == ']') return JsonValue(std::move(a));
+      if (c != ',') bad_json("expected ',' or ']' in JSON array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string s;
+    for (;;) {
+      if (p >= end) bad_json("unterminated JSON string");
+      const unsigned char c = static_cast<unsigned char>(*p++);
+      if (c == '"') return s;
+      if (c < 0x20) bad_json("raw control character in JSON string");
+      if (c != '\\') {
+        s.push_back(static_cast<char>(c));
+        continue;
+      }
+      if (p >= end) bad_json("unterminated JSON escape");
+      const char e = *p++;
+      switch (e) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (p >= end) bad_json("truncated \\u escape");
+            const char h = *p++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else bad_json("bad hex digit in \\u escape");
+          }
+          // Minimal UTF-8 encoding of the BMP code point; surrogate pairs
+          // are passed through as two 3-byte sequences (the protocol never
+          // generates them, but clients might).
+          if (code < 0x80) {
+            s.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            s.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: bad_json("bad JSON escape");
+      }
+    }
+  }
+
+  double number() {
+    const char* start = p;
+    if (p < end && *p == '-') ++p;
+    while (p < end && *p >= '0' && *p <= '9') ++p;
+    if (p < end && *p == '.') {
+      ++p;
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    if (p < end && (*p == 'e' || *p == 'E')) {
+      ++p;
+      if (p < end && (*p == '+' || *p == '-')) ++p;
+      while (p < end && *p >= '0' && *p <= '9') ++p;
+    }
+    const std::string text(start, p);
+    if (text.empty() || text == "-") bad_json("bad JSON number");
+    char* parsed_end = nullptr;
+    const double d = std::strtod(text.c_str(), &parsed_end);
+    if (parsed_end != text.c_str() + text.size()) bad_json("bad JSON number");
+    return d;
+  }
+};
+
+void dump_value(const JsonValue& v, std::string& out);
+
+void dump_number(double d, std::string& out) {
+  // Integral values print without a decimal point (the protocol is mostly
+  // counters); everything else gets shortest-ish %.17g.
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+  } else if (std::isfinite(d)) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+  } else {
+    out += "null";  // JSON has no inf/nan
+  }
+}
+
+void dump_value(const JsonValue& v, std::string& out) {
+  switch (v.type()) {
+    case JsonValue::Type::Null: out += "null"; break;
+    case JsonValue::Type::Bool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Type::Number: dump_number(v.as_number(), out); break;
+    case JsonValue::Type::String:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      break;
+    case JsonValue::Type::Array: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& e : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::Object: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        dump_value(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+bool JsonValue::as_bool() const {
+  if (type_ != Type::Bool) bad_request("expected a JSON boolean");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (type_ != Type::Number) bad_request("expected a JSON number");
+  return num_;
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  const double d = as_number();
+  if (d < 0 || d != std::floor(d) || d > 1.8e19) {
+    bad_request("expected a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (type_ != Type::String) bad_request("expected a JSON string");
+  return str_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  if (type_ != Type::Array) bad_request("expected a JSON array");
+  return *arr_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  if (type_ != Type::Object) bad_request("expected a JSON object");
+  return *obj_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  const auto it = obj_->find(key);
+  return it == obj_->end() ? nullptr : &it->second;
+}
+
+const std::string& JsonValue::req_string(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || !v->is_string()) {
+    bad_request("missing or non-string field '" + key + "'");
+  }
+  return v->as_string();
+}
+
+std::uint64_t JsonValue::req_u64(const std::string& key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || !v->is_number()) {
+    bad_request("missing or non-numeric field '" + key + "'");
+  }
+  return v->as_u64();
+}
+
+std::string JsonValue::opt_string(const std::string& key,
+                                  const std::string& dflt) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return dflt;
+  return v->as_string();
+}
+
+std::uint64_t JsonValue::opt_u64(const std::string& key,
+                                 std::uint64_t dflt) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return dflt;
+  return v->as_u64();
+}
+
+bool JsonValue::opt_bool(const std::string& key, bool dflt) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) return dflt;
+  return v->as_bool();
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+JsonValue json_parse(const std::string& text) {
+  Parser ps{text.data(), text.data() + text.size()};
+  JsonValue v = ps.value();
+  ps.skip_ws();
+  if (ps.p != ps.end) {
+    throw ProtocolError("bad_frame", "trailing bytes after JSON document");
+  }
+  return v;
+}
+
+std::string encode_frame(const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw ProtocolError("frame_too_large",
+                        "frame payload of " + std::to_string(payload.size()) +
+                            " bytes exceeds the " +
+                            std::to_string(kMaxFrameBytes) + "-byte cap");
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(4 + payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((n >> (8 * i)) & 0xFFu));
+  }
+  out += payload;
+  return out;
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  buf_.append(data, n);
+  // Validate the pending length prefix eagerly: an oversized frame is
+  // reported on arrival of its 4th header byte, before any payload is
+  // buffered.
+  if (buf_.size() >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= std::uint32_t{static_cast<unsigned char>(buf_[i])} << (8 * i);
+    }
+    if (len > kMaxFrameBytes) {
+      throw ProtocolError(
+          "frame_too_large",
+          "frame length prefix of " + std::to_string(len) +
+              " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+              "-byte cap");
+    }
+  }
+}
+
+bool FrameDecoder::take(std::string& out) {
+  if (buf_.size() < 4) return false;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= std::uint32_t{static_cast<unsigned char>(buf_[i])} << (8 * i);
+  }
+  if (buf_.size() < 4 + static_cast<std::size_t>(len)) return false;
+  out.assign(buf_, 4, len);
+  buf_.erase(0, 4 + static_cast<std::size_t>(len));
+  // The next frame's prefix (if fully buffered) gets the same eager check
+  // feed() applies.
+  if (buf_.size() >= 4) {
+    std::uint32_t next = 0;
+    for (int i = 0; i < 4; ++i) {
+      next |= std::uint32_t{static_cast<unsigned char>(buf_[i])} << (8 * i);
+    }
+    if (next > kMaxFrameBytes) {
+      throw ProtocolError(
+          "frame_too_large",
+          "frame length prefix of " + std::to_string(next) +
+              " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+              "-byte cap");
+    }
+  }
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  return out;
+}
+
+std::string error_response(const std::string& code,
+                           const std::string& message) {
+  return "{\"ok\":false,\"error\":\"" + json_escape(code) +
+         "\",\"message\":\"" + json_escape(message) + "\"}";
+}
+
+}  // namespace cfs::svc

@@ -1,0 +1,174 @@
+// cfsd wire protocol: length-prefixed JSON frames.
+//
+// Every message on a client connection -- request, response, streamed
+// update -- is one *frame*: a 4-byte little-endian payload length followed
+// by that many bytes of UTF-8 JSON text.  The JSON schema reuses the
+// repo's --stats-json vocabulary for streamed coverage/counter updates, so
+// a `cfs connect --watch` consumer and a --stats-json consumer parse the
+// same shapes.
+//
+// Robustness requirements drive the design:
+//  * frames are capped (kMaxFrameBytes) so a malicious or corrupt length
+//    prefix cannot make the daemon allocate unboundedly;
+//  * the decoder is incremental -- feed() arbitrary byte chunks, take()
+//    complete payloads -- so slow clients and short reads are normal;
+//  * every malformed input (oversized frame, bad JSON, wrong type, depth
+//    bomb) surfaces as ProtocolError with a stable machine-readable code,
+//    never as a crash or an uncontrolled exception type.
+//
+// The JSON value model (JsonValue) is deliberately tiny: null, bool,
+// double, string, array, object -- what the protocol needs, parsed by a
+// recursive-descent parser with an explicit depth cap.  It is not a
+// general-purpose JSON library and does not try to be.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cfs::svc {
+
+/// Hard cap on a single frame's payload.  A length prefix above this is a
+/// protocol error on the spot -- the bytes are never buffered.
+inline constexpr std::uint32_t kMaxFrameBytes = 8u << 20;  // 8 MiB
+
+/// Nesting depth cap for the JSON parser (arrays + objects combined).
+inline constexpr unsigned kMaxJsonDepth = 64;
+
+/// Stable machine-readable protocol error codes.  These travel on the wire
+/// in error responses ({"ok":false,"error":CODE,"message":...}) and as the
+/// `code()` of a thrown ProtocolError.
+///   bad_frame          malformed framing (also: trailing JSON garbage)
+///   frame_too_large    length prefix exceeds kMaxFrameBytes
+///   bad_json           payload is not valid JSON
+///   bad_request        JSON is valid but not a usable request object
+///   unknown_op         request op is not recognized
+///   unknown_session    no session with that id (or not yours to touch)
+///   admission_refused  global memory budget cannot fit the session
+///   backpressure       admission queue is full
+///   deadline_exceeded  queued past its deadline and shed
+///   spec_mismatch      reconnect spec differs from the persisted session
+///   draining           daemon is shutting down; no new work
+struct ProtocolError : Error {
+  ProtocolError(std::string code, const std::string& message)
+      : Error(message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+// ---------------------------------------------------------------------------
+// JSON value model + parser
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+/// std::map keeps object keys ordered deterministically for tests.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : type_(Type::Null) {}
+  explicit JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  explicit JsonValue(double d) : type_(Type::Number), num_(d) {}
+  explicit JsonValue(std::uint64_t v)
+      : type_(Type::Number), num_(static_cast<double>(v)) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::String), str_(std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : type_(Type::Array), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+  explicit JsonValue(JsonObject o)
+      : type_(Type::Object),
+        obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  // Typed accessors throw ProtocolError(bad_request) on type mismatch --
+  // request handlers read fields through these and get structured errors
+  // for free.
+  bool as_bool() const;
+  double as_number() const;
+  std::uint64_t as_u64() const;  ///< also rejects negatives / non-integers
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object field access; `null` JsonValue if absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Required string/u64 field of an object; ProtocolError(bad_request)
+  /// naming the field when missing or mistyped.
+  const std::string& req_string(const std::string& key) const;
+  std::uint64_t req_u64(const std::string& key) const;
+  /// Optional fields with defaults.
+  std::string opt_string(const std::string& key, const std::string& dflt) const;
+  std::uint64_t opt_u64(const std::string& key, std::uint64_t dflt) const;
+  bool opt_bool(const std::string& key, bool dflt) const;
+
+  /// Serialize back to compact JSON text.
+  std::string dump() const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // Shared so JsonValue stays cheaply copyable even with deep trees.
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+/// Parse one JSON document; trailing non-whitespace is an error.  Throws
+/// ProtocolError(bad_json) on syntax/depth problems.
+JsonValue json_parse(const std::string& text);
+
+// ---------------------------------------------------------------------------
+// Framing
+
+/// Wrap a payload in a length prefix, ready to write to the socket.
+/// Throws ProtocolError(frame_too_large) if the payload exceeds the cap.
+std::string encode_frame(const std::string& payload);
+
+/// Incremental frame decoder: feed() raw bytes as they arrive, take()
+/// complete payloads.  One decoder per connection; the decoder never
+/// parses JSON -- that is the caller's step -- it only reassembles frames.
+class FrameDecoder {
+ public:
+  /// Append raw bytes.  Throws ProtocolError(frame_too_large) as soon as a
+  /// length prefix exceeding kMaxFrameBytes is seen; the connection is then
+  /// unusable (framing is lost) and should be closed.
+  void feed(const char* data, std::size_t n);
+
+  /// Extract the next complete payload into `out`.  False if more bytes
+  /// are needed.
+  bool take(std::string& out);
+
+  /// Bytes currently buffered (tests / memory accounting).
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// ---------------------------------------------------------------------------
+// Response helpers (tiny, but used by daemon and tests alike)
+
+/// {"ok":false,"error":code,"message":...} -- plus optional extra fields
+/// already rendered as `",k":v` JSON tail text.
+std::string error_response(const std::string& code, const std::string& message);
+
+/// JSON string escaping for hand-assembled responses.
+std::string json_escape(const std::string& s);
+
+}  // namespace cfs::svc

@@ -646,5 +646,151 @@ TEST(MemoryBudget, UnusablySmallBudgetThrows) {
   EXPECT_THROW((void)runner.run(), Error);
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint-write I/O faults: bounded retry/backoff vs. exhaustion
+// ---------------------------------------------------------------------------
+
+/// RAII guard: arms the process-wide snapshot injector, always disarms.
+struct SnapshotInjectorGuard {
+  explicit SnapshotInjectorGuard(FaultInjector& inj) {
+    resil::set_snapshot_injector(&inj);
+  }
+  ~SnapshotInjectorGuard() { resil::set_snapshot_injector(nullptr); }
+};
+
+TEST(FaultInjectorTest, ParsesIoFaultGrammar) {
+  const auto specs =
+      FaultInjector::parse("short-write:3,enospc:0:2,rename-fail:1:5");
+  ASSERT_EQ(specs.size(), 3u);
+  EXPECT_EQ(specs[0].action, InjectionSpec::Action::ShortWrite);
+  EXPECT_EQ(specs[0].vector, 3u);
+  EXPECT_EQ(specs[0].times, 1u);
+  EXPECT_EQ(specs[1].action, InjectionSpec::Action::Enospc);
+  EXPECT_EQ(specs[1].vector, 0u);
+  EXPECT_EQ(specs[1].times, 2u);
+  EXPECT_EQ(specs[2].action, InjectionSpec::Action::RenameFail);
+  EXPECT_EQ(specs[2].times, 5u);
+  EXPECT_TRUE(InjectionSpec::is_io(specs[0].action));
+  EXPECT_FALSE(InjectionSpec::is_io(InjectionSpec::Action::Throw));
+  EXPECT_THROW(FaultInjector::parse("enospc"), Error);
+  EXPECT_THROW(FaultInjector::parse("enospc:1:2:3"), Error);
+  EXPECT_THROW(FaultInjector::parse("short-write:x"), Error);
+}
+
+TEST(FaultInjectorTest, IoSpecsCountSaveAttemptsNotShardVectors) {
+  FaultInjector inj;
+  for (const InjectionSpec& s : FaultInjector::parse("enospc:1:2")) {
+    inj.add(s);
+  }
+  // Shard-side checks never consume I/O specs.
+  EXPECT_NO_THROW(inj.maybe_fire(0, 1));
+  EXPECT_EQ(inj.maybe_fail_save(), resil::IoFail::None);    // attempt 0
+  EXPECT_EQ(inj.maybe_fail_save(), resil::IoFail::Enospc);  // attempt 1
+  EXPECT_EQ(inj.maybe_fail_save(), resil::IoFail::Enospc);  // attempt 2
+  EXPECT_EQ(inj.maybe_fail_save(), resil::IoFail::None);    // budget spent
+}
+
+TEST(CheckpointIoFaults, SaveFailuresSurfaceAsCheckpointIoError) {
+  const std::string path = tmp_path("ck_iofault.bin");
+  const CampaignCheckpoint ck = small_checkpoint();
+  for (const char* spec : {"short-write:0", "enospc:0", "rename-fail:0"}) {
+    FaultInjector inj;
+    for (const InjectionSpec& s : FaultInjector::parse(spec)) inj.add(s);
+    SnapshotInjectorGuard guard(inj);
+    EXPECT_THROW(resil::save_checkpoint(path, ck),
+                 resil::CheckpointIoError)
+        << spec;
+    // The fault must not leave a temp file (or a torn target) behind.
+    EXPECT_FALSE(std::ifstream(path).good()) << spec;
+  }
+  // Disarmed, the same save succeeds and loads back.
+  resil::save_checkpoint(path, ck);
+  EXPECT_EQ(resil::load_checkpoint(path).suite_fp, ck.suite_fp);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIoFaults, BoundedRetryAbsorbsTransientFailures) {
+  const std::string path = tmp_path("ck_ioretry.bin");
+  const CampaignCheckpoint ck = small_checkpoint();
+  FaultInjector inj;
+  for (const InjectionSpec& s : FaultInjector::parse("enospc:0:2")) {
+    inj.add(s);
+  }
+  SnapshotInjectorGuard guard(inj);
+  // Attempts 0 and 1 fail, attempt 2 succeeds: two retries reported.
+  const std::uint64_t retried =
+      resil::save_checkpoint_retry(path, ck, {/*retries=*/3,
+                                              /*backoff_ms=*/1});
+  EXPECT_EQ(retried, 2u);
+  EXPECT_EQ(resil::load_checkpoint(path).suite_fp, ck.suite_fp);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIoFaults, RetryExhaustionPropagates) {
+  const std::string path = tmp_path("ck_ioexhaust.bin");
+  const CampaignCheckpoint ck = small_checkpoint();
+  FaultInjector inj;
+  for (const InjectionSpec& s : FaultInjector::parse("rename-fail:0:99")) {
+    inj.add(s);
+  }
+  SnapshotInjectorGuard guard(inj);
+  EXPECT_THROW(
+      (void)resil::save_checkpoint_retry(path, ck, {2, 1}),
+      resil::CheckpointIoError);
+  EXPECT_FALSE(std::ifstream(path).good());
+}
+
+TEST(CheckpointIoFaults, CampaignRetriesWritesAndKeepsItsDigest) {
+  const Circuit c = make_benchmark("s27");
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const TestSuite t = make_suite(c.inputs().size(), 20, 12);
+
+  // Reference: no injector, no checkpointing.
+  CampaignOptions plain;
+  CampaignRunner ref(c, u, t, plain);
+  const std::uint64_t want = ref.run().digest();
+
+  const std::string path = tmp_path("ck_iocampaign.bin");
+  FaultInjector inj;
+  // Save attempts 1 and 2 fail (attempt 0 -- the first periodic
+  // checkpoint -- succeeds, proving mid-campaign recovery too).
+  for (const InjectionSpec& s : FaultInjector::parse("enospc:1:2")) {
+    inj.add(s);
+  }
+  SnapshotInjectorGuard guard(inj);
+
+  CampaignOptions opt;
+  opt.checkpoint_path = path;
+  opt.checkpoint_every = 8;
+  opt.checkpoint_retries = 3;
+  opt.checkpoint_backoff_ms = 1;
+  CampaignRunner runner(c, u, t, opt);
+  const CampaignResult r = runner.run();
+  EXPECT_EQ(r.checkpoint_write_retries, 2u);
+  EXPECT_EQ(r.digest(), want);  // sabotaged I/O never touches results
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointIoFaults, CampaignSurfacesExhaustedRetries) {
+  const Circuit c = make_benchmark("s27");
+  const FaultUniverse u = FaultUniverse::all_stuck_at(c);
+  const TestSuite t = make_suite(c.inputs().size(), 20, 12);
+
+  const std::string path = tmp_path("ck_iodead.bin");
+  FaultInjector inj;
+  for (const InjectionSpec& s : FaultInjector::parse("short-write:0:99")) {
+    inj.add(s);
+  }
+  SnapshotInjectorGuard guard(inj);
+
+  CampaignOptions opt;
+  opt.checkpoint_path = path;
+  opt.checkpoint_every = 4;
+  opt.checkpoint_retries = 2;
+  opt.checkpoint_backoff_ms = 1;
+  CampaignRunner runner(c, u, t, opt);
+  EXPECT_THROW((void)runner.run(), resil::CheckpointIoError);
+}
+
 }  // namespace
 }  // namespace cfs

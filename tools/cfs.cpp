@@ -34,6 +34,7 @@
 #include "netlist/bench_parser.h"
 #include "resil/campaign.h"
 #include "resil/containment.h"
+#include "svc/client.h"
 #include "netlist/bench_writer.h"
 #include "netlist/macro_extract.h"
 #include "patterns/compaction.h"
@@ -619,6 +620,156 @@ int cmd_sim(const Args& args) {
   return 0;
 }
 
+// Exit codes for `cfs connect`: structured service refusals map to
+// distinct codes so scripts can branch without parsing stderr.
+//   0 session done   1 error/failed   3 refused or shed   4 halted/draining
+int connect_error_exit(const std::string& code, const std::string& message) {
+  std::fprintf(stderr, "cfs connect: %s: %s\n", code.c_str(),
+               message.c_str());
+  if (code == "admission_refused" || code == "backpressure" ||
+      code == "deadline_exceeded") {
+    return 3;
+  }
+  if (code == "draining") return 4;
+  return 1;
+}
+
+// `cfs connect <socket>` -- the cfsd client.  Default action: open (or
+// reconnect to) a session, stream its updates, and print the final digest.
+// With --status/--cancel/--stats/--shutdown, perform that single op.
+int cmd_connect(const Args& args) {
+  args.allow_only({"session", "circuit", "tests", "random", "seed", "mode",
+                   "threads", "batch", "elements", "reset0", "wait-ms",
+                   "quiet", "status", "cancel", "stats", "shutdown"});
+  const std::string sock = args.positional().at(0);
+  const bool quiet = args.has("quiet");
+  svc::Client cli;
+  cli.connect(sock);
+
+  const auto one_op = [&](const std::string& payload) -> int {
+    const svc::JsonValue resp = cli.call(payload);
+    if (!resp.opt_bool("ok", false)) {
+      return connect_error_exit(resp.opt_string("error", "internal"),
+                                resp.opt_string("message", "?"));
+    }
+    std::printf("%s\n", resp.dump().c_str());
+    return 0;
+  };
+  if (args.has("stats")) return one_op("{\"op\":\"stats\"}");
+  if (args.has("shutdown")) return one_op("{\"op\":\"shutdown\"}");
+  const std::string session = args.get("session");
+  if (session.empty()) throw Error("--session=NAME is required");
+  const std::string esc = svc::json_escape(session);
+  if (args.has("status")) {
+    return one_op("{\"op\":\"status\",\"session\":\"" + esc + "\"}");
+  }
+  if (args.has("cancel")) {
+    return one_op("{\"op\":\"cancel\",\"session\":\"" + esc + "\"}");
+  }
+
+  // Open: ship the circuit and suite inline so the daemon is
+  // self-contained (and can persist them for crash recovery).  Both
+  // serializations are deterministic, so reconnecting after a daemon
+  // restart reproduces the same spec fingerprint.
+  const Circuit c = load_circuit(args.get("circuit", "s298"));
+  const std::string circuit_text = write_bench(c);
+  TestSuite tests;
+  if (args.has("tests")) {
+    tests = TestSuite::load(args.get("tests"));
+  } else {
+    tests = TestSuite(PatternSet::random(c.inputs().size(),
+                                         args.get_u64("random", 256),
+                                         args.get_u64("seed", 1)));
+  }
+  std::string req = "{\"op\":\"open\",\"session\":\"" + esc + "\"";
+  req += ",\"circuit\":\"" + svc::json_escape(circuit_text) + "\"";
+  req += ",\"tests\":\"" + svc::json_escape(tests.to_text()) + "\"";
+  req += ",\"mode\":\"" + svc::json_escape(args.get("mode", "sa")) + "\"";
+  req += ",\"threads\":" + std::to_string(args.get_u64("threads", 1));
+  req += ",\"batch\":" + std::to_string(args.get_u64("batch", 1));
+  if (args.has("elements")) {
+    req += ",\"elements\":" + std::to_string(args.get_u64("elements", 0));
+  }
+  if (args.has("reset0")) req += ",\"reset0\":true";
+  if (args.has("wait-ms")) {
+    req += ",\"wait_ms\":" + std::to_string(args.get_u64("wait-ms", 0));
+  }
+  req += "}";
+  svc::JsonValue resp = cli.call(req);
+  if (!resp.opt_bool("ok", false)) {
+    return connect_error_exit(resp.opt_string("error", "internal"),
+                              resp.opt_string("message", "?"));
+  }
+  if (!quiet) {
+    std::printf("session %s %s%s\n", session.c_str(),
+                resp.opt_string("state", "?").c_str(),
+                resp.opt_bool("resumed", false) ? " (resumed)" : "");
+  }
+
+  // Stream updates until the session leaves Running.  A slow terminal
+  // never slows the campaign: the daemon's ring skips us ahead and
+  // reports how much we missed.
+  std::uint64_t after = 0;
+  std::string state = resp.opt_string("state", "running");
+  while (state == "running" || state == "queued") {
+    resp = cli.call("{\"op\":\"watch\",\"session\":\"" + esc +
+                    "\",\"after\":" + std::to_string(after) +
+                    ",\"wait_ms\":1000}");
+    if (!resp.opt_bool("ok", false)) {
+      return connect_error_exit(resp.opt_string("error", "internal"),
+                                resp.opt_string("message", "?"));
+    }
+    const std::uint64_t skipped = resp.opt_u64("skipped", 0);
+    if (skipped != 0 && !quiet) {
+      std::printf("  (skipped %llu updates)\n",
+                  static_cast<unsigned long long>(skipped));
+    }
+    if (const svc::JsonValue* ups = resp.find("updates")) {
+      for (const svc::JsonValue& u : ups->as_array()) {
+        if (const svc::JsonValue* sample = u.find("update");
+            sample != nullptr && !quiet) {
+          if (const svc::JsonValue* sm = sample->find("sample")) {
+            std::printf("  vec %llu  hard %llu  potential %llu\n",
+                        static_cast<unsigned long long>(
+                            sm->opt_u64("vec", 0)),
+                        static_cast<unsigned long long>(
+                            sm->opt_u64("hard", 0)),
+                        static_cast<unsigned long long>(
+                            sm->opt_u64("potential", 0)));
+          }
+        }
+      }
+    }
+    after = resp.opt_u64("next", after);
+    state = resp.opt_string("state", state);
+  }
+
+  resp = cli.call("{\"op\":\"status\",\"session\":\"" + esc + "\"}");
+  if (!resp.opt_bool("ok", false)) {
+    return connect_error_exit(resp.opt_string("error", "internal"),
+                              resp.opt_string("message", "?"));
+  }
+  state = resp.opt_string("state", "?");
+  if (state == "done") {
+    std::printf("session %s done\n", session.c_str());
+    std::printf("coverage  %llu/%llu hard, %llu potential\n",
+                static_cast<unsigned long long>(resp.opt_u64("hard", 0)),
+                static_cast<unsigned long long>(resp.opt_u64("total", 0)),
+                static_cast<unsigned long long>(
+                    resp.opt_u64("potential", 0)));
+    std::printf("digest    %s\n", resp.opt_string("digest", "?").c_str());
+    return 0;
+  }
+  if (state == "halted") {
+    std::printf("session %s halted (resumable; reconnect to continue)\n",
+                session.c_str());
+    return 4;
+  }
+  std::fprintf(stderr, "cfs connect: session %s %s: %s\n", session.c_str(),
+               state.c_str(), resp.opt_string("message", "?").c_str());
+  return 1;
+}
+
 int usage() {
   std::fputs(
       "usage: cfs <command> <circuit> [options]\n"
@@ -640,6 +791,11 @@ int usage() {
       "           [--max-elements=K] [--retries=N] [--deadline-ms=N]\n"
       "           [--backoff-ms=N] [--inject=SPEC] [--halt-after=N]\n"
       "           [--sleep-ms=N]\n"
+      "  connect  <socket> --session=NAME       talk to a cfsd daemon\n"
+      "           [--circuit=C] [--tests=F|--random=N] [--seed=N]\n"
+      "           [--mode=sa|sa-macro|tr] [--threads=N] [--batch=N]\n"
+      "           [--elements=N] [--reset0] [--wait-ms=N] [--quiet]\n"
+      "           [--status | --cancel | --stats | --shutdown]\n"
       "engines: csim-mv csim-v csim-m csim proofs serial deductive\n"
       "<circuit>: a .bench path, or a built-in profile benchmark name\n",
       stderr);
@@ -661,6 +817,7 @@ int main(int argc, char** argv) {
     if (cmd == "tgen") return cmd_tgen(args);
     if (cmd == "compact") return cmd_compact(args);
     if (cmd == "sim") return cmd_sim(args);
+    if (cmd == "connect") return cmd_connect(args);
     return usage();
   } catch (const cfs::Error& e) {
     std::fprintf(stderr, "cfs: %s\n", e.what());
