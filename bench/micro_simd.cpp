@@ -1,0 +1,190 @@
+// Micro-benchmarks of the vector kernel table (simd/kernels.h), one set of
+// runs per ISA the build + host carries, scalar included -- the same-binary
+// same-day comparison the roofline report (tools/make_roofline.py) and the
+// CI speedup gate are built from.  Comparing ISAs inside one process
+// sidesteps host drift entirely: whatever this machine is doing today, it
+// is doing it to every kernel table equally.
+//
+// Each benchmark reports items_per_second and bytes_per_second (the bytes
+// the kernel must move per item, not cache traffic), so the roofline tool
+// can place every kernel against the host's bandwidth and issue ceilings.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.h"
+#include "simd/simd.h"
+
+namespace {
+
+using cfs::simd::Isa;
+using cfs::simd::Kernels;
+
+constexpr std::size_t kWords = 4096;    // bitmap kernels: 256 Ki positions
+constexpr std::size_t kElems = 1 << 16; // element kernels: 64 Ki items
+
+struct Workload {
+  std::vector<std::uint64_t> zeros;      // find_nonzero worst case
+  std::vector<std::uint64_t> sparse;     // ~6% density bitmap
+  std::vector<std::uint64_t> dense;      // ~50% density bitmap
+  std::vector<std::uint32_t> pos_out;
+  std::vector<std::uint8_t> table;       // 4 KiB padded eval table
+  std::vector<std::uint32_t> idx;
+  std::vector<std::uint8_t> bytes_out;
+  std::vector<std::uint64_t> states;
+  std::vector<std::uint8_t> outs;
+  std::vector<std::uint8_t> cls;
+};
+
+Workload& workload() {
+  static Workload w = [] {
+    Workload v;
+    std::mt19937_64 rng(0x5EEDu);
+    v.zeros.assign(kWords, 0);
+    v.sparse.resize(kWords);
+    v.dense.resize(kWords);
+    for (std::size_t i = 0; i < kWords; ++i) {
+      v.sparse[i] = rng() & rng() & rng() & rng();
+      v.dense[i] = rng();
+    }
+    v.pos_out.resize(kWords * 64);
+    v.table.resize(4096 + cfs::kEvalTablePad);
+    for (auto& b : v.table) {
+      // 2-bit output codes like a real eval table.
+      constexpr std::uint8_t codes[3] = {0, 2, 3};
+      b = codes[rng() % 3];
+    }
+    v.idx.resize(kElems);
+    for (auto& i : v.idx) i = static_cast<std::uint32_t>(rng() % 4096);
+    v.bytes_out.resize(kElems);
+    v.states.resize(kElems);
+    for (auto& s : v.states) s = rng();
+    v.outs.resize(kElems);
+    for (auto& o : v.outs) {
+      constexpr std::uint8_t codes[3] = {0, 2, 3};
+      o = codes[rng() % 3];
+    }
+    v.cls.resize(kElems);
+    return v;
+  }();
+  return w;
+}
+
+void bm_find_nonzero(benchmark::State& state, const Kernels* k) {
+  Workload& w = workload();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k->find_nonzero(w.zeros.data(), kWords));
+  }
+  state.SetItemsProcessed(state.iterations() * kWords);
+  state.SetBytesProcessed(state.iterations() * kWords * sizeof(std::uint64_t));
+}
+
+void bm_expand_bits(benchmark::State& state, const Kernels* k,
+                    const std::vector<std::uint64_t>& mask) {
+  Workload& w = workload();
+  std::size_t emitted = 0;
+  for (auto _ : state) {
+    emitted = k->expand_bits(mask.data(), mask.size(), 0, w.pos_out.data());
+    benchmark::DoNotOptimize(w.pos_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * mask.size() * 64);
+  state.SetBytesProcessed(
+      state.iterations() *
+      (mask.size() * sizeof(std::uint64_t) + emitted * sizeof(std::uint32_t)));
+  state.counters["set_bits"] = static_cast<double>(emitted);
+}
+
+void bm_gather_u8(benchmark::State& state, const Kernels* k) {
+  Workload& w = workload();
+  for (auto _ : state) {
+    k->gather_u8(w.table.data(), w.idx.data(), kElems, w.bytes_out.data());
+    benchmark::DoNotOptimize(w.bytes_out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kElems);
+  state.SetBytesProcessed(state.iterations() * kElems *
+                          (sizeof(std::uint32_t) + 2));
+}
+
+void bm_state_indices(benchmark::State& state, const Kernels* k) {
+  Workload& w = workload();
+  for (auto _ : state) {
+    k->state_indices(w.states.data(), kElems, 0, 0xFFFFu, w.idx.data());
+    benchmark::DoNotOptimize(w.idx.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kElems);
+  state.SetBytesProcessed(state.iterations() * kElems *
+                          (sizeof(std::uint64_t) + sizeof(std::uint32_t)));
+}
+
+void bm_classify(benchmark::State& state, const Kernels* k) {
+  Workload& w = workload();
+  for (auto _ : state) {
+    k->classify(w.states.data(), w.outs.data(), kElems, 0x2A2A2A2Au, 0xFFFFu,
+                2, w.cls.data());
+    benchmark::DoNotOptimize(w.cls.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kElems);
+  state.SetBytesProcessed(state.iterations() * kElems *
+                          (sizeof(std::uint64_t) + 2));
+}
+
+void register_all() {
+  for (Isa isa : {Isa::Scalar, Isa::Sse42, Isa::Avx2, Isa::Neon}) {
+    const Kernels* k = cfs::simd::kernels_for(isa);
+    if (k == nullptr) continue;
+    const std::string tag(cfs::simd::isa_name(isa));
+    benchmark::RegisterBenchmark(("BM_SimdFindNonzero/" + tag).c_str(),
+                                 [k](benchmark::State& s) {
+                                   bm_find_nonzero(s, k);
+                                 });
+    benchmark::RegisterBenchmark(("BM_SimdExpandBitsSparse/" + tag).c_str(),
+                                 [k](benchmark::State& s) {
+                                   bm_expand_bits(s, k, workload().sparse);
+                                 });
+    benchmark::RegisterBenchmark(("BM_SimdExpandBitsDense/" + tag).c_str(),
+                                 [k](benchmark::State& s) {
+                                   bm_expand_bits(s, k, workload().dense);
+                                 });
+    benchmark::RegisterBenchmark(("BM_SimdGatherU8/" + tag).c_str(),
+                                 [k](benchmark::State& s) {
+                                   bm_gather_u8(s, k);
+                                 });
+    benchmark::RegisterBenchmark(("BM_SimdStateIndices/" + tag).c_str(),
+                                 [k](benchmark::State& s) {
+                                   bm_state_indices(s, k);
+                                 });
+    benchmark::RegisterBenchmark(("BM_SimdClassify/" + tag).c_str(),
+                                 [k](benchmark::State& s) {
+                                   bm_classify(s, k);
+                                 });
+  }
+}
+
+}  // namespace
+
+// Same --json=FILE convention as micro_kernels and the table benches
+// (run_benches.sh), spelled via google-benchmark's reporter flags.
+int main(int argc, char** argv) {
+  register_all();
+  static std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + a.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(a);
+    }
+  }
+  std::vector<char*> cargv;
+  for (std::string& a : args) cargv.push_back(a.data());
+  int cargc = static_cast<int>(cargv.size());
+  benchmark::Initialize(&cargc, cargv.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

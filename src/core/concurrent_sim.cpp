@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "faults/transition_model.h"
+#include "simd/simd.h"
 #include "util/error.h"
 #include "util/prefetch.h"
 
@@ -19,6 +20,7 @@ ConcurrentSim::ConcurrentSim(std::shared_ptr<const SimModel> model,
     : model_(std::move(model)),
       c_(&model_->circuit()),
       descr_(model_->descriptors()),
+      simd_(&simd::kernels()),
       opt_(opt),
       transition_mode_(model_->transition_mode()),
       queue_(*c_) {
@@ -129,11 +131,41 @@ std::uint32_t ConcurrentSim::build_list(
 bool ConcurrentSim::apply_list_inplace(
     std::uint32_t& head,
     std::span<const std::pair<std::uint32_t, GateState>> items,
-    ChangeTrack track, Val old_good_out, Val new_good_out) {
+    ChangeTrack track, Val old_good_out, Val new_good_out,
+    std::span<const std::pair<std::uint32_t, GateState>> migrate,
+    obs::Counter mig_counter) {
+  switch (track) {
+    case ChangeTrack::None:
+      return apply_list_impl<ChangeTrack::None>(
+          head, items, old_good_out, new_good_out, migrate, mig_counter);
+    case ChangeTrack::All:
+      return apply_list_impl<ChangeTrack::All>(
+          head, items, old_good_out, new_good_out, migrate, mig_counter);
+    case ChangeTrack::VisibleOnly:
+    default:
+      return apply_list_impl<ChangeTrack::VisibleOnly>(
+          head, items, old_good_out, new_good_out, migrate, mig_counter);
+  }
+}
+
+template <ConcurrentSim::ChangeTrack track>
+bool ConcurrentSim::apply_list_impl(
+    std::uint32_t& head,
+    std::span<const std::pair<std::uint32_t, GateState>> items,
+    Val old_good_out, Val new_good_out,
+    std::span<const std::pair<std::uint32_t, GateState>> migrate,
+    obs::Counter mig_counter) {
   bool changed = false;
   bool touched = false;
   std::uint32_t prev = kNullIndex;
   std::uint32_t cur = head;
+#if CFS_OBS_ENABLED
+  std::size_t mig_i = 0;       // moving pointer into `migrate` (ids ascend)
+  std::uint64_t survived = 0;  // bulk-settled ElementsReused/Traversed
+#else
+  (void)migrate;
+  (void)mig_counter;
+#endif
   // One resolved element pointer per position: every test and patch below
   // goes through `e` instead of re-running the pool's chunk indirection.
   Element* e = &pool_[cur];
@@ -145,10 +177,24 @@ bool ConcurrentSim::apply_list_inplace(
       // Lazy event-driven dropping: the fault was never in the visible
       // sequence the change test compares (snapshots skip dropped ids).
       CFS_COUNT(counters_, DropUnlinksLazy);
-    } else if (track == ChangeTrack::All ||
-               (track == ChangeTrack::VisibleOnly &&
-                state_out(e->state) != old_good_out)) {
-      changed = true;
+    } else {
+      if (track == ChangeTrack::All ||
+          (track == ChangeTrack::VisibleOnly &&
+           state_out(e->state) != old_good_out)) {
+        changed = true;
+      }
+#if CFS_OBS_ENABLED
+      // Removals ascend with the cursor, so the migration census is one
+      // moving pointer: a non-dropped removal present in the other half's
+      // produced sequence is a migration.
+      while (mig_i < migrate.size() && migrate[mig_i].first < e->fault_id) {
+        ++mig_i;
+      }
+      if (mig_i < migrate.size() && migrate[mig_i].first == e->fault_id) {
+        counters_.bump(mig_counter);
+        ++mig_i;
+      }
+#endif
     }
     if (prev == kNullIndex) {
       head = nxt;
@@ -164,12 +210,14 @@ bool ConcurrentSim::apply_list_inplace(
     while (e->fault_id < id) unlink_free();
     if (e->fault_id == id) {
       // The fault survived: patch its state in place, no pool traffic.
-      CFS_COUNT(counters_, ElementsReused);
-      CFS_COUNT(counters_, ElementsTraversed);
-      if (track != ChangeTrack::None) {
+      // (ElementsReused / ElementsTraversed settle in bulk below.)
+#if CFS_OBS_ENABLED
+      ++survived;
+#endif
+      if constexpr (track != ChangeTrack::None) {
         const Val old_out = state_out(e->state);
         const Val new_out = state_out(st);
-        if (track == ChangeTrack::All) {
+        if constexpr (track == ChangeTrack::All) {
           changed |= old_out != new_out;
         } else {
           const bool old_vis = old_out != old_good_out;
@@ -204,6 +252,10 @@ bool ConcurrentSim::apply_list_inplace(
     }
   }
   while (e->fault_id != kSentinelId) unlink_free();
+#if CFS_OBS_ENABLED
+  CFS_COUNT_N(counters_, ElementsReused, survived);
+  CFS_COUNT_N(counters_, ElementsTraversed, survived);
+#endif
   CFS_COUNT(counters_, SentinelHits);
   if (!touched) CFS_COUNT(counters_, ListsUnchanged);
   return changed;
@@ -214,7 +266,7 @@ bool ConcurrentSim::apply_list_inplace(
 // to the pool.  Only a removal nothing resliced counts as ElementsFreed and
 // only an insert no removal could donate to counts as ElementsAllocated --
 // a salvaged-and-respliced element never touches the pool at all.
-void ConcurrentSim::salvage_flush() {
+void ConcurrentSim::salvage_flush_slow() {
   // Consecutive inserts behind the same anchor chain off one another so
   // they land in recorded (ascending-id) order.
   const std::uint32_t* prev_head = nullptr;
@@ -312,10 +364,11 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
   const auto fanins = c_->fanins(g);
 
   // Fanin cursors (visible lists in split mode; in combined mode invisible
-  // elements carry out == good, so reading them is harmless).
+  // elements carry out == good, so reading them is harmless).  Quiet
+  // variants: the traversal census settles in bulk after the walk.
   Cursor fc[kMaxPins];
   for (unsigned p = 0; p < nf; ++p) {
-    cursor_init(fc[p], &head_vis_[fanins[p]]);
+    cursor_init_quiet(fc[p], &head_vis_[fanins[p]]);
   }
   const auto site = model_->site_faults(g);
   std::size_t si = 0;
@@ -329,6 +382,19 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
   std::uint64_t merge_steps = 0;   // merge-loop iterations == element evals
   std::uint64_t merge_walked = 0;  // source-list elements consumed
 #endif
+  // Phase A -- scalar multi-list walk into SoA scratch.  Only *site* faults
+  // of g ever consult their descriptor (pin forcing, macro tables, output
+  // forcing): a fault sited elsewhere is, at g, a plain gate evaluation of
+  // its assembled pin state.  Site membership needs no descriptor load
+  // either -- the site span is always one of the merge sources, so the
+  // span cursor `si` identifies every sited element, including one looping
+  // back through flip-flops into a fanin list.  Site elements evaluate
+  // inline via eval_element (side effects: held-transition bookkeeping,
+  // MacroTableLookups, elements_evaluated_) and park their finished output
+  // code in merge_special_; everything else defers to the batched Phase B.
+  merge_ids_.clear();
+  merge_sts_.clear();
+  merge_special_.clear();
   for (;;) {
     std::uint32_t m = si < site.size() ? site[si] : kSentinelId;
     for (unsigned p = 0; p < nf; ++p) m = std::min(m, fc[p].id);
@@ -336,10 +402,6 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
 #if CFS_OBS_ENABLED
     ++merge_steps;
 #endif
-    // The descriptor of the minimum fault is needed by eval_element after
-    // the gather below; start its load now.
-    CFS_PREFETCH(&descr_[m]);
-
     // Start from the good pins wholesale (pin codes in good states are
     // always normalized, so the masked copy equals a per-pin state_get/
     // state_set rebuild) and override only the diverging pins -- for the
@@ -350,26 +412,105 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
     for (unsigned p = 0; p < nf; ++p) {
       if (fc[p].id == m) {
         st = state_set(st, p, state_out(pool_[fc[p].cur].state));
-        cursor_advance(fc[p]);
+        cursor_advance_quiet(fc[p]);
 #if CFS_OBS_ENABLED
         ++merge_walked;
 #endif
       }
     }
-    const Val out = eval_element(g, m, st);
-
-    if (out != new_good_out) {
-      CFS_COUNT(counters_, ElementsCopied);
-      scratch_vis_.emplace_back(m, st);
-    } else if (((st ^ good) & in_mask) != 0) {
-      // Inputs differ, output agrees: an invisible fault.
-      CFS_COUNT(counters_, ElementsCopied);
-      (opt_.split_lists ? scratch_inv_ : scratch_vis_).emplace_back(m, st);
-    }
-
     if (si < site.size() && site[si] == m) {
+      const Val out = eval_element(g, m, st);
+      merge_special_.emplace_back(
+          static_cast<std::uint32_t>(merge_ids_.size()), code(out));
       ++si;
       while (si < site.size() && skip_site(site[si])) ++si;
+    }
+    merge_ids_.push_back(m);
+    merge_sts_.push_back(st);
+  }
+#if CFS_OBS_ENABLED
+  // Bulk census for the quiet cursors above: every cursor visited exactly
+  // its list's elements (each consumed once == merge_walked) plus one
+  // sentinel.
+  CFS_COUNT_N(counters_, ElementsTraversed, merge_walked);
+  CFS_COUNT_N(counters_, SentinelHits, nf);
+#endif
+
+  // Phase B -- evaluate the deferred elements.  All of them share gate g's
+  // eval table, so the batch is one index pass and one gather against a
+  // single table (wide gates add a scalar high-chunk/join tail); site
+  // specials just overwrite their slot with the Phase A result.  The fold
+  // oracle and tiny batches take the per-element scalar route instead --
+  // eval_gate keeps the counters identical either way.
+  const std::size_t nm = merge_ids_.size();
+  merge_out_.resize(nm);
+  const Circuit::GateEval ev = c_->gate_eval(g);
+  if (opt_.fold_eval || ev.lo == nullptr || nm < kBatchEvalMin) {
+    std::size_t sp = 0;
+    for (std::size_t i = 0; i < nm; ++i) {
+      if (sp < merge_special_.size() && merge_special_[sp].first == i) {
+        merge_out_[i] = merge_special_[sp++].second;
+        continue;
+      }
+      ++elements_evaluated_;
+      merge_out_[i] = code(eval_gate(g, merge_sts_[i]));
+    }
+  } else {
+    const simd::Kernels& K = *simd_;
+    merge_idx_.resize(nm);
+    K.state_indices(merge_sts_.data(), nm, 0, ev.lo_mask, merge_idx_.data());
+    K.gather_u8(ev.lo, merge_idx_.data(), nm, merge_out_.data());
+    if (ev.hi != nullptr) {
+      for (std::size_t i = 0; i < nm; ++i) {
+        const std::uint8_t c1 =
+            ev.hi[static_cast<std::uint32_t>(
+                      merge_sts_[i] >> (2 * kEvalChunkPins)) &
+                  ev.hi_mask];
+        merge_out_[i] = ev.join[(merge_out_[i] << 2) | c1];
+      }
+    }
+    for (const auto& [pos, oc] : merge_special_) merge_out_[pos] = oc;
+    CFS_COUNT_N(counters_, TableEvals, nm - merge_special_.size());
+    elements_evaluated_ += nm - merge_special_.size();
+  }
+
+  // Phase C -- classify and emit in merge order.  Visible: output disagrees
+  // with the new good output.  Invisible: output agrees but some input pin
+  // differs (the output slot sits above in_mask, so testing the Phase A
+  // state is exact).  Converged elements emit nothing.  The emitted state
+  // re-stamps the output slot, which for specials rewrites the value
+  // eval_element already stored.
+  const std::uint8_t good_code = code(new_good_out);
+  if (nm >= kBatchEvalMin) {
+    const simd::Kernels& K = *simd_;
+    merge_cls_.resize(nm);
+    K.classify(merge_sts_.data(), merge_out_.data(), nm, good, in_mask,
+               good_code, merge_cls_.data());
+    for (std::size_t i = 0; i < nm; ++i) {
+      const std::uint8_t cls = merge_cls_[i];
+      if (cls == 0) continue;
+      CFS_COUNT(counters_, ElementsCopied);
+      const GateState st =
+          state_set_out(merge_sts_[i], from_code(merge_out_[i]));
+      if (cls == 1) {
+        scratch_vis_.emplace_back(merge_ids_[i], st);
+      } else {
+        (opt_.split_lists ? scratch_inv_ : scratch_vis_)
+            .emplace_back(merge_ids_[i], st);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < nm; ++i) {
+      const std::uint8_t oc = merge_out_[i];
+      const GateState st = state_set_out(merge_sts_[i], from_code(oc));
+      if (oc != good_code) {
+        CFS_COUNT(counters_, ElementsCopied);
+        scratch_vis_.emplace_back(merge_ids_[i], st);
+      } else if (((merge_sts_[i] ^ good) & in_mask) != 0) {
+        CFS_COUNT(counters_, ElementsCopied);
+        (opt_.split_lists ? scratch_inv_ : scratch_vis_)
+            .emplace_back(merge_ids_[i], st);
+      }
     }
   }
 
@@ -386,12 +527,15 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
 #endif
 
 #if CFS_OBS_ENABLED
-  if (opt_.split_lists) {
+  if (opt_.split_lists && opt_.rebuild_lists) {
     // Visible -> invisible: a new invisible element whose id is still
     // linked on the old visible list; invisible -> visible symmetrically.
     // Both lists are intact until the apply below; ids ascend and the
     // sentinel's maximal id bounds each walk.  (Dropped elements may still
     // be linked, but a produced id is never dropped, so they cannot match.)
+    // Only the rebuild oracle still takes this standalone census; the
+    // in-place applies below count the same migrations on their removal
+    // walk for free (see apply_list_inplace's `migrate`).
     std::uint32_t cur = head_vis_[g];
     for (const auto& [id, st] : scratch_inv_) {
       while (pool_[cur].fault_id < id) cur = pool_[cur].next;
@@ -461,10 +605,12 @@ bool ConcurrentSim::merge_gate(GateId g, Val new_good_out) {
   const bool changed = apply_list_inplace(
       head_vis_[g], scratch_vis_,
       opt_.split_lists ? ChangeTrack::All : ChangeTrack::VisibleOnly,
-      old_good_out, new_good_out);
+      old_good_out, new_good_out, scratch_inv_,
+      obs::Counter::VisToInvMigrations);
   if (opt_.split_lists) {
     apply_list_inplace(head_inv_[g], scratch_inv_, ChangeTrack::None,
-                       old_good_out, new_good_out);
+                       old_good_out, new_good_out, scratch_vis_,
+                       obs::Counter::InvToVisMigrations);
   }
   salvage_flush();
   return changed;
@@ -486,7 +632,9 @@ void ConcurrentSim::process_gate(GateId g) {
   // With the batch oracle armed the settled good value is already known:
   // read it from the packed slab instead of re-evaluating the gate.
   const Val new_good = good_oracle_ != nullptr
-                           ? w_get(good_oracle_[g], good_oracle_lane_)
+                           ? w_get(good_oracle_[std::size_t{g} *
+                                                good_oracle_stride_],
+                                   good_oracle_lane_)
                            : eval_gate(g, good_state_[g]);
   const bool vis_changed = merge_gate(g, new_good);
   if (new_good != state_out(good_state_[g])) {
@@ -499,7 +647,112 @@ void ConcurrentSim::process_gate(GateId g) {
 }
 
 void ConcurrentSim::settle() {
-  queue_.drain([this](GateId g) { process_gate(g); });
+  queue_.drain_levels(
+      [this](const GateId* gates, std::size_t n) { process_level(gates, n); });
+}
+
+void ConcurrentSim::process_level(const GateId* gates, std::size_t n) {
+  // Good values first.  Every fanin of a level-L gate is strictly below L
+  // and already settled, and gates of one level never feed each other, so
+  // pre-evaluating the whole level reads exactly the states the per-gate
+  // loop would have read.  Only the grouping of TableEvals bumps changes;
+  // the totals stay identical.
+  lvl_good_.resize(n);
+  if (good_oracle_ != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      lvl_good_[i] =
+          w_get(good_oracle_[std::size_t{gates[i]} * good_oracle_stride_],
+                good_oracle_lane_);
+    }
+  } else if (opt_.fold_eval || n < kBatchEvalMin) {
+    for (std::size_t i = 0; i < n; ++i) {
+      lvl_good_[i] = eval_gate(gates[i], good_state_[gates[i]]);
+    }
+  } else {
+    batch_eval_good(gates, n);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const GateId g = gates[i];
+    if (i + 1 < n) {
+      CFS_PREFETCH(&good_state_[gates[i + 1]]);
+      CFS_PREFETCH(&head_vis_[gates[i + 1]]);
+    }
+    const Val new_good = lvl_good_[i];
+    const bool vis_changed = merge_gate(g, new_good);
+    if (new_good != state_out(good_state_[g])) {
+      commit_good(g, new_good);
+    } else if (vis_changed) {
+      for (const Fanout& fo : c_->fanouts(g)) {
+        if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
+      }
+    }
+  }
+}
+
+void ConcurrentSim::batch_eval_good(const GateId* gates, std::size_t n) {
+  // Group the level's gates by shared eval table -- the (lo, hi) pointer
+  // pair keys one (kind, arity) class (macros are singleton classes backed
+  // by their private truth table) -- then evaluate each run with the SIMD
+  // gather kernels: pack the state words, derive the masked table indices,
+  // gather the output codes in one vector pass.  Wide gates compose the
+  // high-chunk reduction and join scalarly on top of the gathered low
+  // chunk; sources (lo == null) are an output-slot passthrough.
+  const simd::Kernels& K = *simd_;
+  lvl_order_.resize(n);
+  lvl_st_.resize(n);
+  lvl_idx_.resize(n);
+  lvl_out_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lvl_order_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(lvl_order_.begin(), lvl_order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              const Circuit::GateEval ea = c_->gate_eval(gates[a]);
+              const Circuit::GateEval eb = c_->gate_eval(gates[b]);
+              if (ea.lo != eb.lo) return ea.lo < eb.lo;
+              return ea.hi < eb.hi;
+            });
+  // eval_gate() counts one TableEvals per gate regardless of kind; the
+  // batched path owes the same total.
+  CFS_COUNT_N(counters_, TableEvals, n);
+  std::size_t r = 0;
+  while (r < n) {
+    const Circuit::GateEval e = c_->gate_eval(gates[lvl_order_[r]]);
+    std::size_t rend = r + 1;
+    while (rend < n) {
+      const Circuit::GateEval e2 = c_->gate_eval(gates[lvl_order_[rend]]);
+      if (e2.lo != e.lo || e2.hi != e.hi) break;
+      ++rend;
+    }
+    const std::size_t cnt = rend - r;
+    if (e.lo == nullptr) {
+      for (std::size_t k = r; k < rend; ++k) {
+        const std::uint32_t j = lvl_order_[k];
+        lvl_good_[j] = state_out(good_state_[gates[j]]);
+      }
+    } else {
+      for (std::size_t k = 0; k < cnt; ++k) {
+        lvl_st_[k] = good_state_[gates[lvl_order_[r + k]]];
+      }
+      K.state_indices(lvl_st_.data(), cnt, 0, e.lo_mask, lvl_idx_.data());
+      K.gather_u8(e.lo, lvl_idx_.data(), cnt, lvl_out_.data());
+      if (e.hi == nullptr) {
+        for (std::size_t k = 0; k < cnt; ++k) {
+          lvl_good_[lvl_order_[r + k]] = from_code(lvl_out_[k]);
+        }
+      } else {
+        for (std::size_t k = 0; k < cnt; ++k) {
+          const std::uint8_t c1 =
+              e.hi[static_cast<std::uint32_t>(lvl_st_[k] >>
+                                              (2 * kEvalChunkPins)) &
+                   e.hi_mask];
+          lvl_good_[lvl_order_[r + k]] =
+              from_code(e.join[(lvl_out_[k] << 2) | c1]);
+        }
+      }
+    }
+    r = rend;
+  }
 }
 
 void ConcurrentSim::refresh_source_site(GateId g) {

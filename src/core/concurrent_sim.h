@@ -161,8 +161,9 @@ class ConcurrentSim {
 
   /// Arm the packed good-machine oracle for the next apply_vector(): while
   /// armed, process_gate() serves a gate's new good value from lane `lane`
-  /// of `step_slab[gate]` -- the settled Word64 outputs a BatchGoodSim
-  /// computed for this vector -- instead of re-evaluating the gate.  Sound
+  /// of `step_slab[gate * words_per_gate ..]` -- the settled multi-word
+  /// outputs a BatchGoodSim computed for this vector -- instead of
+  /// re-evaluating the gate.  Sound
   /// because the level queue processes a gate only after all of its
   /// strictly-lower-level fanins are final, so the scalar evaluation the
   /// oracle replaces already equals the settled value.  Only TableEvals
@@ -172,9 +173,13 @@ class ConcurrentSim {
   /// transition mode the oracle stays live through pass 2, whose good
   /// values equal pass 1's settled frame.  Pass nullptr to disarm.
   /// `step_slab` must stay valid until the next apply_vector() returns.
-  void set_good_batch_oracle(const Word64* step_slab, unsigned lane) {
-    good_oracle_ = step_slab;
-    good_oracle_lane_ = lane;
+  void set_good_batch_oracle(const Word64* step_slab, unsigned lane,
+                             unsigned words_per_gate = 1) {
+    good_oracle_ = step_slab == nullptr
+                       ? nullptr
+                       : step_slab + (lane >> 6);  // lane's word, gate 0
+    good_oracle_stride_ = words_per_gate;
+    good_oracle_lane_ = lane & 63u;
   }
 
   // -- granular API (stuck-at mode), used by tests ------------------------
@@ -337,6 +342,30 @@ class ConcurrentSim {
     cursor_count_step(cu);
   }
 
+  // Quiet variants for the merge walk: identical motion, but the per-step
+  // traversal census is settled in bulk at the end of the merge instead of
+  // one counter RMW per step -- each cursor visits exactly its list's
+  // elements plus one sentinel, so ElementsTraversed owes the number of
+  // consumed elements and SentinelHits owes one per cursor.  Lazy-drop
+  // unlinking (and its DropUnlinksLazy / ElementsFreed counts) still
+  // happens per step, exactly as in the counting variants.
+  void cursor_init_quiet(Cursor& cu, std::uint32_t* head) {
+    cu.head = head;
+    cu.prev = kNullIndex;
+    cu.cur = *head;
+    cu.id = pool_[cu.cur].fault_id;
+    CFS_PREFETCH(&pool_[pool_[cu.cur].next]);
+    cursor_skip_dropped(cu);
+  }
+
+  void cursor_advance_quiet(Cursor& cu) {
+    cu.prev = cu.cur;
+    cu.cur = pool_[cu.cur].next;
+    cu.id = pool_[cu.cur].fault_id;
+    CFS_PREFETCH(&pool_[pool_[cu.cur].next]);
+    cursor_skip_dropped(cu);
+  }
+
   Val transition_forced(std::uint32_t fault, Val cv) const;
 
   /// All gate evaluations funnel through here: the flat-table path by
@@ -351,6 +380,16 @@ class ConcurrentSim {
   Val eval_element(GateId g, std::uint32_t fault, GateState& state);
   bool merge_gate(GateId g, Val new_good_out);
   void process_gate(GateId g);
+  // Batched settle path: one whole ready level at a time (drain_levels).
+  // Good values of the entire level are evaluated up front -- gates of one
+  // level never feed each other, so every good_state_ the level reads is
+  // already final -- then each gate merges in the same ascending-id order
+  // drain() used.  Bit-identical to per-gate process_gate() by construction.
+  void process_level(const GateId* gates, std::size_t n);
+  // Grouped table evaluation of a level's good values into lvl_good_:
+  // gates sharing an eval table (same (kind, arity) class, or one macro)
+  // are gathered in vector passes; sources and wide-join tails stay scalar.
+  void batch_eval_good(const GateId* gates, std::size_t n);
   void commit_good(GateId g, Val v);
   void free_list(std::uint32_t& head);
   std::uint32_t build_list(const std::vector<std::pair<std::uint32_t, GateState>>& items);
@@ -362,11 +401,35 @@ class ConcurrentSim {
     All,          // split-mode visible lists, DFF Q lists: every element
     VisibleOnly,  // combined-mode lists: classify by old/new good output
   };
+  // `migrate` piggybacks the split-list migration census on the removal
+  // walk: a non-dropped removal whose id also appears in `migrate` (the
+  // produced elements of the *other* half) is exactly a visible<->invisible
+  // migration, counted as `mig_counter`.  Both the removals and `migrate`
+  // ascend by id, so one moving pointer replaces the standalone co-walk the
+  // counters used to need (kept only for the rebuild_lists oracle, which
+  // never runs the in-place apply).
   bool apply_list_inplace(
       std::uint32_t& head,
       std::span<const std::pair<std::uint32_t, GateState>> items,
-      ChangeTrack track, Val old_good_out, Val new_good_out);
-  void salvage_flush();
+      ChangeTrack track, Val old_good_out, Val new_good_out,
+      std::span<const std::pair<std::uint32_t, GateState>> migrate = {},
+      obs::Counter mig_counter = obs::Counter::VisToInvMigrations);
+  // The track-specialised body behind apply_list_inplace: the change-test
+  // mode is a compile-time constant on the per-element path.
+  template <ChangeTrack track>
+  bool apply_list_impl(
+      std::uint32_t& head,
+      std::span<const std::pair<std::uint32_t, GateState>> items,
+      Val old_good_out, Val new_good_out,
+      std::span<const std::pair<std::uint32_t, GateState>> migrate,
+      obs::Counter mig_counter);
+  // The empty-scope check is the common case by far (an unchanged list
+  // neither unlinks nor inserts), so it stays inline.
+  void salvage_flush() {
+    if (pending_.empty() && salvage_.empty()) return;
+    salvage_flush_slow();
+  }
+  void salvage_flush_slow();
   void refresh_source_site(GateId g);
   // Shared tail of reset()/restore_run_state(): good-machine sweep with the
   // given per-DFF Q values, source activation, optional DFF divergence
@@ -386,6 +449,11 @@ class ConcurrentSim {
   std::shared_ptr<const SimModel> model_;
   const Circuit* c_;      // == &model_->circuit(), cached for the hot path
   const FaultDescriptor* descr_;  // == model_->descriptors()
+  // Active SIMD kernel table, captured at construction (ISA selection --
+  // simd::set_isa / --simd -- happens once at startup, before any engine
+  // exists).  Every table computes bit-identical results, so even a late
+  // switch could only change speed, never behaviour.
+  const simd::Kernels* simd_;
   CsimOptions opt_;
   bool transition_mode_ = false;
 
@@ -401,8 +469,10 @@ class ConcurrentSim {
 
   std::vector<GateState> good_state_;
   // Packed good-machine oracle (set_good_batch_oracle): non-null only
-  // from arming until the next clock phase.
+  // from arming until the next clock phase.  The pointer is pre-offset to
+  // the armed lane's word; a gate's word is good_oracle_[g * stride].
   const Word64* good_oracle_ = nullptr;
+  unsigned good_oracle_stride_ = 1;
   unsigned good_oracle_lane_ = 0;
   std::vector<std::uint32_t> head_vis_, head_inv_;
   Pool<Element> pool_;
@@ -419,6 +489,27 @@ class ConcurrentSim {
   // DFF latching scratch: new good Q and new fault list per DFF.
   std::vector<Val> latch_good_;
   std::vector<std::vector<std::pair<std::uint32_t, GateState>>> latch_lists_;
+
+  // Batched-settle scratch (process_level / batch_eval_good).  Levels
+  // below kBatchEvalMin gates evaluate scalarly: the grouping sort costs
+  // more than a handful of table lookups.
+  static constexpr std::size_t kBatchEvalMin = 8;
+  std::vector<Val> lvl_good_;
+  std::vector<std::uint32_t> lvl_order_;
+  std::vector<std::uint64_t> lvl_st_;
+  std::vector<std::uint32_t> lvl_idx_;
+  std::vector<std::uint8_t> lvl_out_;
+
+  // Merge SoA scratch (the 3-phase merge_gate): element ids and assembled
+  // states from the Phase A walk, output codes and classes from the batched
+  // Phase B/C kernels, plus the (position, output code) list of site-fault
+  // specials evaluated inline.
+  std::vector<std::uint32_t> merge_ids_;
+  std::vector<std::uint64_t> merge_sts_;
+  std::vector<std::uint8_t> merge_out_;
+  std::vector<std::uint32_t> merge_idx_;
+  std::vector<std::uint8_t> merge_cls_;
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> merge_special_;
 
   // Merge scratch (reused across calls).
   std::vector<std::pair<std::uint32_t, GateState>> scratch_vis_, scratch_inv_;

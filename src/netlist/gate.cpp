@@ -157,12 +157,18 @@ struct EvalTableRegistry {
   std::array<std::uint8_t, 16> join[8];
   bool join_built[8] = {};
 
+  // Both table builders append kEvalTablePad readable bytes past the last
+  // indexable entry: the SIMD gather kernels load 32 bits at byte offsets,
+  // so a lookup of the final entry reads 3 bytes beyond it.  The logical
+  // size stays 4^n -- eval_table() derives masks from n, never from size().
+
   const std::vector<std::uint8_t>& full_table(unsigned ki, unsigned n) {
     auto& t = full[ki][n];
     if (t.empty()) {
       const GateKind k = static_cast<GateKind>(ki + 1);
-      t.resize(std::size_t{1} << (2 * n));
-      for (std::uint32_t idx = 0; idx < t.size(); ++idx) {
+      const std::size_t entries = std::size_t{1} << (2 * n);
+      t.resize(entries + kEvalTablePad);
+      for (std::uint32_t idx = 0; idx < entries; ++idx) {
         GateState s = 0;
         for (unsigned p = 0; p < n; ++p) {
           s = state_set(s, p,
@@ -178,8 +184,9 @@ struct EvalTableRegistry {
     auto& t = reduce[ki][n];
     if (t.empty()) {
       const GateKind k = static_cast<GateKind>(ki + 1);
-      t.resize(std::size_t{1} << (2 * n));
-      for (std::uint32_t idx = 0; idx < t.size(); ++idx) {
+      const std::size_t entries = std::size_t{1} << (2 * n);
+      t.resize(entries + kEvalTablePad);
+      for (std::uint32_t idx = 0; idx < entries; ++idx) {
         t[idx] = code(reduce_pins(k, idx, n));
       }
     }
@@ -223,16 +230,13 @@ EvalTable eval_table(GateKind k, unsigned nfanins) {
   std::lock_guard<std::mutex> lock(reg.mu);
   EvalTable t;
   if (nfanins <= kEvalChunkPins) {
-    const auto& lo = reg.full_table(ki, nfanins);
-    t.lo = lo.data();
-    t.lo_mask = static_cast<std::uint32_t>(lo.size() - 1);
+    t.lo = reg.full_table(ki, nfanins).data();
+    t.lo_mask = (1u << (2 * nfanins)) - 1;
   } else {
-    const auto& lo = reg.reduce_table(ki, kEvalChunkPins);
-    const auto& hi = reg.reduce_table(ki, nfanins - kEvalChunkPins);
-    t.lo = lo.data();
-    t.lo_mask = static_cast<std::uint32_t>(lo.size() - 1);
-    t.hi = hi.data();
-    t.hi_mask = static_cast<std::uint32_t>(hi.size() - 1);
+    t.lo = reg.reduce_table(ki, kEvalChunkPins).data();
+    t.lo_mask = (1u << (2 * kEvalChunkPins)) - 1;
+    t.hi = reg.reduce_table(ki, nfanins - kEvalChunkPins).data();
+    t.hi_mask = (1u << (2 * (nfanins - kEvalChunkPins))) - 1;
     t.join = reg.join_table(ki).data();
   }
   return t;

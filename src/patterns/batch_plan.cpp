@@ -2,12 +2,14 @@
 
 #include <algorithm>
 
+#include "util/dualrail.h"
+
 namespace cfs {
 
 BatchPlan BatchPlan::build(const Circuit& c, const TestSuite& t,
                            unsigned width) {
   BatchPlan plan;
-  plan.width_ = std::clamp(width, 1u, 64u);
+  plan.width_ = std::clamp(width, 1u, kMaxBatchLanes);
   plan.comb_ = c.dffs().empty();
   const auto& seqs = t.sequences();
 

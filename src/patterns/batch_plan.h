@@ -1,8 +1,8 @@
-// Batch planning: group a test suite's vectors into packed 64-lane bands.
+// Batch planning: group a test suite's vectors into packed multi-word bands.
 //
-// The packed good machine (sim/batch_good_sim.h) evaluates up to 64 input
-// vectors per Word64; a BatchPlan decides which vectors share a word.  Two
-// regimes, chosen by the circuit:
+// The packed good machine (sim/batch_good_sim.h) evaluates up to
+// kMaxBatchLanes (256) input vectors per multi-word value; a BatchPlan
+// decides which vectors share a band.  Two regimes, chosen by the circuit:
 //
 //  - Combinational (no flip-flops): a settled state is a pure function of
 //    the current vector, so vectors batch freely -- consecutive suite
@@ -51,7 +51,8 @@ struct BatchBand {
 class BatchPlan {
  public:
   /// Plan `t` for circuit `c` at the requested lane width (clamped to
-  /// [1, 64]).  The circuit decides the regime (see file comment).
+  /// [1, kMaxBatchLanes]).  The circuit decides the regime (see file
+  /// comment).
   static BatchPlan build(const Circuit& c, const TestSuite& t,
                          unsigned width);
 

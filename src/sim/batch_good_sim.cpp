@@ -1,55 +1,68 @@
 #include "sim/batch_good_sim.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 #include "util/packed_state.h"
 
 namespace cfs {
 
-BatchGoodSim::BatchGoodSim(const Circuit& c, Val ff_init)
+BatchGoodSim::BatchGoodSim(const Circuit& c, Val ff_init, unsigned lanes)
     : c_(&c), queue_(c) {
-  out_.resize(c.num_gates());
-  latch_buf_.resize(c.dffs().size());
+  const unsigned clamped = std::clamp(lanes, 1u, kMaxBatchLanes);
+  words_ = (clamped + 63) / 64;
+  out_.resize(c.num_gates() * std::size_t{words_});
+  eval_buf_.resize(words_);
+  latch_buf_.resize(c.dffs().size() * std::size_t{words_});
   reset(ff_init);
 }
 
-Word64 BatchGoodSim::eval_packed(GateId g) {
-  CFS_COUNT(counters_, BatchWordsEvaluated);
+template <unsigned W>
+const Word64* BatchGoodSim::eval_packed_t(GateId g) {
+  CFS_COUNT_N(counters_, BatchWordsEvaluated, W);
   const auto fi = c_->fanins(g);
   const GateKind k = c_->kind(g);
+  Word64* w = eval_buf_.data();
+  auto in = [this](GateId f) { return out_.data() + std::size_t{f} * W; };
   switch (k) {
     case GateKind::Buf:
-      return out_[fi[0]];
+      wn_copy(w, in(fi[0]), W);
+      return w;
     case GateKind::Not:
-      return w_not(out_[fi[0]]);
+      wn_copy(w, in(fi[0]), W);
+      wn_not(w, W);
+      return w;
     case GateKind::And:
     case GateKind::Nand: {
-      Word64 w = out_[fi[0]];
-      for (std::size_t i = 1; i < fi.size(); ++i) w = w_and(w, out_[fi[i]]);
-      return k == GateKind::Nand ? w_not(w) : w;
+      wn_copy(w, in(fi[0]), W);
+      for (std::size_t i = 1; i < fi.size(); ++i) wn_and(w, in(fi[i]), W);
+      if (k == GateKind::Nand) wn_not(w, W);
+      return w;
     }
     case GateKind::Or:
     case GateKind::Nor: {
-      Word64 w = out_[fi[0]];
-      for (std::size_t i = 1; i < fi.size(); ++i) w = w_or(w, out_[fi[i]]);
-      return k == GateKind::Nor ? w_not(w) : w;
+      wn_copy(w, in(fi[0]), W);
+      for (std::size_t i = 1; i < fi.size(); ++i) wn_or(w, in(fi[i]), W);
+      if (k == GateKind::Nor) wn_not(w, W);
+      return w;
     }
     case GateKind::Xor:
     case GateKind::Xnor: {
-      Word64 w = out_[fi[0]];
-      for (std::size_t i = 1; i < fi.size(); ++i) w = w_xor(w, out_[fi[i]]);
-      return k == GateKind::Xnor ? w_not(w) : w;
+      wn_copy(w, in(fi[0]), W);
+      for (std::size_t i = 1; i < fi.size(); ++i) wn_xor(w, in(fi[i]), W);
+      if (k == GateKind::Xnor) wn_not(w, W);
+      return w;
     }
     case GateKind::Macro: {
       // No word-parallel form: evaluate each lane through the scalar
       // truth-table path, the same per-lane oracle the fault machines use.
-      Word64 w;
       GateState st = state_all_x(static_cast<unsigned>(fi.size()));
-      for (unsigned lane = 0; lane < 64; ++lane) {
+      for (unsigned lane = 0; lane < W * 64; ++lane) {
         for (std::size_t p = 0; p < fi.size(); ++p) {
           st = state_set(st, static_cast<unsigned>(p),
-                         w_get(out_[fi[p]], lane));
+                         wn_get(in(fi[p]), lane));
         }
-        w_set(w, lane, c_->eval(g, st));
+        wn_set(w, lane, c_->eval(g, st));
       }
       return w;
     }
@@ -57,11 +70,21 @@ Word64 BatchGoodSim::eval_packed(GateId g) {
     case GateKind::Dff:
       break;  // sources are committed, never evaluated
   }
-  return out_[g];
+  wn_copy(w, in(g), W);
+  return w;
 }
 
-void BatchGoodSim::commit_output(GateId g, Word64 w) {
-  out_[g] = w;
+const Word64* BatchGoodSim::eval_packed(GateId g) {
+  switch (words_) {
+    case 1: return eval_packed_t<1>(g);
+    case 2: return eval_packed_t<2>(g);
+    case 3: return eval_packed_t<3>(g);
+    default: return eval_packed_t<4>(g);
+  }
+}
+
+void BatchGoodSim::commit_output(GateId g, const Word64* w) {
+  wn_copy(out_.data() + std::size_t{g} * words_, w, words_);
   for (const Fanout& fo : c_->fanouts(g)) {
     if (is_combinational(c_->kind(fo.gate))) queue_.schedule(fo.gate);
   }
@@ -71,33 +94,53 @@ void BatchGoodSim::reset(Val ff_init) {
   queue_.clear();
   const Word64 x = splat64(Val::X);
   for (Word64& w : out_) w = x;
-  const Word64 q0 = splat64(ff_init);
-  for (GateId g : c_->dffs()) out_[g] = q0;
-  for (GateId g : c_->topo_order()) out_[g] = eval_packed(g);
+  for (GateId g : c_->dffs()) {
+    wn_splat(out_.data() + std::size_t{g} * words_, words_, ff_init);
+  }
+  for (GateId g : c_->topo_order()) {
+    wn_copy(out_.data() + std::size_t{g} * words_, eval_packed(g), words_);
+  }
 }
 
-void BatchGoodSim::set_input(unsigned pi_index, Word64 w) {
+void BatchGoodSim::set_input(unsigned pi_index, const Word64* w) {
   const GateId g = c_->inputs()[pi_index];
-  if (!(out_[g] == w)) commit_output(g, w);
+  if (!wn_eq(out_.data() + std::size_t{g} * words_, w, words_)) {
+    commit_output(g, w);
+  }
+}
+
+template <unsigned W>
+void BatchGoodSim::settle_t() {
+  queue_.drain([this](GateId g) {
+    const Word64* w = eval_packed_t<W>(g);
+    if (!wn_eq(out_.data() + std::size_t{g} * W, w, W)) {
+      commit_output(g, w);
+    }
+  });
 }
 
 void BatchGoodSim::settle() {
-  queue_.drain([this](GateId g) {
-    const Word64 w = eval_packed(g);
-    if (!(out_[g] == w)) commit_output(g, w);
-  });
+  switch (words_) {
+    case 1: settle_t<1>(); break;
+    case 2: settle_t<2>(); break;
+    case 3: settle_t<3>(); break;
+    default: settle_t<4>(); break;
+  }
 }
 
 void BatchGoodSim::clock() {
   const auto dffs = c_->dffs();
+  const unsigned W = words_;
   // Phase 1 (master): capture every D word from the settled state.
   for (std::size_t i = 0; i < dffs.size(); ++i) {
-    latch_buf_[i] = out_[c_->fanins(dffs[i])[0]];
+    wn_copy(latch_buf_.data() + i * W,
+            out_.data() + std::size_t{c_->fanins(dffs[i])[0]} * W, W);
   }
   // Phase 2 (slave): drive Q words and settle the cone.
   for (std::size_t i = 0; i < dffs.size(); ++i) {
-    if (!(out_[dffs[i]] == latch_buf_[i])) {
-      commit_output(dffs[i], latch_buf_[i]);
+    if (!wn_eq(out_.data() + std::size_t{dffs[i]} * W, latch_buf_.data() + i * W,
+               W)) {
+      commit_output(dffs[i], latch_buf_.data() + i * W);
     }
   }
   settle();

@@ -1,19 +1,21 @@
-// Packed 64-lane three-valued good-machine simulator.
+// Packed multi-word three-valued good-machine simulator (up to 256 lanes).
 //
-// Evaluates 64 independent input vectors at once: every gate output is one
-// dual-rail Word64 (util/dualrail.h), lane i of every word belonging to the
-// same vector.  Lane semantics are exactly GoodSim's scalar semantics --
-// reset / set_input / settle / clock follow the same commit-on-change,
-// levelized event-driven discipline over the same LevelQueue, so slicing
-// lane i out of a settled BatchGoodSim yields bit-for-bit the values a
-// GoodSim fed vector i would hold.  The batch driver (sim/sharded_sim.cpp)
-// relies on this to serve per-lane good values to the concurrent fault
-// machines as an oracle.
+// Evaluates up to kMaxBatchLanes (256) independent input vectors at once:
+// every gate output is `words_per_gate()` consecutive dual-rail Word64s
+// (util/dualrail.h), lane i of every gate's value living in word i/64, bit
+// i%64.  Lane semantics are exactly GoodSim's scalar semantics -- reset /
+// set_input / settle / clock follow the same commit-on-change, levelized
+// event-driven discipline over the same LevelQueue, so slicing lane i out
+// of a settled BatchGoodSim yields bit-for-bit the values a GoodSim fed
+// vector i would hold.  The batch driver (sim/sharded_sim.cpp) relies on
+// this to serve per-lane good values to the concurrent fault machines as
+// an oracle.
 //
-// Basic gates reduce with the bitwise w_and/w_or/w_not/w_xor ops; Macro
-// gates have no word-parallel form and evaluate lane by lane through the
-// circuit's truth-table path (the per-lane oracle), which costs no more
-// than 64 scalar evaluations -- exactly what 64 scalar machines would do.
+// Basic gates reduce with the word-wise wn_and/wn_or/wn_not/wn_xor ops
+// (one 256-bit pass per rail on AVX2 at full width); Macro gates have no
+// word-parallel form and evaluate lane by lane through the circuit's
+// truth-table path (the per-lane oracle), which costs no more than `lanes`
+// scalar evaluations -- exactly what `lanes` scalar machines would do.
 #pragma once
 
 #include <cstdint>
@@ -30,17 +32,26 @@ namespace cfs {
 
 class BatchGoodSim {
  public:
-  explicit BatchGoodSim(const Circuit& c, Val ff_init = Val::X);
+  /// `lanes` is clamped to [1, kMaxBatchLanes] and rounded up to a whole
+  /// number of 64-lane words; words_per_gate() reports the result.
+  explicit BatchGoodSim(const Circuit& c, Val ff_init = Val::X,
+                        unsigned lanes = 64);
 
   const Circuit& circuit() const { return *c_; }
+
+  /// Words per gate value (1..kMaxBatchWords); lane capacity is 64x this.
+  unsigned words_per_gate() const { return words_; }
+  unsigned lanes() const { return words_ * 64; }
 
   /// Re-initialise every lane: primary inputs X, flip-flops `ff_init`, all
   /// gates re-evaluated (one topo sweep), pending events discarded.
   void reset(Val ff_init = Val::X);
 
   /// Drive primary input `pi_index` (position in circuit().inputs()) with
-  /// one value per lane.
-  void set_input(unsigned pi_index, Word64 w);
+  /// one value per lane; `w` points at words_per_gate() words.
+  void set_input(unsigned pi_index, const Word64* w);
+  /// Single-word convenience form (words_per_gate() == 1 machines).
+  void set_input(unsigned pi_index, Word64 w) { set_input(pi_index, &w); }
 
   /// Propagate all pending combinational events (zero-delay settle).
   void settle();
@@ -48,9 +59,14 @@ class BatchGoodSim {
   /// Latch every DFF from its settled D word, then settle the fanout cone.
   void clock();
 
-  /// Settled output word of a gate.
-  Word64 value(GateId g) const { return out_[g]; }
-  /// All gate output words, indexed by GateId (slab copy for the driver).
+  /// Settled first output word of a gate (all there is at 64 lanes).
+  Word64 value(GateId g) const { return out_[std::size_t{g} * words_]; }
+  /// Settled output words of a gate (words_per_gate() entries).
+  const Word64* value_words(GateId g) const {
+    return out_.data() + std::size_t{g} * words_;
+  }
+  /// All gate output words, words_per_gate() consecutive words per gate,
+  /// indexed by GateId * words_per_gate() (slab copy for the driver).
   std::span<const Word64> values() const { return out_; }
 
   /// Gates evaluated since construction (activity metric).
@@ -70,12 +86,22 @@ class BatchGoodSim {
   }
 
  private:
-  Word64 eval_packed(GateId g);
-  void commit_output(GateId g, Word64 w);
+  // Evaluates into eval_buf_; returns its data() for commit comparison.
+  // The W-templated form lets the word loops unroll (W == 1, the common
+  // --batch<=64 shape, compiles down to the single-word ops); the runtime
+  // dispatcher picks the instantiation matching words_.
+  template <unsigned W>
+  const Word64* eval_packed_t(GateId g);
+  const Word64* eval_packed(GateId g);
+  template <unsigned W>
+  void settle_t();
+  void commit_output(GateId g, const Word64* w);
 
   const Circuit* c_;
-  std::vector<Word64> out_;      // per gate: 64-lane output word
+  unsigned words_ = 1;
+  std::vector<Word64> out_;        // per gate: words_ output words
   LevelQueue queue_;
+  std::vector<Word64> eval_buf_;   // words_ scratch words for eval_packed
   std::vector<Word64> latch_buf_;  // scratch for two-phase DFF latching
   obs::Counters counters_;
 };

@@ -23,6 +23,7 @@
 // totals; the digests and counter pins downstream rely on exactly this.
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -30,6 +31,7 @@
 
 #include "netlist/circuit.h"
 #include "obs/counters.h"
+#include "simd/simd.h"
 
 namespace cfs {
 
@@ -61,6 +63,12 @@ class LevelQueue {
     }
     words_.assign(w, 0);
     dirty_.assign((nl + 63) / 64, 0);
+    std::uint32_t widest = 0;
+    for (unsigned lvl = 0; lvl < nl; ++lvl) {
+      widest = std::max(widest, word_begin_[lvl + 1] - word_begin_[lvl]);
+    }
+    batch_pos_.resize(std::size_t{widest} * 64);
+    batch_gates_.resize(std::size_t{widest} * 64);
   }
 
   /// Schedule a gate for (re)evaluation.  Idempotent: an already-pending
@@ -132,6 +140,45 @@ class LevelQueue {
     }
   }
 
+  /// Batched drain: identical level order and within-level ascending-id
+  /// order as drain(), but each dirty level is emitted as one whole batch
+  /// via the SIMD sweep kernels -- a wide nonzero skip over the summary
+  /// bitmap, then a compressed-index expansion of the level's set bits --
+  /// and handed to `process_batch(const GateId* gates, std::size_t n)` in
+  /// a single call.  The level's bits are snapshotted and cleared before
+  /// the callback runs, so a (re)schedule of a gate in this level from
+  /// inside the batch re-arms the level and is swept in a fresh batch
+  /// rather than appended to the current one; callers whose callbacks only
+  /// schedule strictly-higher levels (every settle loop in this repo --
+  /// combinational fanouts always sit above their drivers) observe
+  /// bit-identical processing order to drain().  On an exception from the
+  /// callback the rest of the snapshot is dropped; all engine recovery
+  /// paths clear() and reschedule from scratch, which is exactly the
+  /// contract drain() already had.
+  template <typename F>
+  void drain_levels(F&& process_batch) {
+    const simd::Kernels& k = simd::kernels();
+    for (;;) {
+      const std::size_t dw = k.find_nonzero(dirty_.data(), dirty_.size());
+      if (dw == dirty_.size()) break;
+      const std::uint32_t lvl =
+          static_cast<std::uint32_t>(dw * 64) +
+          static_cast<std::uint32_t>(std::countr_zero(dirty_[dw]));
+      dirty_[dw] &= dirty_[dw] - 1;
+      const std::uint32_t wb = word_begin_[lvl];
+      const std::uint32_t we = word_begin_[lvl + 1];
+      const std::size_t count = k.expand_bits(
+          words_.data() + wb, we - wb, wb * 64, batch_pos_.data());
+      std::fill(words_.begin() + wb, words_.begin() + we, 0);
+      if (count == 0) continue;
+      for (std::size_t i = 0; i < count; ++i) {
+        batch_gates_[i] = gate_at_[batch_pos_[i]];
+      }
+      processed_ += count;
+      process_batch(batch_gates_.data(), count);
+    }
+  }
+
   /// Total gates processed over the queue's lifetime (an activity metric).
   std::uint64_t processed() const { return processed_; }
 
@@ -144,7 +191,9 @@ class LevelQueue {
            gate_at_.capacity() * sizeof(GateId) +
            word_begin_.capacity() * sizeof(std::uint32_t) +
            words_.capacity() * sizeof(std::uint64_t) +
-           dirty_.capacity() * sizeof(std::uint64_t);
+           dirty_.capacity() * sizeof(std::uint64_t) +
+           batch_pos_.capacity() * sizeof(std::uint32_t) +
+           batch_gates_.capacity() * sizeof(GateId);
   }
 
  private:
@@ -155,6 +204,8 @@ class LevelQueue {
   std::vector<std::uint32_t> word_begin_;  // per level: first word index
   std::vector<std::uint64_t> words_;       // dirty bit per position
   std::vector<std::uint64_t> dirty_;       // dirty bit per level
+  std::vector<std::uint32_t> batch_pos_;   // drain_levels position scratch
+  std::vector<GateId> batch_gates_;        // drain_levels gate-id scratch
   std::uint64_t processed_ = 0;
   obs::Counters counters_;
 };

@@ -310,7 +310,7 @@ void ShardedSim::run(const TestSuite& t, Val ff_init) {
   // so observers stay ordered); containment keeps its own per-vector retry
   // boundary and is left on the scalar paths, where an engine rebuilt
   // mid-vector never holds a dangling slab pointer.
-  const unsigned bw = std::min(std::max(opt_.batch_width, 1u), 64u);
+  const unsigned bw = std::min(std::max(opt_.batch_width, 1u), kMaxBatchLanes);
   if (bw > 1 && opt_.resil.max_retries == 0) {
     run_batched(t, ff_init, bw);
     return;
@@ -366,36 +366,39 @@ void ShardedSim::run_batched(const TestSuite& t, Val ff_init,
   // A band's packed trajectory is held whole (the replay walks it lane by
   // lane, so it cannot stream); a band that would not fit runs unpacked.
   constexpr std::size_t kSlabByteCap = std::size_t{512} << 20;
-  BatchGoodSim bsim(c, ff_init);
+  BatchGoodSim bsim(c, ff_init, plan.width());
+  const unsigned W = bsim.words_per_gate();
+  const std::size_t frame_words = ngates * std::size_t{W};
   std::vector<Word64> slab;
+  std::vector<Word64> wbuf(W);
   for (const BatchBand& band : plan.bands()) {
     const bool packed =
         band.lanes.size() > 1 && band.steps > 0 && ngates > 0 &&
-        std::size_t{band.steps} <= kSlabByteCap / (ngates * sizeof(Word64));
+        std::size_t{band.steps} <= kSlabByteCap / (frame_words * sizeof(Word64));
     if (packed) {
       // Precompute the whole band's good trajectory: one packed machine
       // stands in for up to `width` per-shard scalar good machines.
       obs::ScopedPhase sp(driver_timers_, obs::Phase::GoodBatch);
-      slab.resize(ngates * band.steps);
+      slab.resize(frame_words * band.steps);
       bsim.reset(ff_init);
       for (std::uint32_t step = 0; step < band.steps; ++step) {
         std::uint64_t active = 0;
         for (const BatchLane& lane : band.lanes) active += step < lane.count;
         CFS_COUNT_N(batch_counters_, BatchLanesWasted, width - active);
         for (std::size_t pi = 0; pi < npis; ++pi) {
-          Word64 w = splat64(Val::X);
+          wn_splat(wbuf.data(), W, Val::X);
           for (std::size_t l = 0; l < band.lanes.size(); ++l) {
             const BatchLane& lane = band.lanes[l];
             if (step < lane.count) {
-              w_set(w, static_cast<unsigned>(l),
-                    t.sequences()[lane.seq][lane.begin + step][pi]);
+              wn_set(wbuf.data(), static_cast<unsigned>(l),
+                     t.sequences()[lane.seq][lane.begin + step][pi]);
             }
           }
-          bsim.set_input(static_cast<unsigned>(pi), w);
+          bsim.set_input(static_cast<unsigned>(pi), wbuf.data());
         }
         bsim.settle();
         std::copy(bsim.values().begin(), bsim.values().end(),
-                  slab.begin() + std::size_t{step} * ngates);
+                  slab.begin() + std::size_t{step} * frame_words);
         if (step + 1 < band.steps) bsim.clock();
       }
     }
@@ -412,9 +415,9 @@ void ShardedSim::run_batched(const TestSuite& t, Val ff_init,
         if (v == 0) reset(ff_init);
         if (packed) {
           const Word64* frame =
-              slab.data() + std::size_t{v - lane.begin} * ngates;
+              slab.data() + std::size_t{v - lane.begin} * frame_words;
           for (auto& e : engines_) {
-            e->set_good_batch_oracle(frame, static_cast<unsigned>(l));
+            e->set_good_batch_oracle(frame, static_cast<unsigned>(l), W);
           }
         }
         apply_vector(seq[v]);

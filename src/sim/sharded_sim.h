@@ -69,12 +69,13 @@ struct ShardedOptions {
   /// Shard failure containment (resil/containment.h).  Off by default.
   resil::ResilOptions resil;
   /// Pattern-lane width for run(): >1 precomputes the good machine for up
-  /// to `batch_width` vectors at a time in one packed 64-lane BatchGoodSim
-  /// (sim/batch_good_sim.h) and serves each engine's good values from the
-  /// shared trajectory -- the second parallelism axis, orthogonal to
-  /// num_threads.  Results are bit-identical for any width (clamped to
-  /// [1, 64]).  Single-lane bands, containment runs (max_retries > 0), and
-  /// the per-vector apply_vector() API always use the scalar path.
+  /// to `batch_width` vectors at a time in one packed multi-word
+  /// BatchGoodSim (sim/batch_good_sim.h, up to kMaxBatchLanes = 256 lanes)
+  /// and serves each engine's good values from the shared trajectory --
+  /// the second parallelism axis, orthogonal to num_threads.  Results are
+  /// bit-identical for any width (clamped to [1, kMaxBatchLanes]).
+  /// Single-lane bands, containment runs (max_retries > 0), and the
+  /// per-vector apply_vector() API always use the scalar path.
   unsigned batch_width = 1;
   /// Dynamic shard rebalancing (no-op with a single shard).  At the end of
   /// a vector, when the policy triggers, the driver captures the merged

@@ -1,0 +1,54 @@
+// The vector-kernel table: one function pointer per hot-loop primitive,
+// filled per ISA (kernels_scalar.cpp, kernels_sse42.cpp, kernels_avx2.cpp,
+// kernels_neon.cpp) and selected once at startup by simd.cpp.
+//
+// Contracts are written against the scalar reference; every other
+// implementation must match it bit for bit on all inputs the contract
+// admits.  tests/test_simd.cpp enforces this in lockstep for every table
+// the build carries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cfs::simd {
+
+struct Kernels {
+  /// First index i in [0, n) with words[i] != 0, else n.  The level queue's
+  /// dirty-summary and per-level sweeps skip zero regions through this
+  /// (vector forms OR-reduce several words per step).
+  std::size_t (*find_nonzero)(const std::uint64_t* words, std::size_t n);
+
+  /// Compressed-index emit: append the position `base + 64*i + bit` of
+  /// every set bit of every words[i] (i ascending, bits low-to-high) to
+  /// `out`, returning the number of positions written.  `out` must have
+  /// room for 64*nwords entries.  Does not modify the words.
+  std::size_t (*expand_bits)(const std::uint64_t* words, std::size_t nwords,
+                             std::uint32_t base, std::uint32_t* out);
+
+  /// Batched byte-table lookup: out[i] = table[idx[i]] for i < n.
+  /// The table must be readable 3 bytes past its last indexable entry
+  /// (vector gathers load 32 bits at byte granularity; netlist/gate.cpp
+  /// pads the shared eval tables accordingly).
+  void (*gather_u8)(const std::uint8_t* table, const std::uint32_t* idx,
+                    std::size_t n, std::uint8_t* out);
+
+  /// Gather-index build from packed gate states:
+  /// idx[i] = (uint32)(st[i] >> shift) & mask.
+  void (*state_indices)(const std::uint64_t* st, std::size_t n,
+                        unsigned shift, std::uint32_t mask,
+                        std::uint32_t* idx);
+
+  /// Merge classification (the visible-change test, a vector of elements
+  /// at a time): for each element i,
+  ///   cls[i] = 1  if outs[i] != good_code              (visible)
+  ///            2  else if (st[i] ^ good) & in_mask     (invisible)
+  ///            0  otherwise                            (converged)
+  /// `outs` are 2-bit output codes as produced by gather_u8 over an eval
+  /// table; `good` is the good packed state, `in_mask` the input-pin mask.
+  void (*classify)(const std::uint64_t* st, const std::uint8_t* outs,
+                   std::size_t n, std::uint64_t good, std::uint64_t in_mask,
+                   std::uint8_t good_code, std::uint8_t* cls);
+};
+
+}  // namespace cfs::simd

@@ -1,0 +1,150 @@
+// AVX2 kernel table.  This translation unit alone is compiled with -mavx2
+// (and -mbmi for tzcnt/blsr); simd.cpp only installs it after CPUID
+// confirms the host executes AVX2, so no AVX2 instruction runs elsewhere.
+//
+// Bit-identity notes per kernel:
+//  - find_nonzero / expand_bits: VPTEST-based zero-skip never changes which
+//    word is inspected first; the per-word tzcnt/blsr emit is the scalar
+//    loop verbatim.
+//  - gather_u8: VPGATHERDD loads 32 bits at table+idx and keeps the low
+//    byte -- identical to the scalar byte load as long as the table is
+//    readable 3 bytes past the end (netlist/gate.cpp pads the shared eval
+//    tables; the contract in kernels.h makes it the caller's obligation).
+//  - classify: 64-bit XOR/AND/compare lanes, then a scalar combine of the
+//    per-lane predicate with the byte-code test -- same truth table as the
+//    scalar kernel.
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+#include "simd/kernels.h"
+
+namespace cfs::simd {
+
+namespace {
+
+std::size_t find_nonzero(const std::uint64_t* words, std::size_t n) {
+  std::size_t i = 0;
+  // OR-reduce skip: one VPTEST retires four words per step.
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+    if (!_mm256_testz_si256(v, v)) break;
+  }
+  while (i < n && words[i] == 0) ++i;
+  return i;
+}
+
+std::size_t expand_bits(const std::uint64_t* words, std::size_t nwords,
+                        std::uint32_t base, std::uint32_t* out) {
+  std::size_t k = 0;
+  std::size_t i = 0;
+  while (i < nwords) {
+    // Skip zero regions four words at a time before emitting.
+    if (i + 4 <= nwords) {
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words + i));
+      if (_mm256_testz_si256(v, v)) {
+        i += 4;
+        continue;
+      }
+    }
+    std::uint64_t w = words[i];
+    const std::uint32_t wb = base + static_cast<std::uint32_t>(i * 64);
+    while (w != 0) {
+      out[k++] = wb + static_cast<std::uint32_t>(std::countr_zero(w));
+      w &= w - 1;
+    }
+    ++i;
+  }
+  return k;
+}
+
+void gather_u8(const std::uint8_t* table, const std::uint32_t* idx,
+               std::size_t n, std::uint8_t* out) {
+  const __m256i bytemask = _mm256_set1_epi32(0xFF);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    __m256i g = _mm256_i32gather_epi32(
+        reinterpret_cast<const int*>(table), vi, 1);
+    g = _mm256_and_si256(g, bytemask);
+    // Pack 8 dword byte-values down to 8 bytes (dword->word->byte within
+    // each 128-bit lane, then pick dword 0 of each lane).
+    const __m256i zero = _mm256_setzero_si256();
+    __m256i p = _mm256_packus_epi32(g, zero);
+    p = _mm256_packus_epi16(p, zero);
+    const std::uint32_t lo =
+        static_cast<std::uint32_t>(_mm256_extract_epi32(p, 0));
+    const std::uint32_t hi =
+        static_cast<std::uint32_t>(_mm256_extract_epi32(p, 4));
+    std::memcpy(out + i, &lo, 4);
+    std::memcpy(out + i + 4, &hi, 4);
+  }
+  for (; i < n; ++i) out[i] = table[idx[i]];
+}
+
+void state_indices(const std::uint64_t* st, std::size_t n, unsigned shift,
+                   std::uint32_t mask, std::uint32_t* idx) {
+  const __m256i vmask = _mm256_set1_epi64x(mask);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(st + i));
+    v = _mm256_and_si256(_mm256_srli_epi64(v, static_cast<int>(shift)),
+                         vmask);
+    // Low dword of each qword -> 4 packed dwords.
+    const __m256i sh = _mm256_shuffle_epi32(v, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128i lo = _mm256_castsi256_si128(sh);
+    const __m128i hi = _mm256_extracti128_si256(sh, 1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(idx + i),
+                     _mm_unpacklo_epi64(lo, hi));
+  }
+  for (; i < n; ++i) {
+    idx[i] = static_cast<std::uint32_t>(st[i] >> shift) & mask;
+  }
+}
+
+void classify(const std::uint64_t* st, const std::uint8_t* outs,
+              std::size_t n, std::uint64_t good, std::uint64_t in_mask,
+              std::uint8_t good_code, std::uint8_t* cls) {
+  const __m256i vgood = _mm256_set1_epi64x(static_cast<long long>(good));
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<long long>(in_mask));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(st + i));
+    const __m256i diff =
+        _mm256_and_si256(_mm256_xor_si256(v, vgood), vmask);
+    // Per-lane bit = 1 when the masked pins EQUAL good (not invisible).
+    const unsigned eq = static_cast<unsigned>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(diff, zero))));
+    for (unsigned j = 0; j < 4; ++j) {
+      if (outs[i + j] != good_code) {
+        cls[i + j] = 1;
+      } else {
+        cls[i + j] = (eq >> j) & 1u ? 0 : 2;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (outs[i] != good_code) {
+      cls[i] = 1;
+    } else {
+      cls[i] = ((st[i] ^ good) & in_mask) != 0 ? 2 : 0;
+    }
+  }
+}
+
+}  // namespace
+
+const Kernels* kernels_avx2_table() {
+  static const Kernels k{find_nonzero, expand_bits, gather_u8, state_indices,
+                         classify};
+  return &k;
+}
+
+}  // namespace cfs::simd

@@ -1,0 +1,107 @@
+// NEON kernel table (aarch64; NEON is architectural there, so no per-file
+// flags and no runtime feature probe beyond the architecture itself).
+// Kept deliberately close to the SSE4.2 tier: 128-bit word scans and
+// classification lanes, scalar table gathers.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <bit>
+
+#include "simd/kernels.h"
+
+namespace cfs::simd {
+
+namespace {
+
+inline bool all_zero(uint64x2_t v) {
+  return vmaxvq_u32(vreinterpretq_u32_u64(v)) == 0;
+}
+
+std::size_t find_nonzero(const std::uint64_t* words, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    if (!all_zero(vld1q_u64(words + i))) break;
+  }
+  while (i < n && words[i] == 0) ++i;
+  return i;
+}
+
+std::size_t expand_bits(const std::uint64_t* words, std::size_t nwords,
+                        std::uint32_t base, std::uint32_t* out) {
+  std::size_t k = 0;
+  std::size_t i = 0;
+  while (i < nwords) {
+    if (i + 2 <= nwords && all_zero(vld1q_u64(words + i))) {
+      i += 2;
+      continue;
+    }
+    std::uint64_t w = words[i];
+    const std::uint32_t wb = base + static_cast<std::uint32_t>(i * 64);
+    while (w != 0) {
+      out[k++] = wb + static_cast<std::uint32_t>(std::countr_zero(w));
+      w &= w - 1;
+    }
+    ++i;
+  }
+  return k;
+}
+
+void gather_u8(const std::uint8_t* table, const std::uint32_t* idx,
+               std::size_t n, std::uint8_t* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint8_t a = table[idx[i]];
+    const std::uint8_t b = table[idx[i + 1]];
+    const std::uint8_t c = table[idx[i + 2]];
+    const std::uint8_t d = table[idx[i + 3]];
+    out[i] = a;
+    out[i + 1] = b;
+    out[i + 2] = c;
+    out[i + 3] = d;
+  }
+  for (; i < n; ++i) out[i] = table[idx[i]];
+}
+
+void state_indices(const std::uint64_t* st, std::size_t n, unsigned shift,
+                   std::uint32_t mask, std::uint32_t* idx) {
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<std::uint32_t>(st[i] >> shift) & mask;
+  }
+}
+
+void classify(const std::uint64_t* st, const std::uint8_t* outs,
+              std::size_t n, std::uint64_t good, std::uint64_t in_mask,
+              std::uint8_t good_code, std::uint8_t* cls) {
+  const uint64x2_t vgood = vdupq_n_u64(good);
+  const uint64x2_t vmask = vdupq_n_u64(in_mask);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vld1q_u64(st + i);
+    const uint64x2_t diff = vandq_u64(veorq_u64(v, vgood), vmask);
+    const uint64x2_t eqv = vceqzq_u64(diff);  // all-ones when not invisible
+    const std::uint64_t eq0 = vgetq_lane_u64(eqv, 0);
+    const std::uint64_t eq1 = vgetq_lane_u64(eqv, 1);
+    cls[i] = outs[i] != good_code ? 1 : (eq0 != 0 ? 0 : 2);
+    cls[i + 1] = outs[i + 1] != good_code ? 1 : (eq1 != 0 ? 0 : 2);
+  }
+  for (; i < n; ++i) {
+    if (outs[i] != good_code) {
+      cls[i] = 1;
+    } else {
+      cls[i] = ((st[i] ^ good) & in_mask) != 0 ? 2 : 0;
+    }
+  }
+}
+
+}  // namespace
+
+const Kernels* kernels_neon_table() {
+  static const Kernels k{find_nonzero, expand_bits, gather_u8, state_indices,
+                         classify};
+  return &k;
+}
+
+}  // namespace cfs::simd
+
+#endif  // __aarch64__

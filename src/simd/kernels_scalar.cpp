@@ -1,0 +1,63 @@
+// Portable scalar reference kernels: the semantics every vector table is
+// held to, and the table -DCFS_SIMD=OFF / --simd=off pins.
+#include <bit>
+
+#include "simd/kernels.h"
+
+namespace cfs::simd {
+
+namespace {
+
+std::size_t find_nonzero(const std::uint64_t* words, std::size_t n) {
+  std::size_t i = 0;
+  while (i < n && words[i] == 0) ++i;
+  return i;
+}
+
+std::size_t expand_bits(const std::uint64_t* words, std::size_t nwords,
+                        std::uint32_t base, std::uint32_t* out) {
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < nwords; ++i) {
+    std::uint64_t w = words[i];
+    const std::uint32_t wb = base + static_cast<std::uint32_t>(i * 64);
+    while (w != 0) {
+      out[k++] = wb + static_cast<std::uint32_t>(std::countr_zero(w));
+      w &= w - 1;
+    }
+  }
+  return k;
+}
+
+void gather_u8(const std::uint8_t* table, const std::uint32_t* idx,
+               std::size_t n, std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = table[idx[i]];
+}
+
+void state_indices(const std::uint64_t* st, std::size_t n, unsigned shift,
+                   std::uint32_t mask, std::uint32_t* idx) {
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<std::uint32_t>(st[i] >> shift) & mask;
+  }
+}
+
+void classify(const std::uint64_t* st, const std::uint8_t* outs,
+              std::size_t n, std::uint64_t good, std::uint64_t in_mask,
+              std::uint8_t good_code, std::uint8_t* cls) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (outs[i] != good_code) {
+      cls[i] = 1;
+    } else {
+      cls[i] = ((st[i] ^ good) & in_mask) != 0 ? 2 : 0;
+    }
+  }
+}
+
+}  // namespace
+
+const Kernels& kernels_scalar_table() {
+  static const Kernels k{find_nonzero, expand_bits, gather_u8, state_indices,
+                         classify};
+  return k;
+}
+
+}  // namespace cfs::simd

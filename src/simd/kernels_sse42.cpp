@@ -1,0 +1,120 @@
+// SSE4.2 kernel table (this TU alone is compiled with -msse4.2).  No
+// hardware gathers at this tier: gather_u8 stays a scalar loop (unrolled so
+// the four loads pipeline), while the word scans and the classification
+// test use 128-bit PTEST / compare lanes.
+#include <smmintrin.h>
+
+#include <bit>
+#include <cstring>
+
+#include "simd/kernels.h"
+
+namespace cfs::simd {
+
+namespace {
+
+std::size_t find_nonzero(const std::uint64_t* words, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + i));
+    if (!_mm_testz_si128(v, v)) break;
+  }
+  while (i < n && words[i] == 0) ++i;
+  return i;
+}
+
+std::size_t expand_bits(const std::uint64_t* words, std::size_t nwords,
+                        std::uint32_t base, std::uint32_t* out) {
+  std::size_t k = 0;
+  std::size_t i = 0;
+  while (i < nwords) {
+    if (i + 2 <= nwords) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(words + i));
+      if (_mm_testz_si128(v, v)) {
+        i += 2;
+        continue;
+      }
+    }
+    std::uint64_t w = words[i];
+    const std::uint32_t wb = base + static_cast<std::uint32_t>(i * 64);
+    while (w != 0) {
+      out[k++] = wb + static_cast<std::uint32_t>(std::countr_zero(w));
+      w &= w - 1;
+    }
+    ++i;
+  }
+  return k;
+}
+
+void gather_u8(const std::uint8_t* table, const std::uint32_t* idx,
+               std::size_t n, std::uint8_t* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint8_t a = table[idx[i]];
+    const std::uint8_t b = table[idx[i + 1]];
+    const std::uint8_t c = table[idx[i + 2]];
+    const std::uint8_t d = table[idx[i + 3]];
+    out[i] = a;
+    out[i + 1] = b;
+    out[i + 2] = c;
+    out[i + 3] = d;
+  }
+  for (; i < n; ++i) out[i] = table[idx[i]];
+}
+
+void state_indices(const std::uint64_t* st, std::size_t n, unsigned shift,
+                   std::uint32_t mask, std::uint32_t* idx) {
+  const __m128i vmask = _mm_set1_epi64x(mask);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(st + i));
+    v = _mm_and_si128(_mm_srli_epi64(v, static_cast<int>(shift)), vmask);
+    const __m128i sh = _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 0, 2, 0));
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(idx + i), sh);
+  }
+  for (; i < n; ++i) {
+    idx[i] = static_cast<std::uint32_t>(st[i] >> shift) & mask;
+  }
+}
+
+void classify(const std::uint64_t* st, const std::uint8_t* outs,
+              std::size_t n, std::uint64_t good, std::uint64_t in_mask,
+              std::uint8_t good_code, std::uint8_t* cls) {
+  const __m128i vgood = _mm_set1_epi64x(static_cast<long long>(good));
+  const __m128i vmask = _mm_set1_epi64x(static_cast<long long>(in_mask));
+  const __m128i zero = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(st + i));
+    const __m128i diff = _mm_and_si128(_mm_xor_si128(v, vgood), vmask);
+    const unsigned eq = static_cast<unsigned>(
+        _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(diff, zero))));
+    for (unsigned j = 0; j < 2; ++j) {
+      if (outs[i + j] != good_code) {
+        cls[i + j] = 1;
+      } else {
+        cls[i + j] = (eq >> j) & 1u ? 0 : 2;
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (outs[i] != good_code) {
+      cls[i] = 1;
+    } else {
+      cls[i] = ((st[i] ^ good) & in_mask) != 0 ? 2 : 0;
+    }
+  }
+}
+
+}  // namespace
+
+const Kernels* kernels_sse42_table() {
+  static const Kernels k{find_nonzero, expand_bits, gather_u8, state_indices,
+                         classify};
+  return &k;
+}
+
+}  // namespace cfs::simd

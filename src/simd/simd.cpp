@@ -1,0 +1,130 @@
+#include "simd/simd.h"
+
+namespace cfs::simd {
+
+// Tables defined by the per-ISA translation units.  Which ones exist is a
+// build-time fact (CFS_SIMD + target architecture); which one is *installed*
+// is decided here at runtime.
+const Kernels& kernels_scalar_table();
+#if CFS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+const Kernels* kernels_sse42_table();
+const Kernels* kernels_avx2_table();
+#endif
+#if CFS_SIMD_ENABLED && defined(__aarch64__)
+const Kernels* kernels_neon_table();
+#endif
+
+namespace {
+
+struct Dispatch {
+  Isa isa = Isa::Scalar;
+  const Kernels* table = nullptr;
+};
+
+Dispatch make_dispatch(Isa isa) {
+  Dispatch d;
+  d.isa = isa;
+  d.table = kernels_for(isa);
+  if (d.table == nullptr) {
+    d.isa = Isa::Scalar;
+    d.table = &kernels_scalar_table();
+  }
+  return d;
+}
+
+Dispatch& dispatch() {
+  // Selected once on first use (the widest runnable table); set_isa()
+  // replaces it before any engine runs.
+  static Dispatch d = make_dispatch(detect_isa());
+  return d;
+}
+
+}  // namespace
+
+std::string_view isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar: return "scalar";
+    case Isa::Sse42: return "sse4.2";
+    case Isa::Avx2: return "avx2";
+    case Isa::Neon: return "neon";
+  }
+  return "?";
+}
+
+unsigned isa_width_bits(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar: return 64;
+    case Isa::Sse42: return 128;
+    case Isa::Avx2: return 256;
+    case Isa::Neon: return 128;
+  }
+  return 64;
+}
+
+const Kernels* kernels_for(Isa isa) {
+  switch (isa) {
+    case Isa::Scalar:
+      return &kernels_scalar_table();
+#if CFS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+    case Isa::Sse42:
+      return __builtin_cpu_supports("sse4.2") ? kernels_sse42_table()
+                                              : nullptr;
+    case Isa::Avx2:
+      // The AVX2 TU also uses BMI1 (tzcnt/blsr); every AVX2 part ships it,
+      // but the probe keeps the claim honest.
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("bmi")
+                 ? kernels_avx2_table()
+                 : nullptr;
+#endif
+#if CFS_SIMD_ENABLED && defined(__aarch64__)
+    case Isa::Neon:
+      return kernels_neon_table();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+Isa detect_isa() {
+#if CFS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64))
+  if (kernels_for(Isa::Avx2) != nullptr) return Isa::Avx2;
+  if (kernels_for(Isa::Sse42) != nullptr) return Isa::Sse42;
+#endif
+#if CFS_SIMD_ENABLED && defined(__aarch64__)
+  return Isa::Neon;
+#endif
+  return Isa::Scalar;
+}
+
+Isa active_isa() { return dispatch().isa; }
+
+std::string_view active_isa_name() { return isa_name(active_isa()); }
+
+unsigned active_simd_width_bits() { return isa_width_bits(active_isa()); }
+
+bool set_isa(std::string_view name) {
+  Isa want;
+  if (name == "auto") {
+    want = detect_isa();
+  } else if (name == "off" || name == "scalar") {
+    want = Isa::Scalar;
+  } else if (name == "sse4.2" || name == "sse42") {
+    want = Isa::Sse42;
+  } else if (name == "avx2") {
+    want = Isa::Avx2;
+  } else if (name == "neon") {
+    want = Isa::Neon;
+  } else {
+    return false;
+  }
+  const Kernels* t = kernels_for(want);
+  if (t == nullptr) return false;
+  dispatch() = Dispatch{want, t};
+  return true;
+}
+
+const Kernels& kernels() { return *dispatch().table; }
+
+const Kernels& scalar_kernels() { return kernels_scalar_table(); }
+
+}  // namespace cfs::simd

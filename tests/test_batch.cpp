@@ -1,5 +1,6 @@
 // Two-dimensional parallelism: the BatchPlan pattern grouping, the packed
-// 64-lane good machine, and the batched sharded driver.
+// multi-word good machine (up to kMaxBatchLanes lanes), and the batched
+// sharded driver.
 //
 // The contract under test is lockstep equivalence: BatchGoodSim must agree
 // lane-for-lane with an independent scalar GoodSim trajectory, and
@@ -118,14 +119,14 @@ TEST(BatchPlan, SequentialPacksWholeSequencesPerLane) {
   EXPECT_EQ(seqs_seen, t.num_sequences());
 }
 
-TEST(BatchPlan, WidthClampedTo64AndEmptySequencesKept) {
+TEST(BatchPlan, WidthClampedToMaxLanesAndEmptySequencesKept) {
   const Circuit c = seq_circuit();
   TestSuite t;
   t.sequences().push_back(PatternSet::random(c.inputs().size(), 3, 1));
   t.sequences().push_back(PatternSet(c.inputs().size()));  // empty
   t.sequences().push_back(PatternSet::random(c.inputs().size(), 2, 2));
   const BatchPlan wide = BatchPlan::build(c, t, 1000);
-  EXPECT_EQ(wide.width(), 64u);
+  EXPECT_EQ(wide.width(), kMaxBatchLanes);
   const BatchPlan narrow = BatchPlan::build(c, t, 0);
   EXPECT_EQ(narrow.width(), 1u);
 
@@ -208,6 +209,73 @@ TEST(BatchGoodSim, SequentialLanesTrackIndependentSequences) {
   }
 }
 
+TEST(BatchGoodSim, MultiWordCombinationalLanesMatchScalarReference) {
+  const Circuit c = comb_circuit(200, 5);
+  const std::size_t npis = c.inputs().size();
+  const PatternSet pats = PatternSet::random(npis, kMaxBatchLanes, 99, 120);
+
+  BatchGoodSim bsim(c, Val::X, kMaxBatchLanes);
+  ASSERT_EQ(bsim.words_per_gate(), kMaxBatchWords);
+  ASSERT_EQ(bsim.lanes(), kMaxBatchLanes);
+  bsim.reset();
+  std::vector<Word64> w(bsim.words_per_gate());
+  for (std::size_t pi = 0; pi < npis; ++pi) {
+    wn_splat(w.data(), kMaxBatchWords, Val::X);
+    for (unsigned lane = 0; lane < kMaxBatchLanes; ++lane) {
+      wn_set(w.data(), lane, pats[lane][pi]);
+    }
+    bsim.set_input(static_cast<unsigned>(pi), w.data());
+  }
+  bsim.settle();
+
+  GoodSim ref(c);
+  for (unsigned lane = 0; lane < kMaxBatchLanes; ++lane) {
+    ref.reset();
+    ref.apply(pats[lane]);
+    for (GateId g = 0; g < c.num_gates(); ++g) {
+      ASSERT_EQ(wn_get(bsim.value_words(g), lane), ref.value(g))
+          << "gate " << g << " lane " << lane;
+    }
+  }
+}
+
+TEST(BatchGoodSim, MultiWordSequentialLanesTrackIndependentSequences) {
+  const Circuit c = seq_circuit(220, 13);
+  const std::size_t npis = c.inputs().size();
+  constexpr unsigned kLanes = 130;  // 3 words, last word partially used
+  constexpr unsigned kSteps = 4;
+  std::vector<PatternSet> seqs;
+  for (unsigned l = 0; l < kLanes; ++l) {
+    seqs.push_back(PatternSet::random(npis, kSteps, 300 + l, 80));
+  }
+
+  BatchGoodSim bsim(c, Val::Zero, kLanes);
+  ASSERT_EQ(bsim.words_per_gate(), 3u);
+  bsim.reset(Val::Zero);
+  std::vector<GoodSim> refs;
+  refs.reserve(kLanes);
+  for (unsigned l = 0; l < kLanes; ++l) refs.emplace_back(c, Val::Zero);
+
+  std::vector<Word64> w(bsim.words_per_gate());
+  for (unsigned step = 0; step < kSteps; ++step) {
+    for (std::size_t pi = 0; pi < npis; ++pi) {
+      wn_splat(w.data(), bsim.words_per_gate(), Val::X);
+      for (unsigned l = 0; l < kLanes; ++l) wn_set(w.data(), l, seqs[l][step][pi]);
+      bsim.set_input(static_cast<unsigned>(pi), w.data());
+    }
+    bsim.settle();
+    for (unsigned l = 0; l < kLanes; ++l) {
+      refs[l].apply(seqs[l][step]);
+      for (GateId g = 0; g < c.num_gates(); ++g) {
+        ASSERT_EQ(wn_get(bsim.value_words(g), l), refs[l].value(g))
+            << "step " << step << " gate " << g << " lane " << l;
+      }
+    }
+    bsim.clock();
+    for (unsigned l = 0; l < kLanes; ++l) refs[l].clock();
+  }
+}
+
 #if CFS_OBS_ENABLED
 TEST(BatchGoodSim, CountsPackedWordEvaluations) {
   const Circuit c = comb_circuit(80, 3);
@@ -261,7 +329,7 @@ TEST(ShardedBatch, StuckAtInvariantAcrossBatchAndThreads) {
   const DetRecord ref = run_config(c, u, t, 1, 1, true);
   EXPECT_FALSE(ref.observations.empty());
   for (unsigned threads : {1u, 2u}) {
-    for (unsigned batch : {8u, 64u}) {
+    for (unsigned batch : {8u, 64u, 256u}) {
       const DetRecord got = run_config(c, u, t, threads, batch, true);
       EXPECT_EQ(got.status, ref.status)
           << "threads " << threads << " batch " << batch;
@@ -280,7 +348,7 @@ TEST(ShardedBatch, CombinationalInvariantAcrossBatchAndThreads) {
   const TestSuite t = multi_seq_suite(c.inputs().size(), 3, 500, 100);
 
   const DetRecord ref = run_config(c, u, t, 1, 1, true);
-  for (unsigned batch : {2u, 8u, 64u}) {
+  for (unsigned batch : {2u, 8u, 64u, 100u, 256u}) {
     const DetRecord got = run_config(c, u, t, 2, batch, true);
     EXPECT_EQ(got.status, ref.status) << "batch " << batch;
     EXPECT_EQ(got.observations, ref.observations) << "batch " << batch;
@@ -311,7 +379,7 @@ TEST(ShardedBatch, TransitionModeInvariant) {
   const RunResult ref =
       run_csim_transition_sharded(c, u, t, 1, Val::X, true, nullptr, 1);
   for (unsigned threads : {1u, 2u}) {
-    for (unsigned batch : {8u, 64u}) {
+    for (unsigned batch : {8u, 64u, 256u}) {
       const RunResult got = run_csim_transition_sharded(
           c, u, t, threads, Val::X, true, nullptr, batch);
       EXPECT_EQ(got.cov.hard, ref.cov.hard)

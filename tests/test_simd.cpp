@@ -1,0 +1,346 @@
+// Lockstep equivalence of every vector-kernel table against the portable
+// scalar oracle (simd/kernels.h contracts).
+//
+// The dispatch layer promises that SIMD only ever changes speed, never an
+// answer: every kernel table the build carries (kernels_for over all Isa
+// values) is driven through the same inputs as scalar_kernels() and must
+// match bit for bit.  Coverage is exhaustive where the input space is
+// enumerable -- every (kind, arity) eval table up to arity 6 over all 4^n
+// packed states (X-propagation included, since code 1 / X / binary codes
+// all appear) -- and densely sampled where it is not (wide gates to arity
+// 16 through the lo/hi/join composition, random index streams, random and
+// adversarial bitmaps).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.h"
+#include "simd/simd.h"
+#include "util/logic.h"
+#include "util/packed_state.h"
+
+namespace cfs {
+namespace {
+
+using simd::Isa;
+using simd::Kernels;
+
+struct Table {
+  Isa isa;
+  const Kernels* k;
+};
+
+// Every kernel table this build + host can run, the scalar oracle included
+// (kernels_for returns null for ISAs the build compiled out or the host
+// cannot execute; those are legitimately untestable here).
+std::vector<Table> all_tables() {
+  std::vector<Table> out;
+  for (Isa isa : {Isa::Scalar, Isa::Sse42, Isa::Avx2, Isa::Neon}) {
+    if (const Kernels* k = simd::kernels_for(isa)) out.push_back({isa, k});
+  }
+  return out;
+}
+
+std::string isa_label(Isa isa) { return std::string(simd::isa_name(isa)); }
+
+// ---------------------------------------------------------------------------
+// find_nonzero / expand_bits: the bitmap sweep
+// ---------------------------------------------------------------------------
+
+// Mask families the sweep has to get right: dense, empty, and the
+// single-bit patterns where an off-by-one lane or word survives random
+// testing.
+std::vector<std::vector<std::uint64_t>> sweep_masks() {
+  std::vector<std::vector<std::uint64_t>> masks;
+  masks.push_back({});                            // empty array
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 16u, 33u}) {
+    masks.emplace_back(n, 0);                     // all-zero
+    masks.emplace_back(n, ~std::uint64_t{0});     // all-one
+    // Single bit in a single word, swept over words and bit positions.
+    for (std::size_t w = 0; w < n; ++w) {
+      for (unsigned b : {0u, 1u, 31u, 32u, 62u, 63u}) {
+        std::vector<std::uint64_t> m(n, 0);
+        m[w] = std::uint64_t{1} << b;
+        masks.push_back(std::move(m));
+      }
+    }
+    // One bit per word, position rotating.
+    std::vector<std::uint64_t> rot(n, 0);
+    for (std::size_t w = 0; w < n; ++w) rot[w] = std::uint64_t{1} << (w % 64);
+    masks.push_back(std::move(rot));
+  }
+  std::mt19937_64 rng(0xC0FFEEu);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<std::uint64_t> m(1 + rng() % 40);
+    for (auto& w : m) {
+      const unsigned mode = rng() % 3;
+      w = mode == 0 ? 0 : mode == 1 ? rng() : rng() & rng() & rng();
+    }
+    masks.push_back(std::move(m));
+  }
+  return masks;
+}
+
+TEST(SimdKernels, FindNonzeroMatchesScalarOnAllMaskFamilies) {
+  const Kernels& ref = simd::scalar_kernels();
+  for (const auto& mask : sweep_masks()) {
+    const std::size_t want = ref.find_nonzero(mask.data(), mask.size());
+    // The scalar oracle itself must honour the contract.
+    for (std::size_t i = 0; i < want; ++i) ASSERT_EQ(mask[i], 0u);
+    if (want < mask.size()) ASSERT_NE(mask[want], 0u);
+    for (const Table& t : all_tables()) {
+      EXPECT_EQ(t.k->find_nonzero(mask.data(), mask.size()), want)
+          << isa_label(t.isa) << " nwords=" << mask.size();
+    }
+  }
+}
+
+TEST(SimdKernels, ExpandBitsMatchesScalarOnAllMaskFamilies) {
+  const Kernels& ref = simd::scalar_kernels();
+  for (const auto& mask : sweep_masks()) {
+    for (std::uint32_t base : {0u, 64u, 12345u}) {
+      std::vector<std::uint32_t> want(mask.size() * 64 + 1, 0xABABABABu);
+      const std::size_t wn =
+          ref.expand_bits(mask.data(), mask.size(), base, want.data());
+      for (const Table& t : all_tables()) {
+        std::vector<std::uint32_t> got(mask.size() * 64 + 1, 0xCDCDCDCDu);
+        const std::size_t gn =
+            t.k->expand_bits(mask.data(), mask.size(), base, got.data());
+        ASSERT_EQ(gn, wn) << isa_label(t.isa) << " nwords=" << mask.size();
+        for (std::size_t i = 0; i < wn; ++i) {
+          ASSERT_EQ(got[i], want[i])
+              << isa_label(t.isa) << " nwords=" << mask.size() << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// gather_u8 / state_indices: the batched table-eval path
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernels, GatherMatchesScalarIncludingOddTails) {
+  std::mt19937_64 rng(7);
+  // A padded byte table, as netlist/gate.cpp guarantees (kEvalTablePad
+  // readable bytes past the last entry).
+  std::vector<std::uint8_t> table(4096 + kEvalTablePad);
+  for (auto& b : table) b = static_cast<std::uint8_t>(rng());
+  const Kernels& ref = simd::scalar_kernels();
+  for (std::size_t n = 0; n <= 67; ++n) {
+    std::vector<std::uint32_t> idx(n);
+    for (auto& i : idx) i = static_cast<std::uint32_t>(rng() % 4096);
+    std::vector<std::uint8_t> want(n + 1, 0xEE);
+    ref.gather_u8(table.data(), idx.data(), n, want.data());
+    for (const Table& t : all_tables()) {
+      std::vector<std::uint8_t> got(n + 1, 0x77);
+      t.k->gather_u8(table.data(), idx.data(), n, got.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], want[i]) << isa_label(t.isa) << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, StateIndicesMatchesScalarAcrossShiftsAndMasks) {
+  std::mt19937_64 rng(11);
+  for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 8u, 31u, 64u, 100u}) {
+    std::vector<std::uint64_t> st(n);
+    for (auto& s : st) s = rng();
+    for (unsigned shift : {0u, 2 * kEvalChunkPins}) {
+      for (std::uint32_t mask :
+           {0x3u, 0xFFu, 0xFFFFu, (1u << (2 * kEvalChunkPins)) - 1}) {
+        std::vector<std::uint32_t> want(n + 1, 0xABCD);
+        simd::scalar_kernels().state_indices(st.data(), n, shift, mask,
+                                             want.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(want[i],
+                    static_cast<std::uint32_t>(st[i] >> shift) & mask);
+        }
+        for (const Table& t : all_tables()) {
+          std::vector<std::uint32_t> got(n + 1, 0xDCBA);
+          t.k->state_indices(st.data(), n, shift, mask, got.data());
+          for (std::size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(got[i], want[i])
+                << isa_label(t.isa) << " n=" << n << " shift=" << shift;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// classify: the visible-change test
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernels, ClassifyMatchesScalarOnRandomAndStructuredElements) {
+  std::mt19937_64 rng(13);
+  for (unsigned nf : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    const std::uint64_t in_mask = input_mask(nf);
+    for (int round = 0; round < 30; ++round) {
+      const std::uint64_t good = rng();
+      // Output codes are always table codes {0, 2, 3}; pick good_code
+      // among them so the visible test can go both ways.
+      constexpr std::array<std::uint8_t, 3> kCodes = {0, 2, 3};
+      const std::uint8_t good_code = kCodes[rng() % 3];
+      const std::size_t n = rng() % 70;
+      std::vector<std::uint64_t> st(n);
+      std::vector<std::uint8_t> outs(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        outs[i] = kCodes[rng() % 3];
+        switch (rng() % 4) {
+          case 0:  // random state
+            st[i] = rng();
+            break;
+          case 1:  // converged candidate: inputs equal good
+            st[i] = good;
+            outs[i] = good_code;
+            break;
+          case 2:  // differs only outside the input mask (still converged
+                   // when outs matches: the output slot is not compared)
+            st[i] = (good & in_mask) | (rng() & ~in_mask);
+            break;
+          default:  // one flipped input pin
+            st[i] = good ^ (std::uint64_t{3} << (2 * (rng() % nf)));
+            break;
+        }
+      }
+      std::vector<std::uint8_t> want(n + 1, 0xAA);
+      simd::scalar_kernels().classify(st.data(), outs.data(), n, good,
+                                      in_mask, good_code, want.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t expect =
+            outs[i] != good_code ? 1 : ((st[i] ^ good) & in_mask) ? 2 : 0;
+        ASSERT_EQ(want[i], expect) << "scalar oracle contract, i=" << i;
+      }
+      for (const Table& t : all_tables()) {
+        std::vector<std::uint8_t> got(n + 1, 0x55);
+        t.k->classify(st.data(), outs.data(), n, good, in_mask, good_code,
+                      got.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(got[i], want[i])
+              << isa_label(t.isa) << " nf=" << nf << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end eval-table lockstep: state_indices + gather over the real
+// shared (kind, arity) tables vs the fold oracle
+// ---------------------------------------------------------------------------
+
+constexpr std::array<GateKind, 8> kCombKinds = {
+    GateKind::Buf, GateKind::Not, GateKind::And, GateKind::Nand,
+    GateKind::Or,  GateKind::Nor, GateKind::Xor, GateKind::Xnor};
+
+// Compose lo/hi/join exactly as Circuit::eval does.
+Val table_eval(const EvalTable& t, GateState s) {
+  const std::uint8_t c0 = t.lo[static_cast<std::uint32_t>(s) & t.lo_mask];
+  if (t.hi == nullptr) return from_code(c0);
+  const std::uint8_t c1 =
+      t.hi[static_cast<std::uint32_t>(s >> (2 * kEvalChunkPins)) & t.hi_mask];
+  return from_code(t.join[(c0 << 2) | c1]);
+}
+
+TEST(SimdEvalTables, ExhaustiveLockstepToArity6) {
+  for (GateKind k : kCombKinds) {
+    const auto [lo_ar, hi_ar] = arity(k);
+    for (unsigned nf = lo_ar; nf <= std::min(hi_ar, 6u); ++nf) {
+      const EvalTable t = eval_table(k, nf);
+      ASSERT_NE(t.lo, nullptr);
+      ASSERT_EQ(t.hi, nullptr);  // narrow gates are single-lookup
+      const std::uint32_t entries = 1u << (2 * nf);
+      // Every packed input state, X codes and the invalid code 1 included.
+      std::vector<std::uint64_t> st(entries);
+      std::vector<std::uint8_t> want(entries);
+      for (std::uint32_t s = 0; s < entries; ++s) {
+        st[s] = s;
+        want[s] = code(eval_kind(k, s, nf));  // the fold / X-prop oracle
+      }
+      for (const Table& tab : all_tables()) {
+        std::vector<std::uint32_t> idx(entries);
+        tab.k->state_indices(st.data(), entries, 0, t.lo_mask, idx.data());
+        std::vector<std::uint8_t> got(entries);
+        tab.k->gather_u8(t.lo, idx.data(), entries, got.data());
+        for (std::uint32_t s = 0; s < entries; ++s) {
+          ASSERT_EQ(got[s], want[s])
+              << isa_label(tab.isa) << " " << kind_name(k) << "/" << nf
+              << " state=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdEvalTables, SampledWideLockstepToArity16) {
+  std::mt19937_64 rng(17);
+  for (GateKind k : kCombKinds) {
+    const auto [lo_ar, hi_ar] = arity(k);
+    if (hi_ar < 7) continue;  // Buf/Not have no wide form
+    for (unsigned nf : {7u, 8u, 9u, 12u, 16u}) {
+      if (nf > hi_ar) continue;
+      const EvalTable t = eval_table(k, nf);
+      ASSERT_NE(t.lo, nullptr);
+      const std::size_t n = 2000;
+      std::vector<std::uint64_t> st(n);
+      for (auto& s : st) s = rng() & input_mask(nf);
+      for (const Table& tab : all_tables()) {
+        // Low chunk through the kernels...
+        std::vector<std::uint32_t> idx(n);
+        tab.k->state_indices(st.data(), n, 0, t.lo_mask, idx.data());
+        std::vector<std::uint8_t> c0(n);
+        tab.k->gather_u8(t.lo, idx.data(), n, c0.data());
+        if (t.hi != nullptr) {
+          // ...high chunk and join the same way the engine's wide tail
+          // does, then pin the composition against both oracles.
+          tab.k->state_indices(st.data(), n, 2 * kEvalChunkPins, t.hi_mask,
+                               idx.data());
+          std::vector<std::uint8_t> c1(n);
+          tab.k->gather_u8(t.hi, idx.data(), n, c1.data());
+          for (std::size_t i = 0; i < n; ++i) {
+            c0[i] = t.join[(c0[i] << 2) | c1[i]];
+          }
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(from_code(c0[i]), table_eval(t, st[i]))
+              << isa_label(tab.isa) << " " << kind_name(k) << "/" << nf;
+          ASSERT_EQ(from_code(c0[i]), eval_kind(k, st[i], nf))
+              << isa_label(tab.isa) << " " << kind_name(k) << "/" << nf;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, ScalarTableIsAlwaysAvailableAndNamed) {
+  EXPECT_NE(simd::kernels_for(Isa::Scalar), nullptr);
+  EXPECT_EQ(simd::isa_name(Isa::Scalar), "scalar");
+  EXPECT_EQ(simd::isa_width_bits(Isa::Scalar), 64u);
+  EXPECT_FALSE(simd::active_isa_name().empty());
+  EXPECT_GE(simd::active_simd_width_bits(), 64u);
+}
+
+TEST(SimdDispatch, SetIsaRoundTripsAndRejectsUnknown) {
+  const Isa before = simd::active_isa();
+  EXPECT_FALSE(simd::set_isa("vliw9000"));
+  EXPECT_EQ(simd::active_isa(), before);  // unchanged on failure
+  ASSERT_TRUE(simd::set_isa("off"));
+  EXPECT_EQ(simd::active_isa(), Isa::Scalar);
+  EXPECT_EQ(&simd::kernels(), &simd::scalar_kernels());
+  ASSERT_TRUE(simd::set_isa("auto"));
+  EXPECT_EQ(simd::active_isa(), simd::detect_isa());
+}
+
+}  // namespace
+}  // namespace cfs

@@ -24,12 +24,36 @@ def cpu_model():
     return None
 
 
-def host_block(micro_context):
+def host_isa():
+    """Widest vector ISA the host supports, mirroring simd::detect_isa()
+    ("avx2" > "sse4.2" > "scalar" on x86, "neon" on aarch64), or None when
+    undetectable.  Timings do not transfer between kernel sets, so the
+    baseline records which one produced it."""
+    machine = os.uname().machine if hasattr(os, "uname") else ""
+    if machine in ("aarch64", "arm64"):
+        return "neon"
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("flags"):
+                    flags = line.split(":", 1)[1].split()
+                    if "avx2" in flags:
+                        return "avx2"
+                    if "sse4_2" in flags:
+                        return "sse4.2"
+                    return "scalar"
+    except OSError:
+        pass
+    return None
+
+
+def host_block(micro_context, isa_override=None):
     """Explicit host descriptor: benchmark timings only transfer between
     comparable machines, so the baseline records where it was measured."""
     host = {
         "num_cpus": micro_context.get("num_cpus") or os.cpu_count(),
         "cpu_model": micro_context.get("cpu_model") or cpu_model(),
+        "isa": isa_override or host_isa(),
     }
     if "mhz_per_cpu" in micro_context:
         host["mhz_per_cpu"] = micro_context["mhz_per_cpu"]
@@ -56,6 +80,9 @@ def main():
                     help="CFS_BENCH_SCALE the run used")
     ap.add_argument("--name", default="BENCH_PR5",
                     help="baseline tag stored in the output")
+    ap.add_argument("--isa", default=None,
+                    help="vector-kernel ISA the run used (default: detect "
+                         "the host's widest, mirroring --simd=auto)")
     ap.add_argument("--out", required=True, help="output baseline JSON")
     args = ap.parse_args()
 
@@ -64,7 +91,7 @@ def main():
         "baseline": args.name,
         "scale": args.scale,
         "host_context": micro.get("context", {}),
-        "host": host_block(micro.get("context", {})),
+        "host": host_block(micro.get("context", {}), args.isa),
         "micro_kernels": {},
     }
     for b in micro.get("benchmarks", []):
